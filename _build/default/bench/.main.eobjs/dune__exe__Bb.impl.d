@@ -1,0 +1,1 @@
+bench/bb.ml: Analyze Bechamel Benchmark Float Format Hashtbl Instance List Measure Printf Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/main.ml: Addr Bb Bechamel Format Group Horus Horus_hcpi Horus_layers Horus_model Horus_msg Horus_props Horus_sim Horus_util Int64 List Printf Scenarios Spec Staged String Test Unix World

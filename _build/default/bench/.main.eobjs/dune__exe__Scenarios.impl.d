@@ -1,0 +1,1 @@
+bench/scenarios.ml: Addr Array Endpoint Event Float Group Horus Horus_hcpi Horus_sim List Printf String View World

@@ -1,0 +1,38 @@
+(* Bechamel boilerplate: run a group of tests and print one line per
+   test with the OLS-estimated time per run. *)
+
+open Bechamel
+open Toolkit
+
+let run_group ?(quota = 0.5) name tests =
+  let test = Test.make_grouped ~name tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun test_name ols_result acc ->
+         let ns =
+           match Analyze.OLS.estimates ols_result with
+           | Some (est :: _) -> est
+           | Some [] | None -> nan
+         in
+         (test_name, ns) :: acc)
+      results []
+    |> List.sort compare
+  in
+  Format.printf "== %s ==@." name;
+  List.iter
+    (fun (test_name, ns) ->
+       let pretty =
+         if Float.is_nan ns then "n/a"
+         else if ns >= 1e6 then Printf.sprintf "%10.3f ms" (ns /. 1e6)
+         else if ns >= 1e3 then Printf.sprintf "%10.3f us" (ns /. 1e3)
+         else Printf.sprintf "%10.1f ns" ns
+       in
+       Format.printf "  %-48s %s/run@." test_name pretty)
+    rows;
+  Format.printf "@.";
+  rows

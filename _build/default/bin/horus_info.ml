@@ -1,0 +1,197 @@
+(* horus_info: command-line front end to the catalogue and the property
+   algebra.
+
+     horus_info layers            - Figure 1: the layer library
+     horus_info table3            - Table 3: requires/provides/inherits
+     horus_info table4            - Table 4: the sixteen properties
+     horus_info check SPEC        - well-formedness + derived properties
+     horus_info synth P6,P9,...   - minimal stack for a requirement set
+
+   Run with: dune exec bin/horus_info.exe -- <command> [args] *)
+
+open Cmdliner
+
+let init () = Horus_layers.Init.register_all ()
+
+let layers_cmd =
+  let run () =
+    init ();
+    Format.printf "%-14s %-18s %s@." "layer" "protocol type" "description";
+    Format.printf "%s@." (String.make 100 '-');
+    List.iter
+      (fun e ->
+         Format.printf "%-14s %-18s %s@." e.Horus_hcpi.Registry.name
+           e.Horus_hcpi.Registry.protocol_type e.Horus_hcpi.Registry.description)
+      (Horus_hcpi.Registry.all ())
+  in
+  Cmd.v (Cmd.info "layers" ~doc:"List the layer library (Figure 1)")
+    Term.(const run $ const ())
+
+let table4_cmd =
+  let run () =
+    List.iter
+      (fun p ->
+         Format.printf "P%-3d %s@." (Horus_props.Property.number p)
+           (Horus_props.Property.description p))
+      Horus_props.Property.all
+  in
+  Cmd.v (Cmd.info "table4" ~doc:"List the sixteen protocol properties (Table 4)")
+    Term.(const run $ const ())
+
+let table3_cmd =
+  let run () =
+    let module P = Horus_props.Property in
+    Format.printf "%-14s %-28s %-18s inherits@." "layer" "requires" "provides";
+    Format.printf "%s@." (String.make 110 '-');
+    List.iter
+      (fun (s : Horus_props.Layer_spec.t) ->
+         Format.printf "%-14s %-28s %-18s %s@." s.Horus_props.Layer_spec.name
+           (P.Set.to_string s.Horus_props.Layer_spec.requires)
+           (P.Set.to_string s.Horus_props.Layer_spec.provides)
+           (P.Set.to_string s.Horus_props.Layer_spec.inherits))
+      Horus_props.Layer_spec.table3
+  in
+  Cmd.v (Cmd.info "table3" ~doc:"Per-layer property table (Table 3)")
+    Term.(const run $ const ())
+
+let net_arg =
+  let doc = "Comma-separated property numbers the network provides (default: 1)." in
+  Arg.(value & opt string "1" & info [ "net" ] ~doc)
+
+let parse_numbers s =
+  String.split_on_char ',' s
+  |> List.filter (fun x -> String.trim x <> "")
+  |> List.map (fun x ->
+      let x = String.trim x in
+      let x = if String.length x > 1 && (x.[0] = 'P' || x.[0] = 'p') then String.sub x 1 (String.length x - 1) else x in
+      int_of_string x)
+
+let check_cmd =
+  let spec_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"SPEC" ~doc:"Stack spec, e.g. TOTAL:MBRSHIP:FRAG:NAK:COM")
+  in
+  let run net spec_string =
+    init ();
+    let module P = Horus_props.Property in
+    let net = P.Set.of_numbers (parse_numbers net) in
+    let names = Horus_hcpi.Spec.names (Horus_hcpi.Spec.parse spec_string) in
+    (match Horus_props.Check.derive_names ~net names with
+     | Ok props ->
+       Format.printf "well-formed over net %a@." P.Set.pp net;
+       Format.printf "provides: %a@." P.Set.pp props;
+       (match Horus_props.Check.trace ~net (List.map Horus_props.Layer_spec.find_exn names) with
+        | Ok steps ->
+          let labels = "(net)" :: List.rev ("(top)" :: List.tl (List.rev_map (fun n -> "above " ^ n) (List.rev names))) in
+          ignore labels;
+          List.iteri
+            (fun i s ->
+               let label = if i = 0 then "(net)" else "above " ^ List.nth (List.rev names) (i - 1) in
+               Format.printf "  %-16s %a@." label P.Set.pp s)
+            steps
+        | Error _ -> ())
+     | Error e -> Format.printf "ill-formed: %a@." Horus_props.Check.pp_error e)
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Check well-formedness and derive properties of a stack")
+    Term.(const run $ net_arg $ spec_arg)
+
+let synth_cmd =
+  let req_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PROPS" ~doc:"Required properties, e.g. 6,9,15 or P6,P9")
+  in
+  let run net req =
+    init ();
+    let module P = Horus_props.Property in
+    let net = P.Set.of_numbers (parse_numbers net) in
+    let required = P.Set.of_numbers (parse_numbers req) in
+    match Horus_props.Search.search ~net ~required () with
+    | Some r ->
+      Format.printf "%s@." (Horus_props.Search.spec_string r);
+      Format.printf "cost %d, provides %a@." r.Horus_props.Search.cost P.Set.pp
+        r.Horus_props.Search.provides
+    | None -> Format.printf "no stack in the catalogue can provide %a@." P.Set.pp required
+  in
+  Cmd.v (Cmd.info "synth" ~doc:"Synthesize the minimal stack for a requirement set")
+    Term.(const run $ net_arg $ req_arg)
+
+let order_cmd =
+  let l1_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"UPPER" ~doc:"Upper layer.")
+  in
+  let l2_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"LOWER" ~doc:"Lower layer.")
+  in
+  let run net l1 l2 =
+    init ();
+    let net = Horus_props.Property.Set.of_numbers (parse_numbers net) in
+    let upper = Horus_props.Layer_spec.find_exn l1 in
+    let lower = Horus_props.Layer_spec.find_exn l2 in
+    Format.printf "%a@." Horus_props.Check.pp_order_verdict
+      (Horus_props.Check.order_matters ~net ~upper ~lower)
+  in
+  Cmd.v
+    (Cmd.info "order"
+       ~doc:"Does the stacking order of two layers matter? (Section 8)")
+    Term.(const run $ net_arg $ l1_arg $ l2_arg)
+
+(* A quick live scenario from the command line: form a group over a
+   given stack, push some traffic, crash a member, and report what
+   every member saw. *)
+let simulate_cmd =
+  let spec_arg =
+    Arg.(value & opt string "TOTAL:MBRSHIP:FRAG:NAK:COM"
+         & info [ "stack" ] ~doc:"Stack spec to run.")
+  in
+  let n_arg = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Group size.") in
+  let crash_arg =
+    Arg.(value & flag & info [ "crash" ] ~doc:"Crash the youngest member mid-run.")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"World seed.") in
+  let run spec n crash seed =
+    let open Horus in
+    let world = World.create ~seed () in
+    let g = World.fresh_group_addr world in
+    let founder = Group.join (Endpoint.create world ~spec) g in
+    World.run_for world ~duration:0.3;
+    let rest =
+      List.init (n - 1) (fun _ ->
+          let m = Group.join ~contact:(Group.addr founder) (Endpoint.create world ~spec) g in
+          World.run_for world ~duration:0.4;
+          m)
+    in
+    let members = founder :: rest in
+    World.run_for world ~duration:2.0;
+    List.iteri
+      (fun i gr ->
+         for k = 0 to 2 do
+           World.after world ~delay:(0.01 *. float_of_int k) (fun () ->
+               Group.cast gr (Printf.sprintf "m%d-%d" i k))
+         done)
+      members;
+    if crash then
+      World.after world ~delay:0.015 (fun () ->
+          Endpoint.crash (Group.endpoint (List.nth members (n - 1))));
+    World.run_for world ~duration:5.0;
+    List.iteri
+      (fun i gr ->
+         let view =
+           match Group.view gr with
+           | Some v -> Format.asprintf "%a" View.pp v
+           | None -> "(none)"
+         in
+         Format.printf "member %d: view %s@." i view;
+         Format.printf "  delivered (%d): %s@."
+           (List.length (Group.casts gr))
+           (String.concat " " (Group.casts gr)))
+      members
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Run a live group scenario and print what every member saw")
+    Term.(const run $ spec_arg $ n_arg $ crash_arg $ seed_arg)
+
+let () =
+  let doc = "Horus protocol-composition framework: catalogue and property algebra" in
+  let info = Cmd.info "horus_info" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ layers_cmd; table3_cmd; table4_cmd; check_cmd; synth_cmd; order_cmd; simulate_cmd ]))

@@ -1,0 +1,1 @@
+examples/chat_total.ml: Endpoint Format Group Horus List Option Socket World

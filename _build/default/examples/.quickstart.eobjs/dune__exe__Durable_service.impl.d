@@ -1,0 +1,1 @@
+examples/durable_service.ml: Endpoint Event Format Group Hashtbl Horus List Msg Option Printf Rpc String World

@@ -1,0 +1,1 @@
+examples/observability.ml: Bytes Endpoint Format Group Hashtbl Horus Horus_hcpi Horus_sim List Option Printf String World

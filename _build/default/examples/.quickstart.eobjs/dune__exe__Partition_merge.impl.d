@@ -1,0 +1,1 @@
+examples/partition_merge.ml: Addr Endpoint Format Group Horus Horus_sim List Printf String View World

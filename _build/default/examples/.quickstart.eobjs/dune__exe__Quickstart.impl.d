@@ -1,0 +1,1 @@
+examples/quickstart.ml: Endpoint Format Group Horus List View World

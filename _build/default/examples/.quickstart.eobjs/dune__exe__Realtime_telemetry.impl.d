@@ -1,0 +1,1 @@
+examples/realtime_telemetry.ml: Addr Endpoint Event Format Group Horus Horus_sim List Printf World

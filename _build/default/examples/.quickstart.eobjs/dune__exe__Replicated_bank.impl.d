@@ -1,0 +1,1 @@
+examples/replicated_bank.ml: Endpoint Event Format Group Horus List Msg Printf State_transfer String World

@@ -1,0 +1,1 @@
+examples/secure_pipeline.ml: Bytes Endpoint Format Group Horus Horus_sim List String World

@@ -1,0 +1,1 @@
+examples/stack_builder.ml: Endpoint Format Group Horus Horus_props List String World

@@ -1,0 +1,63 @@
+(* Observability tour: the focus/dump downcalls (Table 1), TRACE and
+   ACCOUNT layers, the world trace, and the promiscuous wiretap — how
+   you see what a running protocol stack is doing, at every level.
+
+   Run with: dune exec examples/observability.exe *)
+
+open Horus
+
+let spec = "TRACE:ACCOUNT:TOTAL:MBRSHIP:FRAG:NAK:COM"
+
+let () =
+  let world = World.create ~seed:5 () in
+  let g = World.fresh_group_addr world in
+
+  (* Wiretap the physical medium: count frames per link. *)
+  let frames = Hashtbl.create 8 in
+  Horus_sim.Net.set_tap (World.net world)
+    (Some
+       (fun ~src ~dst payload ->
+          let key = (src, dst) in
+          let count, bytes =
+            Option.value (Hashtbl.find_opt frames key) ~default:(0, 0)
+          in
+          Hashtbl.replace frames key (count + 1, bytes + Bytes.length payload)));
+
+  let a = Group.join (Endpoint.create world ~spec) g in
+  World.run_for world ~duration:0.5;
+  let b = Group.join ~contact:(Group.addr a) (Endpoint.create world ~spec) g in
+  World.run_for world ~duration:1.5;
+
+  for i = 1 to 5 do
+    Group.cast a (Printf.sprintf "message %d" i)
+  done;
+  World.run_for world ~duration:1.0;
+  ignore b;
+
+  (* Level 1: the whole stack, layer by layer (the dump downcall). *)
+  Format.printf "=== a's stack (dump downcall) ===@.";
+  List.iter (fun line -> Format.printf "  %s@." line) (Group.dump a);
+
+  (* Level 2: focus on one layer (the focus downcall). *)
+  Format.printf "@.=== focus NAK (focus downcall) ===@.";
+  (match Group.focus a "NAK" with
+   | Some inst -> List.iter (fun l -> Format.printf "  %s@." l) (inst.Horus_hcpi.Layer.dump ())
+   | None -> ());
+
+  (* Level 3: the world trace — protocol events with timestamps. *)
+  Format.printf "@.=== world trace (membership events) ===@.";
+  List.iter
+    (fun e ->
+       let c = e.Horus_sim.Trace.category in
+       if String.length c >= 12 && String.sub c 0 12 = "MBRSHIP/view" then
+         Format.printf "  %a@." Horus_sim.Trace.pp_entry e)
+    (Horus_sim.Trace.entries (World.trace world));
+
+  (* Level 4: the wire itself. *)
+  Format.printf "@.=== wiretap: frames per link ===@.";
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) frames []
+  |> List.sort compare
+  |> List.iter (fun ((src, dst), (count, bytes)) ->
+      Format.printf "  e%d -> e%d: %4d frames, %6d bytes@." src dst count bytes);
+
+  Format.printf "@.four vantage points, one running system.@."

@@ -1,0 +1,76 @@
+(* Real-time telemetry: DEADLINE and CLOCKSYNC together (Figure 1's
+   "real-time" and "synchronization" types).
+
+   Sensors multicast readings with a 30 ms freshness budget. One
+   consumer sits behind a congested 80 ms link: every reading reaching
+   it is stale and is dropped in favour of a LOST_MESSAGE signal — for
+   telemetry, knowing a reading is missing beats acting on an old one.
+   Clock synchronization lets consumers with skewed clocks agree on
+   when each reading was taken.
+
+   Run with: dune exec examples/realtime_telemetry.exe *)
+
+open Horus
+
+let spec skew =
+  Printf.sprintf "DEADLINE(budget=0.03):CLOCKSYNC(skew=%g):MBRSHIP:FRAG:NAK:COM" skew
+
+let () =
+  let world = World.create ~seed:13 () in
+  let g = World.fresh_group_addr world in
+  let sensor = Group.join (Endpoint.create world ~spec:(spec 0.0)) g in
+  World.run_for world ~duration:0.5;
+  (* Two consumers with badly skewed local clocks. *)
+  let near = Group.join ~contact:(Group.addr sensor) (Endpoint.create world ~spec:(spec 0.25)) g in
+  World.run_for world ~duration:0.5;
+  let far = Group.join ~contact:(Group.addr sensor) (Endpoint.create world ~spec:(spec (-0.4))) g in
+  World.run_for world ~duration:2.0;
+
+  (* The far consumer's inbound link is congested: 80 ms one way. *)
+  Horus_sim.Net.set_link_latency (World.net world)
+    ~src:(Addr.endpoint_id (Group.addr sensor))
+    ~dst:(Addr.endpoint_id (Group.addr far))
+    (Some 0.08);
+
+  for i = 1 to 10 do
+    World.after world
+      ~delay:(0.02 *. float_of_int i)
+      (fun () -> Group.cast sensor (Printf.sprintf "reading-%02d" i))
+  done;
+  World.run_for world ~duration:2.0;
+
+  let show name gr =
+    let stamps =
+      List.filter_map
+        (fun d ->
+           match Event.meta_find d.Group.meta "clock_ms" with
+           | Some t -> Some (d.Group.payload, t)
+           | None -> None)
+        (Group.deliveries gr)
+    in
+    Format.printf "%-6s delivered %2d fresh readings, %2d lost to staleness@." name
+      (List.length (Group.casts gr))
+      (Group.lost_messages gr);
+    (match stamps with
+     | (p, t) :: _ -> Format.printf "        first: %s at synchronized clock %d ms@." p t
+     | [] -> ())
+  in
+  show "near" near;
+  show "far" far;
+
+  (* Both consumers' clock stamps are on the sensor coordinator's
+     clock, despite 0.65 s of true skew between them. *)
+  (match (Group.deliveries near, Group.casts far) with
+   | d :: _, _ ->
+     (match Event.meta_find d.Group.meta "clock_ms" with
+      | Some _ ->
+        Format.printf "@.clock stamps are coordinator time: 0.25s and -0.4s of local@.";
+        Format.printf "skew disappear after CLOCKSYNC's first round trip.@."
+      | None -> ())
+   | _ -> ());
+
+  if Group.lost_messages far = 10 && Group.lost_messages near = 0 then
+    Format.printf "@.the stale link delivered nothing late: DEADLINE held the budget.@."
+  else
+    Format.printf "@.(near lost %d, far lost %d)@." (Group.lost_messages near)
+      (Group.lost_messages far)

@@ -1,0 +1,59 @@
+(* Secure pipeline: the security-oriented composition of Section 2 —
+   signing to keep intruders out, encryption to keep payloads private,
+   compression to save bandwidth — stacked under reliability, over a
+   hostile network that garbles traffic, with an eavesdropper and a
+   forger attached to the same group address.
+
+   Run with: dune exec examples/secure_pipeline.exe *)
+
+open Horus
+
+let secure_spec = "MBRSHIP:COMPRESS:ENCRYPT(key=wolfsbane):SIGN(key=wolfsbane):NAK:CHKSUM:COM"
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec loop i = i + n <= m && (String.sub s i n = sub || loop (i + 1)) in
+  n = 0 || loop 0
+
+let () =
+  let config = { Horus_sim.Net.default_config with garble_prob = 0.1 } in
+  let world = World.create ~config ~seed:31 () in
+  let g = World.fresh_group_addr world in
+
+  let a = Group.join (Endpoint.create world ~spec:secure_spec) g in
+  World.run_for world ~duration:0.5;
+  let b = Group.join ~contact:(Group.addr a) (Endpoint.create world ~spec:secure_spec) g in
+  World.run_for world ~duration:2.0;
+
+  (* Eve wiretaps the physical medium promiscuously: she sees every
+     frame on the wire, ciphertext and all. *)
+  let captured = ref [] in
+  Horus_sim.Net.set_tap (World.net world)
+    (Some (fun ~src:_ ~dst:_ payload -> captured := Bytes.to_string payload :: !captured));
+
+  let secret = "wire 1000 gold to vault 7" in
+  Group.cast a secret;
+  Group.cast a "second order: hold position";
+  World.run_for world ~duration:3.0;
+
+  Format.printf "b received %d messages:@." (List.length (Group.casts b));
+  List.iter (fun p -> Format.printf "  %s@." p) (Group.casts b);
+
+  let leaked = List.exists (fun p -> contains_sub ~sub:"gold" p) !captured in
+  Format.printf "@.eve captured %d raw frames; plaintext leaked: %b@."
+    (List.length !captured) leaked;
+
+  (* Mallory tries to inject a forged order with the wrong key. *)
+  let mallory =
+    Group.join (Endpoint.create world ~spec:"MBRSHIP:COMPRESS:ENCRYPT(key=guess):SIGN(key=guess):NAK:CHKSUM:COM") g
+  in
+  ignore mallory;
+  World.run_for world ~duration:1.0;
+  let before = List.length (Group.casts b) in
+  Group.cast mallory "forged: abandon ship";
+  World.run_for world ~duration:2.0;
+  let after = List.length (Group.casts b) in
+  Format.printf "mallory's forgery delivered at b: %b@." (after > before);
+
+  Format.printf "@.signing blocked the forgery, encryption blinded the tap,@.";
+  Format.printf "checksums + NAK turned garbling into clean retransmissions.@."

@@ -1,0 +1,1 @@
+lib/core/horus.ml: Endpoint Group Horus_hcpi Horus_msg Horus_props List Rpc Socket State_transfer World

@@ -1,0 +1,1 @@
+lib/core/endpoint.ml: Addr Bytes Hashtbl Horus_hcpi Horus_msg Horus_sim Int32 List Msg World

@@ -1,0 +1,1 @@
+lib/core/endpoint.mli: Addr Horus_hcpi Horus_msg Msg World

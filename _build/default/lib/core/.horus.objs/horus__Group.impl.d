@@ -1,0 +1,1 @@
+lib/core/group.ml: Addr Endpoint Event Format Horus_hcpi Horus_msg Horus_sim Horus_util Lazy List Msg Spec Stack View World

@@ -1,0 +1,1 @@
+lib/core/group.mli: Addr Endpoint Event Horus_hcpi Horus_msg Layer Msg Stack View

@@ -1,0 +1,1 @@
+lib/core/rpc.ml: Addr Char Endpoint Group Hashtbl Horus_hcpi Horus_msg Msg Option World

@@ -1,0 +1,1 @@
+lib/core/rpc.mli: Addr Group Horus_hcpi Horus_msg

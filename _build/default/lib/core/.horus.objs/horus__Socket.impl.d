@@ -1,0 +1,1 @@
+lib/core/socket.ml: Group Horus_hcpi Horus_msg Msg Queue

@@ -1,0 +1,1 @@
+lib/core/socket.mli: Addr Endpoint Group Horus_msg

@@ -1,0 +1,1 @@
+lib/core/state_transfer.ml: Addr Char Group Horus_hcpi Horus_msg Msg

@@ -1,0 +1,1 @@
+lib/core/state_transfer.mli: Group Horus_hcpi

@@ -1,0 +1,1 @@
+lib/core/world.ml: Addr Hashtbl Horus_hcpi Horus_layers Horus_msg Horus_sim Horus_util Layer List

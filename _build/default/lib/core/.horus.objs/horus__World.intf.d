@@ -1,0 +1,1 @@
+lib/core/world.mli: Addr Horus_hcpi Horus_msg Horus_sim Horus_util Layer

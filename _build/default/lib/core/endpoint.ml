@@ -1,0 +1,87 @@
+(* A communication endpoint (Section 3).
+
+   An endpoint owns a network attachment and a protocol stack spec;
+   joining a group instantiates a fresh stack over the endpoint (the
+   per-group layer state of the paper's group objects). Packets carry a
+   group-id frame so one endpoint can serve many groups — the "base
+   endpoint" on which multiple stacks stand. *)
+
+open Horus_msg
+
+type t = {
+  world : World.t;
+  addr : Addr.endpoint;
+  spec : Horus_hcpi.Spec.t;
+  routes : (int, src:int -> Msg.t -> unit) Hashtbl.t;  (* gid -> stack ingress *)
+  mutable crashed : bool;
+  mutable on_crash : (unit -> unit) list;  (* group handles register cleanup *)
+}
+
+let frame_gid gid payload =
+  let n = Bytes.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int gid);
+  Bytes.blit payload 0 b 4 n;
+  b
+
+let create world ~spec =
+  let addr = World.fresh_endpoint_addr world in
+  let t =
+    { world;
+      addr;
+      spec = Horus_hcpi.Spec.parse spec;
+      routes = Hashtbl.create 4;
+      crashed = false;
+      on_crash = [] }
+  in
+  Horus_sim.Net.attach (World.net world) ~node:(Addr.endpoint_id addr) (fun ~src payload ->
+      if Bytes.length payload >= 4 then begin
+        let gid = Int32.to_int (Bytes.get_int32_be payload 0) in
+        match Hashtbl.find_opt t.routes gid with
+        | Some route ->
+          let body = Bytes.sub payload 4 (Bytes.length payload - 4) in
+          route ~src (Msg.of_bytes body)
+        | None -> ()
+      end);
+  t
+
+let world t = t.world
+
+let addr t = t.addr
+
+let node t = Addr.endpoint_id t.addr
+
+let spec t = t.spec
+
+let is_crashed t = t.crashed
+
+(* Used by Group.join. *)
+let register_route t ~gid route =
+  if Hashtbl.mem t.routes gid then invalid_arg "Endpoint: group already joined";
+  Hashtbl.replace t.routes gid route
+
+let unregister_route t ~gid = Hashtbl.remove t.routes gid
+
+let add_crash_hook t f = t.on_crash <- f :: t.on_crash
+
+(* The per-group transport handed to the stack's bottom layer: frames
+   outgoing packets with the group id. *)
+let transport t ~gid : Horus_hcpi.Layer.transport =
+  let net = World.net t.world in
+  { Horus_hcpi.Layer.xmit =
+      (fun ~dst payload ->
+         Horus_sim.Net.send net ~src:(node t) ~dst:(Addr.endpoint_id dst)
+           (frame_gid gid payload));
+    local_node = node t;
+    mtu = (Horus_sim.Net.config net).Horus_sim.Net.mtu }
+
+(* Crash the endpoint: the network stops carrying its traffic and all
+   its stacks halt silently (a crashed process does not observe its own
+   crash). *)
+let crash t =
+  if not t.crashed then begin
+    t.crashed <- true;
+    Horus_sim.Net.crash (World.net t.world) ~node:(node t);
+    List.iter (fun f -> f ()) t.on_crash;
+    t.on_crash <- []
+  end

@@ -1,0 +1,31 @@
+(** A communication endpoint: a network attachment plus a protocol
+    stack spec. Joining a group (see {!Group}) instantiates a fresh
+    stack over the endpoint. *)
+
+open Horus_msg
+
+type t
+
+val create : World.t -> spec:string -> t
+(** [create world ~spec] allocates an address, attaches to the network,
+    and parses [spec] (e.g. ["TOTAL:MBRSHIP:FRAG:NAK:COM"]). Raises
+    {!Horus_hcpi.Spec.Parse_error} on a bad spec. *)
+
+val world : t -> World.t
+val addr : t -> Addr.endpoint
+val node : t -> int
+val spec : t -> Horus_hcpi.Spec.t
+val is_crashed : t -> bool
+
+val crash : t -> unit
+(** Crash the endpoint: network traffic stops and all its stacks halt
+    silently. *)
+
+(**/**)
+
+(** Internal plumbing for {!Group}. *)
+
+val register_route : t -> gid:int -> (src:int -> Msg.t -> unit) -> unit
+val unregister_route : t -> gid:int -> unit
+val add_crash_hook : t -> (unit -> unit) -> unit
+val transport : t -> gid:int -> Horus_hcpi.Layer.transport

@@ -1,0 +1,33 @@
+(* UNIX-socket facade (Sections 2 and 11): the top-most module that
+   deviates from the HCPI standard to match a user's expectations.
+   sendto maps to a multicast to the group; recvfrom returns the next
+   incoming message. *)
+
+open Horus_msg
+
+type t = {
+  group : Group.t;
+  pending : (int * string) Queue.t;  (* (source rank, payload) *)
+}
+
+let create ?contact endpoint group_addr =
+  let pending = Queue.create () in
+  let on_up (ev : Horus_hcpi.Event.up) =
+    match ev with
+    | Horus_hcpi.Event.U_cast (rank, m, _) | Horus_hcpi.Event.U_send (rank, m, _) ->
+      Queue.push (rank, Msg.to_string m) pending
+    | _ -> ()
+  in
+  { group = Group.join ?contact ~on_up endpoint group_addr; pending }
+
+let group t = t.group
+
+let sendto t payload = Group.cast t.group payload
+
+(* Non-blocking: [None] when no message is waiting (a real socket would
+   block; in a simulation, run the world instead). *)
+let recvfrom t = if Queue.is_empty t.pending then None else Some (Queue.pop t.pending)
+
+let pending t = Queue.length t.pending
+
+let close t = Group.leave t.group

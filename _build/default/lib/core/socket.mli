@@ -1,0 +1,16 @@
+(** UNIX-socket facade over a process group: sendto multicasts,
+    recvfrom dequeues the next delivery (Sections 2 and 11). *)
+
+open Horus_msg
+
+type t
+
+val create : ?contact:Addr.endpoint -> Endpoint.t -> Addr.group -> t
+val group : t -> Group.t
+val sendto : t -> string -> unit
+
+val recvfrom : t -> (int * string) option
+(** Next (source rank, payload); [None] when nothing is waiting. *)
+
+val pending : t -> int
+val close : t -> unit

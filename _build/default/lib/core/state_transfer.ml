@@ -1,0 +1,81 @@
+(* State transfer to joining members.
+
+   The Isis toolkit that Horus grew out of supported "joining a group
+   and obtaining its state"; this helper rebuilds that over the group
+   abstraction. The application supplies [get] (snapshot my state) and
+   [set] (adopt a snapshot). Whenever a view installs with members that
+   were not in the previous view, the coordinator sends each joiner a
+   snapshot over the reliable subset-send channel; virtual synchrony
+   puts the view installation at a consistent cut, so the snapshot plus
+   the casts delivered after the view equals the established members'
+   state.
+
+   Like {!Rpc}, the helper owns the group's upcall callback and claims
+   a one-byte frame tag on subset sends; everything else is forwarded
+   to [on_up]. *)
+
+open Horus_msg
+
+type t = {
+  group : Group.t;
+  get : unit -> string;
+  set : string -> unit;
+  mutable previous : Addr.Endpoint_set.t;
+  mutable transfers_sent : int;
+  mutable transfers_received : int;
+}
+
+let tag = 'S'
+
+let on_view t v =
+  let current = Addr.Endpoint_set.of_list (Horus_hcpi.View.members v) in
+  let joiners = Addr.Endpoint_set.diff current t.previous in
+  let i_coordinate =
+    Addr.equal_endpoint (Horus_hcpi.View.coordinator v) (Group.addr t.group)
+  in
+  let was_established = not (Addr.Endpoint_set.is_empty t.previous) in
+  if i_coordinate && was_established && not (Addr.Endpoint_set.is_empty joiners) then
+    Addr.Endpoint_set.iter
+      (fun joiner ->
+         if not (Addr.equal_endpoint joiner (Group.addr t.group)) then begin
+           t.transfers_sent <- t.transfers_sent + 1;
+           let m = Msg.create (t.get ()) in
+           Msg.push_u8 m (Char.code tag);
+           Group.send_msg t.group [ joiner ] m
+         end)
+      joiners;
+  t.previous <- current
+
+let attach ~get ~set ?(on_up = fun (_ : Horus_hcpi.Event.up) -> ()) group =
+  let t =
+    { group;
+      get;
+      set;
+      (* If the group already has a view when we attach (the usual
+         case: attach right after join), that view is the baseline —
+         its members are established, not joiners. *)
+      previous =
+        (match Group.view group with
+         | Some v -> Addr.Endpoint_set.of_list (Horus_hcpi.View.members v)
+         | None -> Addr.Endpoint_set.empty);
+      transfers_sent = 0;
+      transfers_received = 0 }
+  in
+  Group.set_on_up group (fun ev ->
+      match ev with
+      | Horus_hcpi.Event.U_view v ->
+        on_view t v;
+        on_up ev
+      | Horus_hcpi.Event.U_send (_, m, _) ->
+        let m' = Msg.copy m in
+        (try
+           if Char.chr (Msg.pop_u8 m') = tag then begin
+             t.transfers_received <- t.transfers_received + 1;
+             t.set (Msg.to_string m')
+           end
+           else on_up ev
+         with Msg.Truncated _ -> on_up ev)
+      | _ -> on_up ev);
+  t
+
+let stats t = (t.transfers_sent, t.transfers_received)

@@ -1,0 +1,17 @@
+(** State transfer to joining members — Isis's "join a group and obtain
+    its state", rebuilt over the group abstraction. The coordinator
+    snapshots the application state ([get]) and sends it to each new
+    member, which adopts it ([set]); virtual synchrony makes the view
+    installation a consistent cut. Owns the group's upcall callback
+    (forwards non-transfer events to [on_up]). *)
+
+type t
+
+val attach :
+  get:(unit -> string) ->
+  set:(string -> unit) ->
+  ?on_up:(Horus_hcpi.Event.up -> unit) ->
+  Group.t -> t
+
+val stats : t -> int * int
+(** (snapshots sent, snapshots received). *)

@@ -1,0 +1,40 @@
+(** A simulated Horus world: event engine, network, tracing, address
+    allocation, and the rendezvous (resource-location) service.
+    Deterministic in its seed. *)
+
+open Horus_msg
+open Horus_hcpi
+
+type t
+
+val create : ?config:Horus_sim.Net.config -> ?seed:int -> unit -> t
+(** Also registers the layer library into the HCPI registry. *)
+
+val engine : t -> Horus_sim.Engine.t
+val net : t -> Horus_sim.Net.t
+val trace : t -> Horus_sim.Trace.t
+
+val prng : t -> Horus_util.Prng.t
+(** The world's deterministic generator, for seeded workloads. *)
+
+val now : t -> float
+
+val fresh_endpoint_addr : t -> Addr.endpoint
+val fresh_group_addr : t -> Addr.group
+
+val rendezvous : t -> Layer.rendezvous
+(** Coordinators of live partitions, per group; crashed announcers are
+    invisible. *)
+
+val storage : t -> Layer.storage
+(** Simulated stable storage (append-only logs by key); survives
+    crashes by construction. *)
+
+val run : ?max_events:int -> t -> unit
+(** Run to quiescence. Beware: stacks with periodic timers never
+    quiesce; prefer {!run_until} / {!run_for}. *)
+
+val run_until : ?max_events:int -> t -> time:float -> unit
+val run_for : ?max_events:int -> t -> duration:float -> unit
+val at : t -> time:float -> (unit -> unit) -> unit
+val after : t -> delay:float -> (unit -> unit) -> unit

@@ -1,0 +1,1 @@
+lib/hcpi/event.ml: Addr Format Horus_msg List Msg View

@@ -1,0 +1,1 @@
+lib/hcpi/event.mli: Addr Format Horus_msg Msg View

@@ -1,0 +1,1 @@
+lib/hcpi/layer.ml: Addr Bytes Event Horus_msg Horus_sim Horus_util Params

@@ -1,0 +1,1 @@
+lib/hcpi/params.ml: Format List Printf

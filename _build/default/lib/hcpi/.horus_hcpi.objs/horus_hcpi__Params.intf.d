@@ -1,0 +1,1 @@
+lib/hcpi/params.mli: Format

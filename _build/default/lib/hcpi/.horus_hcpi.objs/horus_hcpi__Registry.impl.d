@@ -1,0 +1,1 @@
+lib/hcpi/registry.ml: Hashtbl Layer List Params String

@@ -1,0 +1,1 @@
+lib/hcpi/registry.mli: Layer Params

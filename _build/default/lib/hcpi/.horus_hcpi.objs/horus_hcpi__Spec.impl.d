@@ -1,0 +1,1 @@
+lib/hcpi/spec.ml: Format List Params Registry String

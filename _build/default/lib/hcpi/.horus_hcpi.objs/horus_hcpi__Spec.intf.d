@@ -1,0 +1,1 @@
+lib/hcpi/spec.mli: Layer Params

@@ -1,0 +1,1 @@
+lib/hcpi/stack.ml: Array Event Horus_sim Horus_util Layer List Params

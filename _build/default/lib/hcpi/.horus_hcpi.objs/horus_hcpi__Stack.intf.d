@@ -1,0 +1,1 @@
+lib/hcpi/stack.mli: Addr Event Horus_msg Horus_sim Horus_util Layer Params

@@ -1,0 +1,1 @@
+lib/hcpi/view.ml: Addr Array Format Hashtbl Horus_msg Int List Msg Wire

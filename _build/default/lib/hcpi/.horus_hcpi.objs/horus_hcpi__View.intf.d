@@ -1,0 +1,1 @@
+lib/hcpi/view.mli: Addr Format Horus_msg Msg

@@ -1,0 +1,102 @@
+(* Protocol layers as abstract data types (Sections 1 and 4).
+
+   A layer is a constructor from an environment to an instance. The
+   environment carries everything a layer may touch: its endpoint and
+   group identity, emitters toward the layers above and below (which
+   enqueue onto the owning endpoint's event queue — the paper's
+   event-queue scheduling model), timers, a deterministic PRNG, the
+   raw transport (used only by bottom adapters such as COM), and the
+   rendezvous service (a resource-location service used by membership
+   and merge layers to find foreign partitions). *)
+
+open Horus_msg
+
+(* Best-effort datagram transport under the stack ("ATM" in the
+   paper's example). Only bottom adapter layers use it. *)
+type transport = {
+  xmit : dst:Addr.endpoint -> Bytes.t -> unit;
+  local_node : int;
+  mtu : int;
+}
+
+(* Resource-location service: group coordinators announce themselves so
+   that merge layers can find foreign partitions. *)
+type rendezvous = {
+  announce : Addr.group -> Addr.endpoint -> unit;
+  withdraw : Addr.group -> Addr.endpoint -> unit;
+  lookup : Addr.group -> Addr.endpoint list;
+}
+
+let null_rendezvous =
+  { announce = (fun _ _ -> ()); withdraw = (fun _ _ -> ()); lookup = (fun _ -> []) }
+
+(* Stable storage that survives process crashes (a simulated disk):
+   append-only logs addressed by string keys. The LOG layer uses it to
+   tolerate total failures (Figure 1's "logging" type). *)
+type storage = {
+  append : key:string -> string -> unit;
+  read : key:string -> string list;   (* records in append order *)
+  truncate : key:string -> unit;
+}
+
+let null_storage =
+  { append = (fun ~key:_ _ -> ()); read = (fun ~key:_ -> []); truncate = (fun ~key:_ -> ()) }
+
+type env = {
+  engine : Horus_sim.Engine.t;
+  endpoint : Addr.endpoint;
+  group : Addr.group;
+  params : Params.t;
+  prng : Horus_util.Prng.t;
+  transport : transport;
+  rendezvous : rendezvous;
+  storage : storage;
+  emit_up : Event.up -> unit;     (* toward the application *)
+  emit_down : Event.down -> unit; (* toward the network *)
+  set_timer : delay:float -> (unit -> unit) -> Horus_sim.Engine.handle;
+  trace : category:string -> string -> unit;
+}
+
+type instance = {
+  name : string;
+  handle_down : Event.down -> unit;
+  handle_up : Event.up -> unit;
+  dump : unit -> string list;     (* the dump downcall / focus handle *)
+  stop : unit -> unit;            (* cancel timers etc. on destroy *)
+  inert : bool;
+      (* Declares that both handlers forward every event untouched, so
+         the stack may bypass this layer entirely — the layer-skipping
+         optimization of Section 10. Only truly inert layers (NOOP) may
+         set it. *)
+}
+
+type ctor = env -> instance
+
+(* Helper for simple filter layers: provide only the cases you care
+   about; everything else passes through untouched (this pass-through
+   is the mechanical form of property *inheritance*, Section 6). *)
+let passthrough ~name ?(inert = false) ?(dump = fun () -> []) ?(stop = fun () -> ())
+    ?(handle_down = fun env ev -> env.emit_down ev)
+    ?(handle_up = fun env ev -> env.emit_up ev) env =
+  { name;
+    handle_down = handle_down env;
+    handle_up = handle_up env;
+    dump;
+    stop;
+    inert }
+
+(* Periodic timer helper: calls [f] every [period] seconds until the
+   returned stop function is invoked. *)
+let every env ~period f =
+  let stopped = ref false in
+  let rec arm () =
+    if not !stopped then
+      ignore
+        (env.set_timer ~delay:period (fun () ->
+             if not !stopped then begin
+               f ();
+               arm ()
+             end))
+  in
+  arm ();
+  fun () -> stopped := true

@@ -1,0 +1,78 @@
+(** Protocol layers as abstract data types.
+
+    A layer is a constructor from an environment to an instance; the
+    environment's emitters enqueue onto the owning endpoint's event
+    queue (the paper's event-queue scheduling model). *)
+
+open Horus_msg
+
+type transport = {
+  xmit : dst:Addr.endpoint -> Bytes.t -> unit;
+  local_node : int;
+  mtu : int;
+}
+(** Best-effort datagram transport under the stack; used only by
+    bottom adapter layers such as COM. *)
+
+type rendezvous = {
+  announce : Addr.group -> Addr.endpoint -> unit;
+  withdraw : Addr.group -> Addr.endpoint -> unit;
+  lookup : Addr.group -> Addr.endpoint list;
+}
+(** Resource-location service used by membership/merge layers to find
+    foreign partitions of the same group. *)
+
+val null_rendezvous : rendezvous
+
+type storage = {
+  append : key:string -> string -> unit;
+  read : key:string -> string list;
+  truncate : key:string -> unit;
+}
+(** Stable storage that survives process crashes (a simulated disk);
+    append-only logs addressed by string keys. *)
+
+val null_storage : storage
+
+type env = {
+  engine : Horus_sim.Engine.t;
+  endpoint : Addr.endpoint;
+  group : Addr.group;
+  params : Params.t;
+  prng : Horus_util.Prng.t;
+  transport : transport;
+  rendezvous : rendezvous;
+  storage : storage;
+  emit_up : Event.up -> unit;
+  emit_down : Event.down -> unit;
+  set_timer : delay:float -> (unit -> unit) -> Horus_sim.Engine.handle;
+  trace : category:string -> string -> unit;
+}
+
+type instance = {
+  name : string;
+  handle_down : Event.down -> unit;
+  handle_up : Event.up -> unit;
+  dump : unit -> string list;
+  stop : unit -> unit;
+  inert : bool;
+      (** both handlers forward everything untouched; the stack may
+          bypass the layer (Section 10's layer-skipping remedy) *)
+}
+
+type ctor = env -> instance
+
+val passthrough :
+  name:string ->
+  ?inert:bool ->
+  ?dump:(unit -> string list) ->
+  ?stop:(unit -> unit) ->
+  ?handle_down:(env -> Event.down -> unit) ->
+  ?handle_up:(env -> Event.up -> unit) ->
+  env -> instance
+(** Build an instance whose unhandled events pass through — the
+    mechanical form of property inheritance. *)
+
+val every : env -> period:float -> (unit -> unit) -> unit -> unit
+(** [every env ~period f] runs [f] periodically; the returned thunk
+    stops it. *)

@@ -1,0 +1,49 @@
+(* Layer configuration parameters, parsed from stack-spec strings like
+   "NAK(status_period=0.01,window=64)". *)
+
+type t = (string * string) list
+
+let empty = []
+
+let of_list l = l
+
+let to_list t = t
+
+let find t key = List.assoc_opt key t
+
+let get_string t key ~default =
+  match find t key with
+  | Some v -> v
+  | None -> default
+
+let get_int t key ~default =
+  match find t key with
+  | Some v ->
+    (match int_of_string_opt v with
+     | Some i -> i
+     | None -> invalid_arg (Printf.sprintf "Params.get_int: %s=%s" key v))
+  | None -> default
+
+let get_float t key ~default =
+  match find t key with
+  | Some v ->
+    (match float_of_string_opt v with
+     | Some f -> f
+     | None -> invalid_arg (Printf.sprintf "Params.get_float: %s=%s" key v))
+  | None -> default
+
+let get_bool t key ~default =
+  match find t key with
+  | Some "true" | Some "1" | Some "yes" -> true
+  | Some "false" | Some "0" | Some "no" -> false
+  | Some v -> invalid_arg (Printf.sprintf "Params.get_bool: %s=%s" key v)
+  | None -> default
+
+let merge ~base ~override =
+  override @ List.filter (fun (k, _) -> not (List.mem_assoc k override)) base
+
+let pp fmt t =
+  Format.fprintf fmt "%a"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",")
+       (fun f (k, v) -> Format.fprintf f "%s=%s" k v))
+    t

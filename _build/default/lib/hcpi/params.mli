@@ -1,0 +1,18 @@
+(** Layer configuration parameters (from stack-spec strings like
+    ["NAK(status_period=0.01,window=64)"]). *)
+
+type t = (string * string) list
+
+val empty : t
+val of_list : (string * string) list -> t
+val to_list : t -> (string * string) list
+val find : t -> string -> string option
+val get_string : t -> string -> default:string -> string
+val get_int : t -> string -> default:int -> int
+val get_float : t -> string -> default:float -> float
+val get_bool : t -> string -> default:bool -> bool
+
+val merge : base:t -> override:t -> t
+(** [override] entries win. *)
+
+val pp : Format.formatter -> t -> unit

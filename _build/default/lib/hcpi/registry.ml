@@ -1,0 +1,36 @@
+(* The layer library catalogue.
+
+   Layers register by name at start-up; stacks are then described at
+   run-time by spec strings ("TOTAL:MBRSHIP:FRAG:NAK:COM") and looked
+   up here — the run-time composition of Figure 1. The protocol_type
+   field is the classification from Figure 1's table. *)
+
+type entry = {
+  name : string;
+  protocol_type : string;  (* classification from Figure 1 *)
+  description : string;
+  ctor : Params.t -> Layer.ctor;
+}
+
+let table : (string, entry) Hashtbl.t = Hashtbl.create 64
+
+let register ~name ~protocol_type ~description ctor =
+  if Hashtbl.mem table name then invalid_arg ("Registry.register: duplicate layer " ^ name);
+  Hashtbl.replace table name { name; protocol_type; description; ctor }
+
+let find name = Hashtbl.find_opt table name
+
+let find_exn name =
+  match find name with
+  | Some e -> e
+  | None -> invalid_arg ("Registry.find_exn: unknown layer " ^ name)
+
+let mem name = Hashtbl.mem table name
+
+let all () =
+  Hashtbl.fold (fun _ e acc -> e :: acc) table []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+let names () = List.map (fun e -> e.name) (all ())
+
+let clear () = Hashtbl.reset table

@@ -1,0 +1,21 @@
+(** The layer library catalogue: name → constructor, enabling run-time
+    stack composition from spec strings. *)
+
+type entry = {
+  name : string;
+  protocol_type : string;  (** classification from Figure 1's table *)
+  description : string;
+  ctor : Params.t -> Layer.ctor;
+}
+
+val register :
+  name:string -> protocol_type:string -> description:string ->
+  (Params.t -> Layer.ctor) -> unit
+(** Raises on duplicate names. *)
+
+val find : string -> entry option
+val find_exn : string -> entry
+val mem : string -> bool
+val all : unit -> entry list
+val names : unit -> string list
+val clear : unit -> unit

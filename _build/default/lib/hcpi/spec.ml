@@ -1,0 +1,78 @@
+(* Stack spec strings.
+
+   Grammar (top layer first, as in the paper's TOTAL:MBRSHIP:FRAG:NAK:COM):
+
+     spec   ::= layer (":" layer)*
+     layer  ::= NAME | NAME "(" kv ("," kv)* ")"
+     kv     ::= key "=" value
+
+   Example: "TOTAL:MBRSHIP:FRAG(mtu=1024):NAK(status_period=0.01):COM" *)
+
+type layer_spec = {
+  name : string;
+  params : Params.t;
+}
+
+type t = layer_spec list
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse_kv s =
+  match String.index_opt s '=' with
+  | None -> fail "expected key=value, got %S" s
+  | Some i ->
+    let k = String.trim (String.sub s 0 i) in
+    let v = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+    if k = "" then fail "empty key in %S" s;
+    (k, v)
+
+let parse_layer s =
+  let s = String.trim s in
+  if s = "" then fail "empty layer name";
+  match String.index_opt s '(' with
+  | None ->
+    if String.contains s ')' then fail "unbalanced parenthesis in %S" s;
+    { name = s; params = Params.empty }
+  | Some i ->
+    if s.[String.length s - 1] <> ')' then fail "missing closing parenthesis in %S" s;
+    let name = String.trim (String.sub s 0 i) in
+    if name = "" then fail "empty layer name in %S" s;
+    let body = String.sub s (i + 1) (String.length s - i - 2) in
+    let params =
+      if String.trim body = "" then Params.empty
+      else Params.of_list (List.map parse_kv (String.split_on_char ',' body))
+    in
+    { name; params }
+
+(* Split on ':' at depth 0 only (parameters may not contain ':', which
+   keeps the grammar regular). *)
+let parse s =
+  let s = String.trim s in
+  if s = "" then fail "empty stack spec";
+  List.map parse_layer (String.split_on_char ':' s)
+
+let to_string t =
+  String.concat ":"
+    (List.map
+       (fun l ->
+          match Params.to_list l.params with
+          | [] -> l.name
+          | kvs ->
+            l.name ^ "("
+            ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+            ^ ")")
+       t)
+
+let names t = List.map (fun l -> l.name) t
+
+(* Resolve layer names against the registry, producing the input that
+   Stack.create expects. *)
+let resolve t =
+  List.map
+    (fun l ->
+       match Registry.find l.name with
+       | Some entry -> (l.name, l.params, entry.Registry.ctor)
+       | None -> fail "unknown layer %S (known: %s)" l.name (String.concat ", " (Registry.names ())))
+    t

@@ -1,0 +1,21 @@
+(** Stack spec strings — run-time protocol composition.
+
+    Grammar (top layer first):
+    ["TOTAL:MBRSHIP:FRAG(mtu=1024):NAK:COM"]. *)
+
+type layer_spec = {
+  name : string;
+  params : Params.t;
+}
+
+type t = layer_spec list
+
+exception Parse_error of string
+
+val parse : string -> t
+val to_string : t -> string
+val names : t -> string list
+
+val resolve : t -> (string * Params.t * (Params.t -> Layer.ctor)) list
+(** Look names up in {!Registry}; raises {!Parse_error} on unknown
+    layers. *)

@@ -1,0 +1,168 @@
+(* Stack composition engine (Sections 3 and 4).
+
+   A stack is an ordered array of layer instances, index 0 at the top.
+   All activity — downcalls from the application, packets injected at
+   the bottom, timer callbacks — is funneled through one FIFO event
+   queue per stack and drained in order. This is the event-queue
+   scheduling model the paper describes as the simpler alternative to
+   intra-stack threading (and the one Section 10 says they are moving
+   to): within a stack there is no concurrency to lock against, and
+   runs are deterministic. *)
+
+type item =
+  | Down of int * Event.down   (* deliver downcall to layer [idx] *)
+  | Up of int * Event.up       (* deliver upcall to layer [idx] *)
+  | To_app of Event.up
+  | To_below of Event.down
+  | Thunk of (unit -> unit)
+
+type t = {
+  mutable layers : Layer.instance array;  (* 0 = top *)
+  names : string array;
+  queue : item Horus_util.Fifo.t;
+  mutable running : bool;
+  mutable destroyed : bool;
+  mutable processed : int;
+  to_app : Event.up -> unit;
+  to_below : Event.down -> unit;
+}
+
+let default_to_below ev =
+  (* An event fell off the bottom of a stack with no bottom adapter;
+     that is a mis-configured stack, not a runtime condition. *)
+  invalid_arg ("Stack: downcall " ^ Event.down_name ev ^ " reached the bottom unhandled")
+
+let process t item =
+  t.processed <- t.processed + 1;
+  match item with
+  | Down (i, ev) -> t.layers.(i).Layer.handle_down ev
+  | Up (i, ev) -> t.layers.(i).Layer.handle_up ev
+  | To_app ev -> t.to_app ev
+  | To_below ev -> t.to_below ev
+  | Thunk f -> f ()
+
+let drain t =
+  if not t.running then begin
+    t.running <- true;
+    let finish () = t.running <- false in
+    try
+      let continue = ref true in
+      while !continue do
+        match Horus_util.Fifo.pop t.queue with
+        | None -> continue := false
+        | Some item -> process t item
+      done;
+      finish ()
+    with e ->
+      finish ();
+      raise e
+  end
+
+let enqueue t item =
+  if not t.destroyed then begin
+    Horus_util.Fifo.push t.queue item;
+    drain t
+  end
+
+let create ~engine ~endpoint ~group ~prng ~transport ~rendezvous
+    ?(storage = Layer.null_storage) ?(skip_inert = false) ~trace ~to_app
+    ?(to_below = default_to_below) spec =
+  let n = List.length spec in
+  if n = 0 then invalid_arg "Stack.create: empty spec";
+  let t =
+    { layers = [||];
+      names = Array.of_list (List.map (fun (name, _, _) -> name) spec);
+      queue = Horus_util.Fifo.create ();
+      running = false;
+      destroyed = false;
+      processed = 0;
+      to_app;
+      to_below }
+  in
+  (* Layer-skipping (Section 10, remedy 1): with [skip_inert], an
+     emission bypasses any run of inert layers in its direction. The
+     instances array is knot-tied, so inertness is consulted lazily at
+     emission time, after construction completed. *)
+  let rec next_down i =
+    if i >= n then n
+    else if skip_inert && t.layers.(i).Layer.inert then next_down (i + 1)
+    else i
+  in
+  let rec next_up i =
+    if i < 0 then -1
+    else if skip_inert && t.layers.(i).Layer.inert then next_up (i - 1)
+    else i
+  in
+  let make i (name, params, (ctor : Params.t -> Layer.ctor)) =
+    let emit_up ev =
+      let j = next_up (i - 1) in
+      enqueue t (if j < 0 then To_app ev else Up (j, ev))
+    in
+    let emit_down ev =
+      let j = next_down (i + 1) in
+      enqueue t (if j >= n then To_below ev else Down (j, ev))
+    in
+    let set_timer ~delay f =
+      Horus_sim.Engine.schedule engine ~delay (fun () ->
+          if not t.destroyed then enqueue t (Thunk f))
+    in
+    let env =
+      { Layer.engine; endpoint; group; params;
+        prng = Horus_util.Prng.copy prng;
+        transport; rendezvous; storage; emit_up; emit_down; set_timer;
+        trace = (fun ~category detail -> trace ~layer:name ~category detail) }
+    in
+    ctor params env
+  in
+  t.layers <- Array.of_list (List.mapi make spec);
+  t
+
+let depth t = Array.length t.layers
+
+let processed t = t.processed
+
+let layer_names t = Array.to_list t.names
+
+(* Application-level downcall: enters at the top. (The top entry is
+   not skipped even when inert: entry points stay stable for focus and
+   accounting; only inter-layer hops are optimized.) *)
+let down t ev = enqueue t (Down (0, ev))
+
+(* Network ingress: enters at the bottom layer as an upcall. *)
+let inject_up t ev = enqueue t (Up (Array.length t.layers - 1, ev))
+
+(* Run a thunk under the stack's event-queue discipline. *)
+let post t f = enqueue t (Thunk f)
+
+(* The focus downcall of Table 1: obtain a handle on one layer. *)
+let focus t name =
+  let rec loop i =
+    if i >= Array.length t.names then None
+    else if t.names.(i) = name then Some t.layers.(i)
+    else loop (i + 1)
+  in
+  loop 0
+
+let dump t =
+  Array.to_list t.layers
+  |> List.concat_map (fun (l : Layer.instance) ->
+      List.map (fun line -> l.Layer.name ^ ": " ^ line) (l.Layer.dump ()))
+
+let destroyed t = t.destroyed
+
+(* Crash semantics: stop everything without notifying the application —
+   a crashed process does not observe its own crash. *)
+let kill t =
+  if not t.destroyed then begin
+    Array.iter (fun (l : Layer.instance) -> l.Layer.stop ()) t.layers;
+    t.destroyed <- true;
+    Horus_util.Fifo.clear t.queue
+  end
+
+let destroy t =
+  if not t.destroyed then begin
+    Array.iter (fun (l : Layer.instance) -> l.Layer.stop ()) t.layers;
+    t.to_app Event.U_destroy;
+    t.destroyed <- true;
+    Horus_util.Fifo.clear t.queue
+  end

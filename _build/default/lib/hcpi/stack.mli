@@ -1,0 +1,60 @@
+(** Stack composition engine: an ordered array of layer instances
+    (index 0 on top) driven by one FIFO event queue per stack — the
+    paper's event-queue scheduling model. Deterministic; no intra-stack
+    concurrency. *)
+
+open Horus_msg
+
+type t
+
+val create :
+  engine:Horus_sim.Engine.t ->
+  endpoint:Addr.endpoint ->
+  group:Addr.group ->
+  prng:Horus_util.Prng.t ->
+  transport:Layer.transport ->
+  rendezvous:Layer.rendezvous ->
+  ?storage:Layer.storage ->
+  ?skip_inert:bool ->
+  trace:(layer:string -> category:string -> string -> unit) ->
+  to_app:(Event.up -> unit) ->
+  ?to_below:(Event.down -> unit) ->
+  (string * Params.t * (Params.t -> Layer.ctor)) list ->
+  t
+(** [create ... spec] instantiates the layers of [spec] (top first).
+    [to_app] receives upcalls leaving the top; [to_below] receives
+    downcalls leaving the bottom (defaults to raising — a stack should
+    end in a bottom adapter such as COM). *)
+
+val depth : t -> int
+
+val processed : t -> int
+(** Total queue items processed (events executed) — used by the
+    layering-overhead benchmarks. *)
+
+val layer_names : t -> string list
+
+val down : t -> Event.down -> unit
+(** Application-level downcall; enters at the top. *)
+
+val inject_up : t -> Event.up -> unit
+(** Network ingress; enters at the bottom layer. *)
+
+val post : t -> (unit -> unit) -> unit
+(** Run a thunk under the stack's event-queue discipline. *)
+
+val focus : t -> string -> Layer.instance option
+(** Table 1's focus downcall: a handle on the first layer with the
+    given name. *)
+
+val dump : t -> string list
+(** Table 1's dump downcall, over all layers. *)
+
+val destroyed : t -> bool
+
+val destroy : t -> unit
+(** Stop all layers and deliver U_destroy to the application. *)
+
+val kill : t -> unit
+(** Crash semantics: stop all layers without notifying the application
+    — a crashed process does not observe its own crash. *)

@@ -1,0 +1,1 @@
+lib/layers/account.ml: Com Event Hashtbl Horus_hcpi Horus_msg Layer List Msg Option Params Printf

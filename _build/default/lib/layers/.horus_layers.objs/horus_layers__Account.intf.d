@@ -1,0 +1,1 @@
+lib/layers/account.mli: Horus_hcpi

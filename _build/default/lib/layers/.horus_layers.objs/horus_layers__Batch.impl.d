@@ -1,0 +1,1 @@
+lib/layers/batch.ml: Event Horus_hcpi Horus_msg Layer List Msg Params Printf String Wire

@@ -1,0 +1,1 @@
+lib/layers/batch.mli: Horus_hcpi

@@ -1,0 +1,1 @@
+lib/layers/chksum.mli: Horus_hcpi

@@ -1,0 +1,1 @@
+lib/layers/clocksync.ml: Event Horus_hcpi Horus_msg Horus_sim Int64 Layer Msg Option Params Printf View

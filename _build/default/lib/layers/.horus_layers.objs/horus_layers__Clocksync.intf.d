@@ -1,0 +1,1 @@
+lib/layers/clocksync.mli: Horus_hcpi

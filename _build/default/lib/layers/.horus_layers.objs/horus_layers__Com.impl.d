@@ -1,0 +1,1 @@
+lib/layers/com.ml: Addr Array Event Format Horus_hcpi Horus_msg Layer List Msg Option Params Printf View Wire

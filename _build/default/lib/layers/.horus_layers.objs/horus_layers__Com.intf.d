@@ -1,0 +1,1 @@
+lib/layers/com.mli: Horus_hcpi

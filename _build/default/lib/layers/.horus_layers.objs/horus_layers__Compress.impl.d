@@ -1,0 +1,1 @@
+lib/layers/compress.ml: Bytes Event Horus_hcpi Horus_msg Layer Msg Params Printf Rle

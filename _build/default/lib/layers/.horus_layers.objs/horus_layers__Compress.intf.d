@@ -1,0 +1,1 @@
+lib/layers/compress.mli: Horus_hcpi

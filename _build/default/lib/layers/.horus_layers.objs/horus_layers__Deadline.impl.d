@@ -1,0 +1,1 @@
+lib/layers/deadline.ml: Event Horus_hcpi Horus_msg Horus_sim Int64 Layer Msg Params Printf

@@ -1,0 +1,1 @@
+lib/layers/deadline.mli: Horus_hcpi

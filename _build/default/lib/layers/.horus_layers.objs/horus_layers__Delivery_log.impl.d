@@ -1,0 +1,1 @@
+lib/layers/delivery_log.ml: Event Hashtbl Horus_hcpi Horus_msg List Msg Option Wire

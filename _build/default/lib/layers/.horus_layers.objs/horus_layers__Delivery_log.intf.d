@@ -1,0 +1,1 @@
+lib/layers/delivery_log.mli: Event Hashtbl Horus_hcpi Horus_msg Msg

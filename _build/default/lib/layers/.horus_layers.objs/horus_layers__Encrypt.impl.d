@@ -1,0 +1,1 @@
+lib/layers/encrypt.ml: Addr Bytes Char Com Event Horus_hcpi Horus_msg Horus_util Int64 Layer Msg Option Params Printf

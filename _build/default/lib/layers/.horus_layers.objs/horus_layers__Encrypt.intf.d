@@ -1,0 +1,1 @@
+lib/layers/encrypt.mli: Horus_hcpi

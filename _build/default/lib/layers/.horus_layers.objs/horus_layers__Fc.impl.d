@@ -1,0 +1,1 @@
+lib/layers/fc.ml: Event Float Horus_hcpi Horus_sim Layer Params Printf Queue

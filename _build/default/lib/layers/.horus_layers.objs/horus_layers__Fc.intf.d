@@ -1,0 +1,1 @@
+lib/layers/fc.mli: Horus_hcpi

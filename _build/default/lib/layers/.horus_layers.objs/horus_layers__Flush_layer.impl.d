@@ -1,0 +1,1 @@
+lib/layers/flush_layer.ml: Addr Com Delivery_log Event Horus_hcpi Horus_msg Layer List Msg Option Params Printf View Wire

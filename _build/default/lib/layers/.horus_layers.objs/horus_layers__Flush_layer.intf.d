@@ -1,0 +1,1 @@
+lib/layers/flush_layer.mli: Horus_hcpi

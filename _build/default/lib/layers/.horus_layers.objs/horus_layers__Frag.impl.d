@@ -1,0 +1,1 @@
+lib/layers/frag.ml: Buffer Com Event Hashtbl Horus_hcpi Horus_msg Layer Msg Option Params Printf

@@ -1,0 +1,1 @@
+lib/layers/frag.mli: Horus_hcpi

@@ -1,0 +1,1 @@
+lib/layers/init.mli:

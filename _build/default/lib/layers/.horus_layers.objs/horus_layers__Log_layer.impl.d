@@ -1,0 +1,1 @@
+lib/layers/log_layer.ml: Addr Event Horus_hcpi Horus_msg Layer List Msg Params Printf String

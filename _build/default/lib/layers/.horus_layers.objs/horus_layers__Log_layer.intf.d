@@ -1,0 +1,1 @@
+lib/layers/log_layer.mli: Horus_hcpi

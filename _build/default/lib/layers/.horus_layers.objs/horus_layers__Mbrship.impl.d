@@ -1,0 +1,1 @@
+lib/layers/mbrship.ml: Addr Com Delivery_log Event Format Hashtbl Horus_hcpi Horus_msg Int Layer List Msg Option Params Printf Queue View Wire

@@ -1,0 +1,1 @@
+lib/layers/mbrship.mli: Horus_hcpi

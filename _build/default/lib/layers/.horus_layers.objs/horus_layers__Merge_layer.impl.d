@@ -1,0 +1,1 @@
+lib/layers/merge_layer.ml: Addr Event Format Horus_hcpi Horus_msg Horus_sim Layer List Option Params Printf View

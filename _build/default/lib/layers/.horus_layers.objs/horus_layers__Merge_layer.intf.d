@@ -1,0 +1,1 @@
+lib/layers/merge_layer.mli: Horus_hcpi

@@ -1,0 +1,1 @@
+lib/layers/nak.ml: Addr Array Com Event Hashtbl Horus_hcpi Horus_msg Horus_sim Int Layer List Msg Option Params Printf View

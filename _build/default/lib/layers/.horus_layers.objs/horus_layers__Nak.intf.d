@@ -1,0 +1,1 @@
+lib/layers/nak.mli: Horus_hcpi

@@ -1,0 +1,1 @@
+lib/layers/nfrag.ml: Buffer Com Event Hashtbl Horus_hcpi Horus_msg Horus_sim Int Layer Msg Option Params Printf String

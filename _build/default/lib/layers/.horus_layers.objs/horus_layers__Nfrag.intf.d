@@ -1,0 +1,1 @@
+lib/layers/nfrag.mli: Horus_hcpi

@@ -1,0 +1,1 @@
+lib/layers/nnak.ml: Event Horus_hcpi Horus_msg Int Layer List Msg Params Printf

@@ -1,0 +1,1 @@
+lib/layers/nnak.mli: Horus_hcpi

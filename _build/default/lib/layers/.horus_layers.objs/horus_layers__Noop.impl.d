@@ -1,0 +1,1 @@
+lib/layers/noop.ml: Horus_hcpi Layer Params

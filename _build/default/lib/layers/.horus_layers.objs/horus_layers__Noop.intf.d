@@ -1,0 +1,1 @@
+lib/layers/noop.mli: Horus_hcpi

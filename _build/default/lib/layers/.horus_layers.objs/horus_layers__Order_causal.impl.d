@@ -1,0 +1,1 @@
+lib/layers/order_causal.ml: Array Event Horus_hcpi Horus_msg Layer List Msg Option Params Printf String View

@@ -1,0 +1,1 @@
+lib/layers/order_causal.mli: Horus_hcpi

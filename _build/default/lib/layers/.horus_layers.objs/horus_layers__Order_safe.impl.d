@@ -1,0 +1,1 @@
+lib/layers/order_safe.ml: Array Event Horus_hcpi Horus_msg Int Layer List Msg Params Printf Stable View

@@ -1,0 +1,1 @@
+lib/layers/order_safe.mli: Horus_hcpi

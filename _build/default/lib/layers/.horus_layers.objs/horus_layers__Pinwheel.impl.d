@@ -1,0 +1,1 @@
+lib/layers/pinwheel.ml: Array Event Horus_hcpi Horus_msg Int Layer Msg Option Params Printf Stable View

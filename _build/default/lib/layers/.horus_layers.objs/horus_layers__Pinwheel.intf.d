@@ -1,0 +1,1 @@
+lib/layers/pinwheel.mli: Horus_hcpi

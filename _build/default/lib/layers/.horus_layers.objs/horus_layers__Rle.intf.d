@@ -1,0 +1,1 @@
+lib/layers/rle.mli: Bytes

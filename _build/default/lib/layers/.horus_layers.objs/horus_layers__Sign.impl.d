@@ -1,0 +1,1 @@
+lib/layers/sign.ml: Bytes Event Horus_hcpi Horus_msg Horus_util Int64 Layer Msg Params Printf

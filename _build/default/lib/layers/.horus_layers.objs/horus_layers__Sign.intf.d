@@ -1,0 +1,1 @@
+lib/layers/sign.mli: Horus_hcpi

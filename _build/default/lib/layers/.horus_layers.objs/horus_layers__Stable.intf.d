@@ -1,0 +1,1 @@
+lib/layers/stable.mli: Horus_hcpi

@@ -1,0 +1,1 @@
+lib/layers/total.ml: Event Hashtbl Horus_hcpi Horus_msg Int Layer List Msg Option Params Printf Queue View

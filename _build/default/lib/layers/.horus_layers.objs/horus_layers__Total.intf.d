@@ -1,0 +1,1 @@
+lib/layers/total.mli: Horus_hcpi

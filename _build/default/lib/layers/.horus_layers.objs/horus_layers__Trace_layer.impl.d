@@ -1,0 +1,1 @@
+lib/layers/trace_layer.ml: Event Horus_hcpi Horus_msg Layer Params Printf

@@ -1,0 +1,1 @@
+lib/layers/trace_layer.mli: Horus_hcpi

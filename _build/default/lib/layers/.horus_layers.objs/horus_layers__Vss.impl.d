@@ -1,0 +1,1 @@
+lib/layers/vss.ml: Addr Com Delivery_log Event Horus_hcpi Horus_msg Layer List Msg Option Params Printf View Wire

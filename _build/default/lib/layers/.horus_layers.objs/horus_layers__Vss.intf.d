@@ -1,0 +1,1 @@
+lib/layers/vss.mli: Horus_hcpi

@@ -1,0 +1,4 @@
+(** ACCOUNT: per-source message and byte usage ledgers (Figure 1's
+    "accounting" type), rendered by the dump downcall. *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

@@ -1,0 +1,7 @@
+(** BATCH: casts issued within a short window travel as one wire
+    message and are unbatched at the receiver — bounded extra latency
+    for fewer packets. Parameters: [window] (default 5 ms),
+    [max_batch] (default 16), [max_bytes] (default 8192). Order is
+    preserved; no batch straddles a view change. *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

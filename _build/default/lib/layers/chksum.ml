@@ -1,0 +1,59 @@
+(* CHKSUM: checksumming layer (Section 2's first example).
+
+   Going down, pushes an FNV-1a checksum over the message as it stands
+   (payload plus any headers of layers above). Coming up, verifies and
+   silently drops garbled messages, reducing garbling "to a
+   statistically insignificant rate". *)
+
+open Horus_msg
+open Horus_hcpi
+
+type state = {
+  env : Layer.env;
+  mutable passed : int;
+  mutable dropped : int;
+}
+
+let sum m =
+  let b = Msg.to_bytes m in
+  Horus_util.Crc.checksum b ~off:0 ~len:(Bytes.length b)
+
+let protect m = Msg.push_i64 m (sum m)
+
+let verify t m =
+  try
+    let declared = Msg.pop_i64 m in
+    if Int64.equal declared (sum m) then true
+    else begin
+      t.dropped <- t.dropped + 1;
+      t.env.Layer.trace ~category:"dropped" "checksum mismatch";
+      false
+    end
+  with Msg.Truncated _ ->
+    t.dropped <- t.dropped + 1;
+    t.env.Layer.trace ~category:"dropped" "truncated";
+    false
+
+let create (_ : Params.t) env =
+  let t = { env; passed = 0; dropped = 0 } in
+  let handle_down (ev : Event.down) =
+    (match ev with
+     | Event.D_cast m | Event.D_send (_, m) -> protect m
+     | _ -> ());
+    env.Layer.emit_down ev
+  in
+  let handle_up (ev : Event.up) =
+    match ev with
+    | Event.U_cast (_, m, _) | Event.U_send (_, m, _) ->
+      if verify t m then begin
+        t.passed <- t.passed + 1;
+        env.Layer.emit_up ev
+      end
+    | _ -> env.Layer.emit_up ev
+  in
+  { Layer.name = "CHKSUM";
+    handle_down;
+    handle_up;
+    dump = (fun () -> [ Printf.sprintf "passed=%d dropped=%d" t.passed t.dropped ]);
+    inert = false;
+    stop = (fun () -> ()) }

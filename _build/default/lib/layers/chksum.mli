@@ -1,0 +1,5 @@
+(** CHKSUM: FNV checksum over the message; garbled copies are dropped
+    (Section 2). Stack under NAK to convert garbling into repairable
+    loss. *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

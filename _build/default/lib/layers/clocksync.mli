@@ -1,0 +1,7 @@
+(** CLOCKSYNC: Cristian clock synchronization against the group
+    coordinator (Figure 1's "synchronization" type). Parameters:
+    [skew] (this node's true clock offset, for simulation) and
+    [period]. Deliveries carry the synchronized clock in the
+    "clock_ms" meta. *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

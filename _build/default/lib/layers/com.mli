@@ -1,0 +1,14 @@
+(** COM: the bottom adapter layer — raw best-effort datagrams to and
+    from the HCPI (Section 7). Stamps source addresses (P11), checks a
+    magic/length envelope (P10), filters casts from non-members, and
+    turns the view downcall into its destination set.
+
+    Parameters: [filter] (default true) drop casts from non-members;
+    [loopback] (default true) deliver own casts locally. *)
+
+val src_meta : string
+(** Meta key carrying the raw source endpoint id on every delivery. *)
+
+val magic : int
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

@@ -1,0 +1,5 @@
+(** COMPRESS: run-length encodes the message when that shrinks it; a
+    header flag tells the receiver which form arrived (Figure 1's
+    "compression" type). *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

@@ -1,0 +1,6 @@
+(** DEADLINE: real-time delivery budgets (Figure 1's "real-time"
+    type). Casts older than [budget] seconds are dropped and surface as
+    LOST_MESSAGE; fresh deliveries carry their transit age in the
+    "age_us" meta. *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

@@ -1,0 +1,115 @@
+(* Per-view delivery bookkeeping shared by the membership-family layers
+   (MBRSHIP, BMS via MBRSHIP, FLUSH, VSS): contiguous per-origin
+   delivery with an out-of-order stash (forwarded copies can race
+   direct copies), an unstable-message store for flush recovery, and
+   the wire codecs for delivered-vectors and message copies. *)
+
+open Horus_msg
+open Horus_hcpi
+
+type t = {
+  store : (int * int, string) Hashtbl.t;   (* (origin eid, seq) -> payload *)
+  delivered : (int, int) Hashtbl.t;        (* origin eid -> next expected *)
+  ooo : (int * int, int * Msg.t * Event.meta) Hashtbl.t;
+}
+
+let create () =
+  { store = Hashtbl.create 64; delivered = Hashtbl.create 8; ooo = Hashtbl.create 8 }
+
+let reset t =
+  Hashtbl.reset t.store;
+  Hashtbl.reset t.delivered;
+  Hashtbl.reset t.ooo
+
+let record t ~origin ~seq payload = Hashtbl.replace t.store (origin, seq) payload
+
+let size t = Hashtbl.length t.store
+
+let next_expected t origin = Option.value (Hashtbl.find_opt t.delivered origin) ~default:0
+
+(* Deliver origin's cast in sequence via [deliver]; stash
+   ahead-of-sequence arrivals; drop duplicates. *)
+let rec accept t ~origin ~seq ~rank m meta ~deliver =
+  let expected = next_expected t origin in
+  if seq < expected then ()
+  else if seq > expected then Hashtbl.replace t.ooo (origin, seq) (rank, m, meta)
+  else begin
+    Hashtbl.replace t.delivered origin (expected + 1);
+    record t ~origin ~seq (Msg.to_string m);
+    deliver ~rank m meta;
+    match Hashtbl.find_opt t.ooo (origin, seq + 1) with
+    | Some (r, m', meta') ->
+      Hashtbl.remove t.ooo (origin, seq + 1);
+      accept t ~origin ~seq:(seq + 1) ~rank:r m' meta' ~deliver
+    | None -> ()
+  end
+
+(* Per-origin next-expected pairs, sorted: the receive vector a member
+   reports during a flush. *)
+let vector t =
+  Hashtbl.fold (fun origin next acc -> (origin, next) :: acc) t.delivered []
+  |> List.sort compare
+
+(* Every logged (unstable) message, sorted: the copies a member offers
+   during a flush. *)
+let copies t =
+  Hashtbl.fold (fun (o, s) p acc -> (o, s, p) :: acc) t.store [] |> List.sort compare
+
+let gc t ~floor_of =
+  Hashtbl.iter
+    (fun (origin, seq) _ -> if seq < floor_of origin then Hashtbl.remove t.store (origin, seq))
+    (Hashtbl.copy t.store)
+
+(* --- wire codecs --- *)
+
+let push_pairs m pairs =
+  Wire.push_list (fun m (a, b) -> Msg.push_u32 m b; Msg.push_u32 m a) m pairs
+
+let pop_pairs m =
+  Wire.pop_list (fun m -> let a = Msg.pop_u32 m in let b = Msg.pop_u32 m in (a, b)) m
+
+let push_copies m cs =
+  Wire.push_list
+    (fun m (o, s, p) -> Msg.push_string m p; Msg.push_u32 m s; Msg.push_u32 m o)
+    m cs
+
+let pop_copies m =
+  Wire.pop_list
+    (fun m ->
+       let o = Msg.pop_u32 m in
+       let s = Msg.pop_u32 m in
+       let p = Msg.pop_string m in
+       (o, s, p))
+    m
+
+(* Maximal per-origin cut over a set of receive vectors, and the union
+   message store from the offered copies — what a flush coordinator
+   computes before forwarding. *)
+let cut_and_union ~own replies =
+  let cut : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let everything : (int * int, string) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter (fun k p -> Hashtbl.replace everything k p) own.store;
+  List.iter
+    (fun (vec, cs) ->
+       List.iter
+         (fun (o, next) ->
+            if next > Option.value (Hashtbl.find_opt cut o) ~default:0 then
+              Hashtbl.replace cut o next)
+         vec;
+       List.iter (fun (o, s, p) -> Hashtbl.replace everything (o, s) p) cs)
+    replies;
+  (cut, everything)
+
+(* The copies a particular replier is missing, given the cut. *)
+let missing_for ~cut ~everything vec =
+  let missing = ref [] in
+  Hashtbl.iter
+    (fun o target ->
+       let have = Option.value (List.assoc_opt o vec) ~default:0 in
+       for s = have to target - 1 do
+         match Hashtbl.find_opt everything (o, s) with
+         | Some p -> missing := (o, s, p) :: !missing
+         | None -> ()
+       done)
+    cut;
+  List.sort compare !missing

@@ -1,0 +1,52 @@
+(** Per-view delivery bookkeeping shared by the membership-family
+    layers: contiguous per-origin delivery with an out-of-order stash,
+    the unstable-message store used by flush recovery, and the wire
+    codecs for receive vectors and message copies. *)
+
+open Horus_msg
+open Horus_hcpi
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+val record : t -> origin:int -> seq:int -> string -> unit
+val size : t -> int
+val next_expected : t -> int -> int
+
+val accept :
+  t ->
+  origin:int -> seq:int -> rank:int ->
+  Msg.t -> Event.meta ->
+  deliver:(rank:int -> Msg.t -> Event.meta -> unit) ->
+  unit
+(** Deliver in per-origin sequence; stash ahead-of-sequence arrivals;
+    drop duplicates. *)
+
+val vector : t -> (int * int) list
+(** Sorted (origin, next expected) pairs — a flush receive vector. *)
+
+val copies : t -> (int * int * string) list
+(** Every logged message, sorted — a flush reply's offered copies. *)
+
+val gc : t -> floor_of:(int -> int) -> unit
+(** Drop logged messages below the per-origin stability floor. *)
+
+val push_pairs : Msg.t -> (int * int) list -> unit
+val pop_pairs : Msg.t -> (int * int) list
+val push_copies : Msg.t -> (int * int * string) list -> unit
+val pop_copies : Msg.t -> (int * int * string) list
+
+val cut_and_union :
+  own:t ->
+  ((int * int) list * (int * int * string) list) list ->
+  (int, int) Hashtbl.t * (int * int, string) Hashtbl.t
+(** Maximal per-origin cut over the replies, and the union message
+    store — what a flush coordinator computes before forwarding. *)
+
+val missing_for :
+  cut:(int, int) Hashtbl.t ->
+  everything:(int * int, string) Hashtbl.t ->
+  (int * int) list ->
+  (int * int * string) list
+(** The copies one replier is missing under the cut. *)

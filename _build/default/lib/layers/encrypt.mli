@@ -1,0 +1,5 @@
+(** ENCRYPT: XOR-keystream privacy with per-message nonces salted by
+    the sender id. Parameter [key] must match across the group. A
+    protocol-shaped stand-in, not real cryptography (see DESIGN.md). *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

@@ -1,0 +1,82 @@
+(* FC: flow control (Figure 1's "flow control" type).
+
+   A token-bucket limiter on outgoing data: at most [rate] messages per
+   second with bursts up to [burst]. Excess messages queue and drain as
+   tokens refill, preventing a fast application from congesting the
+   network below. *)
+
+open Horus_hcpi
+
+type state = {
+  env : Layer.env;
+  rate : float;
+  burst : float;
+  mutable tokens : float;
+  mutable last_refill : float;
+  queue : Event.down Queue.t;
+  mutable drain_armed : bool;
+  mutable queued_total : int;
+}
+
+let refill t =
+  let tnow = Horus_sim.Engine.now t.env.Layer.engine in
+  let dt = tnow -. t.last_refill in
+  t.last_refill <- tnow;
+  t.tokens <- Float.min t.burst (t.tokens +. (dt *. t.rate))
+
+let rec drain t =
+  refill t;
+  let progressed = ref false in
+  while t.tokens >= 1.0 && not (Queue.is_empty t.queue) do
+    t.tokens <- t.tokens -. 1.0;
+    progressed := true;
+    t.env.Layer.emit_down (Queue.pop t.queue)
+  done;
+  ignore !progressed;
+  if not (Queue.is_empty t.queue) && not t.drain_armed then begin
+    t.drain_armed <- true;
+    let wait = (1.0 -. t.tokens) /. t.rate in
+    ignore
+      (t.env.Layer.set_timer ~delay:(Float.max wait 1e-6) (fun () ->
+           t.drain_armed <- false;
+           drain t))
+  end
+
+let submit t ev =
+  refill t;
+  if Queue.is_empty t.queue && t.tokens >= 1.0 then begin
+    t.tokens <- t.tokens -. 1.0;
+    t.env.Layer.emit_down ev
+  end
+  else begin
+    t.queued_total <- t.queued_total + 1;
+    Queue.push ev t.queue;
+    drain t
+  end
+
+let create params env =
+  let rate = Params.get_float params "rate" ~default:1000.0 in
+  let t =
+    { env;
+      rate;
+      burst = Params.get_float params "burst" ~default:32.0;
+      tokens = Params.get_float params "burst" ~default:32.0;
+      last_refill = Horus_sim.Engine.now env.Layer.engine;
+      queue = Queue.create ();
+      drain_armed = false;
+      queued_total = 0 }
+  in
+  let handle_down (ev : Event.down) =
+    match ev with
+    | Event.D_cast _ | Event.D_send _ -> submit t ev
+    | _ -> env.Layer.emit_down ev
+  in
+  { Layer.name = "FC";
+    handle_down;
+    handle_up = env.Layer.emit_up;
+    dump =
+      (fun () ->
+         [ Printf.sprintf "rate=%.0f tokens=%.1f queued_now=%d queued_total=%d" t.rate t.tokens
+             (Queue.length t.queue) t.queued_total ]);
+    inert = false;
+    stop = (fun () -> ()) }

@@ -1,0 +1,5 @@
+(** FC: token-bucket flow control on outgoing data (Figure 1's "flow
+    control" type). Parameters [rate] (messages/second, default 1000)
+    and [burst] (default 32). *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

@@ -1,0 +1,6 @@
+(** FLUSH: the unstable-message flush as its own microprotocol over
+    BMS — coordinator-driven recovery glued to the membership layer
+    through the flush_ok handshake; upgrades semi-synchrony (P8) to
+    virtual synchrony (P9) compositionally (Table 3). *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

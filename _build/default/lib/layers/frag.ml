@@ -1,0 +1,131 @@
+(* FRAG: fragmentation and reassembly of large messages (Section 7).
+
+   Messages longer than the fragment size are split; each fragment
+   carries a single "more fragments follow" flag — the one bit of
+   header the paper measures in Section 10. Reassembly relies on the
+   FIFO ordering of the layers below: fragments of one origin arrive in
+   order and are concatenated until the flag clears.
+
+   Casts and subset sends reassemble independently per origin, since a
+   member may interleave the two. *)
+
+open Horus_msg
+open Horus_hcpi
+
+type state = {
+  env : Layer.env;
+  frag_size : int;
+  cast_partial : (int, Buffer.t) Hashtbl.t;  (* origin eid -> bytes so far *)
+  send_partial : (int, Buffer.t) Hashtbl.t;
+  mutable fragmented : int;
+  mutable reassembled : int;
+}
+
+let src_of meta = Option.value (Event.meta_find meta Com.src_meta) ~default:(-1)
+
+(* Split [m] into fragments of at most [frag_size] payload bytes, each
+   tagged with the more-flag; emit them downward via [send]. *)
+let fragment t m ~send =
+  let total = Msg.length m in
+  if total <= t.frag_size then begin
+    Msg.push_bool m false;
+    send m
+  end
+  else begin
+    t.fragmented <- t.fragmented + 1;
+    let rec loop m =
+      if Msg.length m > t.frag_size then begin
+        let rest = Msg.split_off m (Msg.length m - t.frag_size) in
+        Msg.push_bool m true;
+        send m;
+        loop rest
+      end
+      else begin
+        Msg.push_bool m false;
+        send m
+      end
+    in
+    loop m
+  end
+
+let reassemble t table ~key ~more m =
+  if more then begin
+    let buf =
+      match Hashtbl.find_opt table key with
+      | Some b -> b
+      | None ->
+        let b = Buffer.create 256 in
+        Hashtbl.replace table key b;
+        b
+    in
+    Buffer.add_string buf (Msg.to_string m);
+    None
+  end
+  else
+    match Hashtbl.find_opt table key with
+    | None -> Some m  (* unfragmented, the common case *)
+    | Some buf ->
+      Hashtbl.remove table key;
+      Buffer.add_string buf (Msg.to_string m);
+      t.reassembled <- t.reassembled + 1;
+      Some (Msg.create (Buffer.contents buf))
+
+let create params env =
+  let t =
+    { env;
+      frag_size = Params.get_int params "frag_size" ~default:1024;
+      cast_partial = Hashtbl.create 8;
+      send_partial = Hashtbl.create 8;
+      fragmented = 0;
+      reassembled = 0 }
+  in
+  let handle_down (ev : Event.down) =
+    match ev with
+    | Event.D_cast m -> fragment t m ~send:(fun f -> env.Layer.emit_down (Event.D_cast f))
+    | Event.D_send (dsts, m) ->
+      fragment t m ~send:(fun f -> env.Layer.emit_down (Event.D_send (dsts, Msg.copy f)))
+    | Event.D_view _ ->
+      (* New destination set: no cross-view reassembly. *)
+      Hashtbl.reset t.cast_partial;
+      Hashtbl.reset t.send_partial;
+      env.Layer.emit_down ev
+    | _ -> env.Layer.emit_down ev
+  in
+  let handle_up (ev : Event.up) =
+    match ev with
+    | Event.U_cast (rank, m, meta) ->
+      (try
+         let more = Msg.pop_bool m in
+         match reassemble t t.cast_partial ~key:(src_of meta) ~more m with
+         | Some whole -> env.Layer.emit_up (Event.U_cast (rank, whole, meta))
+         | None -> ()
+       with Msg.Truncated _ -> env.Layer.trace ~category:"dropped" "truncated fragment")
+    | Event.U_send (rank, m, meta) ->
+      (try
+         let more = Msg.pop_bool m in
+         match reassemble t t.send_partial ~key:(src_of meta) ~more m with
+         | Some whole -> env.Layer.emit_up (Event.U_send (rank, whole, meta))
+         | None -> ()
+       with Msg.Truncated _ -> env.Layer.trace ~category:"dropped" "truncated fragment")
+    | Event.U_lost_message rank ->
+      (* A fragment went missing below; any partial from that origin is
+         unusable. We cannot map rank back to eid reliably here, so
+         drop all partial cast state — rare and safe. *)
+      Hashtbl.reset t.cast_partial;
+      env.Layer.emit_up (Event.U_lost_message rank)
+    | Event.U_view _ ->
+      Hashtbl.reset t.cast_partial;
+      Hashtbl.reset t.send_partial;
+      env.Layer.emit_up ev
+    | _ -> env.Layer.emit_up ev
+  in
+  { Layer.name = "FRAG";
+    handle_down;
+    handle_up;
+    dump =
+      (fun () ->
+         [ Printf.sprintf "frag_size=%d fragmented=%d reassembled=%d partials=%d" t.frag_size
+             t.fragmented t.reassembled
+             (Hashtbl.length t.cast_partial + Hashtbl.length t.send_partial) ]);
+    inert = false;
+    stop = (fun () -> ()) }

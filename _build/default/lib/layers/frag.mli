@@ -1,0 +1,5 @@
+(** FRAG: fragmentation/reassembly of large messages over FIFO
+    transport; one header bit per fragment (Sections 7 and 10).
+    Parameter [frag_size] (default 1024 bytes). *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

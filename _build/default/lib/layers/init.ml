@@ -1,0 +1,68 @@
+(* Registration of the layer library into the HCPI registry.
+
+   [register_all] is idempotent; World.create calls it, so any program
+   using the public API can name these layers in stack specs. The
+   protocol_type strings are the classification from Figure 1. *)
+
+open Horus_hcpi
+
+let registered = ref false
+
+let entries () =
+  [ ("COM", "signaling", "bottom adapter: raw network to HCPI; source addresses; envelope check",
+     Com.create);
+    ("NOOP", "tracing", "inert pass-through layer, for layering-overhead experiments", Noop.create);
+    ("TRACE", "tracing", "event and byte counters for debugging and statistics", Trace_layer.create);
+    ("CHKSUM", "checksumming", "FNV checksum; drops garbled messages", Chksum.create);
+    ("SIGN", "signing", "keyed MAC; drops forged messages", Sign.create);
+    ("ENCRYPT", "encryption", "XOR keystream privacy with per-message nonces", Encrypt.create);
+    ("COMPRESS", "compression", "run-length encoding when it shrinks the message", Compress.create);
+    ("NAK", "retransmission", "reliable FIFO casts and sends via seqnos and negative acks",
+     Nak.create);
+    ("NNAK", "ordering", "prioritized-effort delivery lanes", Nnak.create);
+    ("FRAG", "fragment/assem.", "large messages into fragments; 1-bit header; needs FIFO",
+     Frag.create);
+    ("NFRAG", "fragment/assem.", "fragmentation tolerant of reordering; indexed fragments",
+     Nfrag.create);
+    ("FC", "flow control", "token-bucket rate limiting of outgoing data", Fc.create);
+    ("MBRSHIP", "membership",
+     "consistent views with virtual synchrony: coordinator flush, join-as-merge, leaves",
+     Mbrship.create);
+    ("BMS", "membership",
+     "basic membership: consistent views, semi-synchrony, no unstable forwarding",
+     Mbrship.create_bms);
+    ("TOTAL", "ordering", "token-based totally ordered multicast over virtual synchrony",
+     Total.create);
+    ("ORDER_CAUSAL", "ordering", "causally ordered multicast via vector timestamps",
+     Order_causal.create);
+    ("ORDER_SAFE", "ordering", "safe delivery: hold until the stability matrix clears",
+     Order_safe.create);
+    ("STABLE", "logging", "application-defined stability matrix via ack-vector gossip",
+     Stable.create);
+    ("PINWHEEL", "logging", "stability matrix via a rotating aggregator (cheaper at scale)",
+     Pinwheel.create);
+    ("MERGE", "resource location", "automatic view merging via the rendezvous service",
+     Merge_layer.create);
+    ("FLUSH", "membership",
+     "coordinator-driven unstable-message recovery over BMS (virtual synchrony, composed)",
+     Flush_layer.create);
+    ("VSS", "membership",
+     "decentralized all-to-all unstable-message recovery over BMS (virtual synchrony)",
+     Vss.create);
+    ("LOG", "logging", "stable-storage logging and replay: tolerance of total crash failures",
+     Log_layer.create);
+    ("CLOCKSYNC", "synchronization", "Cristian clock synchronization to the coordinator",
+     Clocksync.create);
+    ("DEADLINE", "real-time", "drop casts older than a delivery budget; report ages",
+     Deadline.create);
+    ("ACCOUNT", "accounting", "per-source message and byte usage ledger", Account.create);
+    ("BATCH", "flow control", "batch casts within a window into one wire message", Batch.create) ]
+
+let register_all () =
+  if not !registered then begin
+    registered := true;
+    List.iter
+      (fun (name, protocol_type, description, ctor) ->
+         Registry.register ~name ~protocol_type ~description ctor)
+      (entries ())
+  end

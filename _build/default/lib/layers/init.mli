@@ -1,0 +1,4 @@
+(** Registration of the layer library into the HCPI registry. *)
+
+val register_all : unit -> unit
+(** Idempotent; called by [Horus.World.create]. *)

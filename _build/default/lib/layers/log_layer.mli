@@ -1,0 +1,9 @@
+(** LOG: tolerance of total crash failures (Figure 1's "logging"
+    type). Appends every delivered cast to stable storage under the
+    per-process [name] parameter and replays the log to the application
+    when a restarted process rejoins. Parameter [replay] (default
+    true). Replayed deliveries carry meta {!meta_replayed}. *)
+
+val meta_replayed : string
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

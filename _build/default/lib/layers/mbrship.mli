@@ -1,0 +1,20 @@
+(** MBRSHIP: group membership and virtual synchrony (Section 5) — the
+    coordinator-driven flush of Figure 2, join-as-merge, graceful
+    leaves, partition merges, and the Section 5 rule that members
+    ignore stragglers from failed members after answering a flush.
+
+    Parameters: [forward_unstable] (default true; the BMS variant
+    defaults false), [auto_merge] (default true; with false, merge
+    requests surface as MERGE_REQUEST upcalls), [stab_period],
+    [merge_retry], and [primary_partition] (default false) — the
+    Isis-style restriction of Section 9 under which only a strict
+    majority of the previous view installs the next view and minority
+    members halt. *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor
+(** The full MBRSHIP layer (P8, P9, P15). *)
+
+val create_bms : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor
+(** BMS: the same machinery without unstable-message forwarding —
+    consistent views and semi-synchrony only (P8, P15); stack FLUSH or
+    VSS above to recover P9 compositionally. *)

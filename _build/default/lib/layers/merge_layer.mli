@@ -1,0 +1,6 @@
+(** MERGE: automatic view merging (P16). The group coordinator
+    periodically consults the rendezvous service for foreign partitions
+    of its group and merges toward older coordinators; concurrent
+    healing stays loop-free. Parameters [probe_period], [backoff]. *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

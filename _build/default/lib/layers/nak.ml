@@ -1,0 +1,467 @@
+(* NAK: reliable FIFO delivery via sequence numbers and negative
+   acknowledgements (Sections 2 and 7).
+
+   Casts carry a per-origin, per-view-epoch sequence number. A receiver
+   that detects a gap asks the origin for a retransmission (NAK); the
+   origin retransmits from its buffer, or sends a placeholder that
+   surfaces as a LOST_MESSAGE upcall if the buffer no longer holds the
+   message. Each endpoint periodically multicasts its protocol status,
+   which (a) lets origins garbage-collect acknowledged buffers, (b)
+   reveals gaps even when no later data arrives, and (c) doubles as a
+   failure detector: prolonged silence raises a PROBLEM upcall.
+
+   Subset sends use per-pair sequence numbers with positive acks and
+   periodic retransmission; pair lanes are independent of view epochs
+   so that membership protocols above can rely on them during view
+   changes.
+
+   Wire kinds (first header byte):
+     0 DATA_CAST   epoch, seq        - sequenced multicast data
+     1 DATA_SEND   seq               - sequenced pair data
+     2 NAK_CAST    epoch, from, to   - please retransmit casts
+     3 STATUS      entries           - periodic protocol status
+     4 PLACEHOLDER epoch, seq        - gap fill for a lost cast
+     5 ACK_SEND    high              - cumulative ack for pair data *)
+
+open Horus_msg
+open Horus_hcpi
+
+let k_data_cast = 0
+let k_data_send = 1
+let k_nak_cast = 2
+let k_status = 3
+let k_placeholder = 4
+let k_ack_send = 5
+
+type pending = {
+  p_rank : int;
+  p_msg : Msg.t;
+  p_meta : Event.meta;
+  p_placeholder : bool;
+}
+
+(* Receiving side of one origin's cast lane. *)
+type cast_recv = {
+  mutable cr_expected : int;
+  cr_ooo : (int, pending) Hashtbl.t;
+  mutable cr_last_nak_for : int;    (* dedup: last expected we nak'ed *)
+  mutable cr_last_nak_at : float;
+}
+
+(* Receiving and sending side of a pair (send) lane with one peer. *)
+type pair_lane = {
+  mutable pl_next_seq : int;                 (* sender side *)
+  pl_unacked : (int, Msg.t) Hashtbl.t;       (* seq -> framed copy *)
+  mutable pl_expected : int;                 (* receiver side *)
+  pl_ooo : (int, pending) Hashtbl.t;
+}
+
+type state = {
+  env : Layer.env;
+  status_period : float;
+  suspect_after : float;
+  nak_holdoff : float;
+  buffer_limit : int;
+      (* retransmission buffer bound; beyond it the oldest casts are
+         forgotten and can only be answered with placeholders *)
+  mutable epoch : int;
+  mutable members : Addr.endpoint array;     (* current destination set *)
+  mutable cast_next_seq : int;               (* my own cast lane, this epoch *)
+  cast_buffer : (int, Msg.t) Hashtbl.t;      (* my casts, seq -> framed copy *)
+  cast_acks : (int, int) Hashtbl.t;          (* peer eid -> high contiguous recv of my casts *)
+  recv : (int, cast_recv) Hashtbl.t;         (* origin eid -> lane (current epoch) *)
+  mutable future_list : (int * int * int * pending) list;
+      (* (origin, epoch, seq, pending): casts from a future view epoch,
+         held until our own view install catches up *)
+  pairs : (int, pair_lane) Hashtbl.t;        (* peer eid -> lane *)
+  last_heard : (int, float) Hashtbl.t;
+  suspected : (int, unit) Hashtbl.t;
+  mutable stop_timer : unit -> unit;
+  (* statistics *)
+  mutable naks_sent : int;
+  mutable retransmissions : int;
+  mutable placeholders : int;
+  mutable duplicates : int;
+}
+
+let now t = Horus_sim.Engine.now t.env.Layer.engine
+
+let my_eid t = Addr.endpoint_id t.env.Layer.endpoint
+
+let heard t eid =
+  Hashtbl.replace t.last_heard eid (now t);
+  Hashtbl.remove t.suspected eid
+
+let recv_lane t origin =
+  match Hashtbl.find_opt t.recv origin with
+  | Some l -> l
+  | None ->
+    let l =
+      { cr_expected = 0; cr_ooo = Hashtbl.create 8; cr_last_nak_for = -1; cr_last_nak_at = -1.0 }
+    in
+    Hashtbl.replace t.recv origin l;
+    l
+
+let pair_lane t peer =
+  match Hashtbl.find_opt t.pairs peer with
+  | Some l -> l
+  | None ->
+    let l =
+      { pl_next_seq = 0; pl_unacked = Hashtbl.create 8; pl_expected = 0; pl_ooo = Hashtbl.create 8 }
+    in
+    Hashtbl.replace t.pairs peer l;
+    l
+
+(* Unicast a control/retransmission message directly to the layer
+   below; the NAK header is already on [m]. *)
+let xmit_to t dst m = t.env.Layer.emit_down (Event.D_send ([ dst ], m))
+
+let send_nak t ~origin ~from_seq ~to_seq =
+  let lane = recv_lane t origin in
+  let tnow = now t in
+  if lane.cr_last_nak_for <> from_seq || tnow -. lane.cr_last_nak_at > t.nak_holdoff then begin
+    lane.cr_last_nak_for <- from_seq;
+    lane.cr_last_nak_at <- tnow;
+    t.naks_sent <- t.naks_sent + 1;
+    let m = Msg.empty () in
+    Msg.push_u32 m to_seq;
+    Msg.push_u32 m from_seq;
+    Msg.push_u32 m t.epoch;
+    Msg.push_u8 m k_nak_cast;
+    xmit_to t (Addr.endpoint origin) m
+  end
+
+let deliver t (p : pending) =
+  if p.p_placeholder then t.env.Layer.emit_up (Event.U_lost_message p.p_rank)
+  else t.env.Layer.emit_up (Event.U_cast (p.p_rank, p.p_msg, p.p_meta))
+
+(* Deliver in-sequence casts from an origin's lane, draining any
+   buffered successors. *)
+let accept_cast t ~origin ~seq (p : pending) =
+  let lane = recv_lane t origin in
+  if seq < lane.cr_expected || Hashtbl.mem lane.cr_ooo seq then
+    t.duplicates <- t.duplicates + 1
+  else begin
+    Hashtbl.replace lane.cr_ooo seq p;
+    if seq > lane.cr_expected then
+      send_nak t ~origin ~from_seq:lane.cr_expected ~to_seq:(seq - 1);
+    let continue = ref true in
+    while !continue do
+      match Hashtbl.find_opt lane.cr_ooo lane.cr_expected with
+      | Some next ->
+        Hashtbl.remove lane.cr_ooo lane.cr_expected;
+        lane.cr_expected <- lane.cr_expected + 1;
+        deliver t next
+      | None -> continue := false
+    done
+  end
+
+let accept_send t ~peer ~seq (p : pending) =
+  let lane = pair_lane t peer in
+  (* Ack cumulatively whatever we have, even for duplicates, so lost
+     acks are repaired. *)
+  let ack () =
+    let m = Msg.empty () in
+    Msg.push_u32 m lane.pl_expected;  (* = high contiguous + 1 *)
+    Msg.push_u8 m k_ack_send;
+    xmit_to t (Addr.endpoint peer) m
+  in
+  if seq < lane.pl_expected || Hashtbl.mem lane.pl_ooo seq then begin
+    t.duplicates <- t.duplicates + 1;
+    ack ()
+  end
+  else begin
+    Hashtbl.replace lane.pl_ooo seq p;
+    let continue = ref true in
+    while !continue do
+      match Hashtbl.find_opt lane.pl_ooo lane.pl_expected with
+      | Some next ->
+        Hashtbl.remove lane.pl_ooo lane.pl_expected;
+        lane.pl_expected <- lane.pl_expected + 1;
+        (if next.p_placeholder then t.env.Layer.emit_up (Event.U_lost_message next.p_rank)
+         else t.env.Layer.emit_up (Event.U_send (next.p_rank, next.p_msg, next.p_meta)));
+        ()
+      | None -> continue := false
+    done;
+    ack ()
+  end
+
+(* Garbage-collect my cast buffer: drop everything every current member
+   has acknowledged. *)
+let gc_cast_buffer t =
+  let my = my_eid t in
+  let min_acked = ref max_int in
+  Array.iter
+    (fun m ->
+       let eid = Addr.endpoint_id m in
+       if eid <> my then begin
+         let a = Option.value (Hashtbl.find_opt t.cast_acks eid) ~default:(-1) in
+         if a < !min_acked then min_acked := a
+       end)
+    t.members;
+  if !min_acked < max_int then
+    Hashtbl.iter
+      (fun seq _ -> if seq <= !min_acked then Hashtbl.remove t.cast_buffer seq)
+      (Hashtbl.copy t.cast_buffer)
+
+let handle_nak_cast t ~requester m =
+  let epoch = Msg.pop_u32 m in
+  let from_seq = Msg.pop_u32 m in
+  let to_seq = Msg.pop_u32 m in
+  if epoch = t.epoch then
+    for seq = from_seq to to_seq do
+      match Hashtbl.find_opt t.cast_buffer seq with
+      | Some framed ->
+        t.retransmissions <- t.retransmissions + 1;
+        xmit_to t (Addr.endpoint requester) (Msg.copy framed)
+      | None ->
+        t.placeholders <- t.placeholders + 1;
+        let ph = Msg.empty () in
+        Msg.push_u32 ph seq;
+        Msg.push_u32 ph epoch;
+        Msg.push_u8 ph k_placeholder;
+        xmit_to t (Addr.endpoint requester) ph
+    done
+
+let status_message t =
+  let m = Msg.empty () in
+  let entries = ref [] in
+  (* My own cast high-water mark, so receivers can detect trailing
+     gaps. *)
+  entries := (my_eid t, t.cast_next_seq) :: !entries;
+  Hashtbl.iter (fun origin lane -> entries := (origin, lane.cr_expected) :: !entries) t.recv;
+  let entries = List.sort_uniq compare !entries in
+  List.iter
+    (fun (eid, high) ->
+       Msg.push_u32 m high;
+       Msg.push_u32 m eid)
+    (List.rev entries);
+  Msg.push_u16 m (List.length entries);
+  Msg.push_u32 m t.epoch;
+  Msg.push_u8 m k_status;
+  m
+
+let handle_status t ~src m =
+  let epoch = Msg.pop_u32 m in
+  let n = Msg.pop_u16 m in
+  let my = my_eid t in
+  for _ = 1 to n do
+    let eid = Msg.pop_u32 m in
+    let high = Msg.pop_u32 m in
+    if epoch = t.epoch then begin
+      if eid = my then begin
+        (* src has contiguously received my casts below [high]. *)
+        let prev = Option.value (Hashtbl.find_opt t.cast_acks src) ~default:(-1) in
+        if high - 1 > prev then Hashtbl.replace t.cast_acks src (high - 1)
+      end
+      else if eid = src then begin
+        (* src has itself cast up to [high]; nak if we are behind. *)
+        let lane = recv_lane t src in
+        if high > lane.cr_expected then
+          send_nak t ~origin:src ~from_seq:lane.cr_expected ~to_seq:(high - 1)
+      end
+    end
+  done;
+  if epoch = t.epoch then gc_cast_buffer t
+
+(* Retransmit all unacked pair data (positive-ack scheme). *)
+let retransmit_pairs t =
+  Hashtbl.iter
+    (fun peer lane ->
+       Hashtbl.iter
+         (fun _seq framed ->
+            t.retransmissions <- t.retransmissions + 1;
+            xmit_to t (Addr.endpoint peer) (Msg.copy framed))
+         lane.pl_unacked)
+    t.pairs
+
+let check_failures t =
+  let tnow = now t in
+  let my = my_eid t in
+  Array.iter
+    (fun member ->
+       let eid = Addr.endpoint_id member in
+       if eid <> my && not (Hashtbl.mem t.suspected eid) then begin
+         let last = Option.value (Hashtbl.find_opt t.last_heard eid) ~default:tnow in
+         if not (Hashtbl.mem t.last_heard eid) then Hashtbl.replace t.last_heard eid tnow;
+         if tnow -. last > t.suspect_after then begin
+           Hashtbl.replace t.suspected eid ();
+           t.env.Layer.trace ~category:"suspect" (Addr.endpoint_to_string member);
+           t.env.Layer.emit_up (Event.U_problem member)
+         end
+       end)
+    t.members
+
+let on_timer t () =
+  if Array.length t.members > 1 then t.env.Layer.emit_down (Event.D_cast (status_message t));
+  retransmit_pairs t;
+  check_failures t
+
+(* Epoch change: new view installed. Cast lanes reset; pair lanes
+   survive. Future-epoch casts buffered earlier are replayed. *)
+let change_epoch t ~epoch ~members =
+  if epoch <> t.epoch || t.members = [||] then begin
+    t.epoch <- epoch;
+    t.members <- members;
+    (* Fresh grace period for every member of the new view: stale
+       silence from before the install (e.g. across a partition that
+       just merged) must not count against anyone. *)
+    let tnow = now t in
+    Array.iter (fun m -> Hashtbl.replace t.last_heard (Addr.endpoint_id m) tnow) members;
+    Hashtbl.reset t.suspected;
+    t.cast_next_seq <- 0;
+    Hashtbl.reset t.cast_buffer;
+    Hashtbl.reset t.cast_acks;
+    Hashtbl.reset t.recv;
+    let replay = List.filter (fun (_, e, _, _) -> e = epoch) (List.rev t.future_list) in
+    t.future_list <- List.filter (fun (_, e, _, _) -> e > epoch) t.future_list;
+    List.iter (fun (origin, _, seq, p) -> accept_cast t ~origin ~seq p) replay
+  end
+  else t.members <- members
+
+let src_of meta = Option.value (Event.meta_find meta Com.src_meta) ~default:(-1)
+
+let handle_down t (ev : Event.down) =
+  match ev with
+  | Event.D_cast m ->
+    let seq = t.cast_next_seq in
+    t.cast_next_seq <- seq + 1;
+    Msg.push_u32 m seq;
+    Msg.push_u32 m t.epoch;
+    Msg.push_u8 m k_data_cast;
+    Hashtbl.replace t.cast_buffer seq (Msg.copy m);
+    (* Bounded buffering (the paper: "buffers some messages ... will
+       retransmit if the message is still buffered. If not, it will
+       send a place holder"). *)
+    if Hashtbl.length t.cast_buffer > t.buffer_limit then begin
+      let oldest =
+        Hashtbl.fold (fun s _ acc -> Int.min s acc) t.cast_buffer max_int
+      in
+      Hashtbl.remove t.cast_buffer oldest
+    end;
+    t.env.Layer.emit_down (Event.D_cast m)
+  | Event.D_send (dsts, m) ->
+    (* Fan a subset send out into per-pair sequenced unicasts. *)
+    List.iter
+      (fun dst ->
+         let peer = Addr.endpoint_id dst in
+         let body = Msg.copy m in
+         if peer = my_eid t then begin
+           Msg.push_u32 body 0;
+           Msg.push_u8 body k_data_send;
+           t.env.Layer.emit_down (Event.D_send ([ dst ], body))
+         end
+         else begin
+           let lane = pair_lane t peer in
+           let seq = lane.pl_next_seq in
+           lane.pl_next_seq <- seq + 1;
+           Msg.push_u32 body seq;
+           Msg.push_u8 body k_data_send;
+           Hashtbl.replace lane.pl_unacked seq (Msg.copy body);
+           t.env.Layer.emit_down (Event.D_send ([ dst ], body))
+         end)
+      dsts
+  | Event.D_view v ->
+    change_epoch t ~epoch:(View.ltime v) ~members:(View.members_array v);
+    t.env.Layer.emit_down ev
+  | Event.D_join _ | Event.D_ack _ | Event.D_stable _ | Event.D_flush _ | Event.D_flush_ok
+  | Event.D_merge _ | Event.D_merge_granted _ | Event.D_merge_denied _ | Event.D_suspect _
+  | Event.D_leave | Event.D_dump ->
+    t.env.Layer.emit_down ev
+
+let handle_data t ~rank ~meta m ~(is_send : bool) =
+  let src = src_of meta in
+  heard t src;
+  if is_send then begin
+    let seq = Msg.pop_u32 m in
+    if src = my_eid t then
+      (* Loopback sends bypass lanes (seq field is zero). *)
+      t.env.Layer.emit_up (Event.U_send (rank, m, meta))
+    else
+      accept_send t ~peer:src ~seq { p_rank = rank; p_msg = m; p_meta = meta; p_placeholder = false }
+  end
+  else begin
+    let epoch = Msg.pop_u32 m in
+    let seq = Msg.pop_u32 m in
+    let p = { p_rank = rank; p_msg = m; p_meta = meta; p_placeholder = false } in
+    if epoch = t.epoch then accept_cast t ~origin:src ~seq p
+    else if epoch > t.epoch then t.future_list <- (src, epoch, seq, p) :: t.future_list
+    (* stale epoch: drop *)
+  end
+
+let handle_up t (ev : Event.up) =
+  match ev with
+  | Event.U_cast (rank, m, meta) | Event.U_send (rank, m, meta) ->
+    (try
+       let kind = Msg.pop_u8 m in
+       let src = src_of meta in
+       heard t src;
+       if kind = k_data_cast then handle_data t ~rank ~meta m ~is_send:false
+       else if kind = k_data_send then handle_data t ~rank ~meta m ~is_send:true
+       else if kind = k_nak_cast then handle_nak_cast t ~requester:src m
+       else if kind = k_status then handle_status t ~src m
+       else if kind = k_placeholder then begin
+         let epoch = Msg.pop_u32 m in
+         let seq = Msg.pop_u32 m in
+         if epoch = t.epoch then
+           accept_cast t ~origin:src ~seq
+             { p_rank = rank; p_msg = m; p_meta = meta; p_placeholder = true }
+       end
+       else if kind = k_ack_send then begin
+         let high = Msg.pop_u32 m in
+         (match Hashtbl.find_opt t.pairs src with
+          | Some lane ->
+            Hashtbl.iter
+              (fun seq _ -> if seq < high then Hashtbl.remove lane.pl_unacked seq)
+              (Hashtbl.copy lane.pl_unacked)
+          | None -> ())
+       end
+       else t.env.Layer.trace ~category:"dropped" (Printf.sprintf "unknown kind %d" kind)
+     with Msg.Truncated what ->
+       t.env.Layer.trace ~category:"dropped" ("truncated: " ^ what))
+  | Event.U_view v ->
+    (* A view fabricated below (no membership layer underneath us in
+       this stack position): synchronize lanes, then pass it on. *)
+    change_epoch t ~epoch:(View.ltime v) ~members:(View.members_array v);
+    t.env.Layer.emit_up ev
+  | Event.U_problem _ | Event.U_merge_request _ | Event.U_merge_denied _ | Event.U_flush _
+  | Event.U_flush_ok _ | Event.U_leave _ | Event.U_lost_message _ | Event.U_stable _
+  | Event.U_system_error _ | Event.U_exit | Event.U_destroy | Event.U_packet _ ->
+    t.env.Layer.emit_up ev
+
+let create params env =
+  let status_period = Params.get_float params "status_period" ~default:0.05 in
+  let t =
+    { env;
+      status_period;
+      suspect_after = Params.get_float params "suspect_after" ~default:(status_period *. 5.0);
+      nak_holdoff = Params.get_float params "nak_holdoff" ~default:(status_period /. 2.0);
+      buffer_limit = Params.get_int params "buffer_limit" ~default:max_int;
+      epoch = 0;
+      members = [||];
+      cast_next_seq = 0;
+      cast_buffer = Hashtbl.create 64;
+      cast_acks = Hashtbl.create 8;
+      recv = Hashtbl.create 8;
+      future_list = [];
+      pairs = Hashtbl.create 8;
+      last_heard = Hashtbl.create 8;
+      suspected = Hashtbl.create 8;
+      stop_timer = (fun () -> ());
+      naks_sent = 0;
+      retransmissions = 0;
+      placeholders = 0;
+      duplicates = 0 }
+  in
+  t.stop_timer <- Layer.every env ~period:status_period (on_timer t);
+  { Layer.name = "NAK";
+    handle_down = handle_down t;
+    handle_up = handle_up t;
+    dump =
+      (fun () ->
+         [ Printf.sprintf "epoch=%d next_seq=%d buffered=%d" t.epoch t.cast_next_seq
+             (Hashtbl.length t.cast_buffer);
+           Printf.sprintf "naks=%d rexmit=%d placeholders=%d dups=%d" t.naks_sent
+             t.retransmissions t.placeholders t.duplicates ]);
+    inert = false;
+    stop = (fun () -> t.stop_timer ()) }

@@ -1,0 +1,11 @@
+(** NAK: reliable FIFO delivery via sequence numbers and negative
+    acknowledgements (Sections 2 and 7) — cast lanes scoped to view
+    epochs, pair lanes for subset sends, periodic status multicast for
+    buffer GC, gap detection and failure suspicion (PROBLEM upcalls).
+
+    Parameters: [status_period] (default 0.05 s), [suspect_after]
+    (default 5x the period), [nak_holdoff], and [buffer_limit] (default
+    unbounded) — beyond it, forgotten casts are answered with
+    placeholders that surface as LOST_MESSAGE. *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

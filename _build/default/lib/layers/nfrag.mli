@@ -1,0 +1,5 @@
+(** NFRAG: fragmentation tolerant of reordering — indexed fragments
+    reassembled per (origin, message id); any-fragment loss loses the
+    whole message. Parameters [frag_size], [max_age]. *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

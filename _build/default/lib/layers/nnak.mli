@@ -1,0 +1,5 @@
+(** NNAK: prioritized-effort delivery (P2). Outgoing data carries this
+    instance's [priority]; receivers batch arrivals over [window]
+    seconds and release highest-priority-first. No reliability. *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

@@ -1,0 +1,12 @@
+(* NOOP: an inert layer that forwards every event untouched.
+
+   Exists for the Section 10 layering-overhead experiments: stacking k
+   NOOP layers measures the cost of k layer crossings with zero
+   protocol work. *)
+
+open Horus_hcpi
+
+(* [inert] lets the stack's layer-skipping optimization bypass NOOP
+   entirely when enabled — the point of the experiment is to compare
+   the two configurations. *)
+let create (_ : Params.t) env = Layer.passthrough ~name:"NOOP" ~inert:true env

@@ -1,0 +1,5 @@
+(** NOOP: an inert pass-through layer for the Section 10
+    layering-overhead experiments. Declares itself [inert], so a stack
+    built with [skip_inert:true] bypasses it entirely. *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

@@ -1,0 +1,5 @@
+(** ORDER(causal): causally ordered multicast via vector timestamps
+    (provides P5 and P13). Vectors reset cleanly at view changes
+    thanks to virtual synchrony below. *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

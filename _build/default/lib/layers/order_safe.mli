@@ -1,0 +1,6 @@
+(** ORDER(safe): safe delivery — casts are held until the stability
+    matrix from a STABLE/PINWHEEL layer below shows every member has
+    them (P7). View changes release held messages (virtual synchrony
+    guarantees they are everywhere). *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

@@ -1,0 +1,6 @@
+(** PINWHEEL: stability via a rotating aggregator — one member per
+    round pulls ack vectors and multicasts the merged matrix: O(n) per
+    round against STABLE's O(n^2) gossip, at slower convergence
+    (experiment E11). Parameters [auto_ack], [period]. *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

@@ -1,0 +1,39 @@
+(* Byte-pair run-length encoding for the COMPRESS layer.
+
+   Encoded form is a sequence of (count, byte) pairs, count in 1..255.
+   Incompressible data grows (up to 2x); the COMPRESS layer only uses
+   the encoding when it wins, signalled by a header flag. *)
+
+let encode b =
+  let n = Bytes.length b in
+  let out = Buffer.create (n / 2) in
+  let i = ref 0 in
+  while !i < n do
+    let c = Bytes.get b !i in
+    let run = ref 1 in
+    while !i + !run < n && !run < 255 && Bytes.get b (!i + !run) = c do
+      incr run
+    done;
+    Buffer.add_char out (Char.chr !run);
+    Buffer.add_char out c;
+    i := !i + !run
+  done;
+  Buffer.to_bytes out
+
+exception Malformed
+
+let decode b =
+  let n = Bytes.length b in
+  if n mod 2 <> 0 then raise Malformed;
+  let out = Buffer.create (2 * n) in
+  let i = ref 0 in
+  while !i < n do
+    let count = Char.code (Bytes.get b !i) in
+    let c = Bytes.get b (!i + 1) in
+    if count = 0 then raise Malformed;
+    for _ = 1 to count do
+      Buffer.add_char out c
+    done;
+    i := !i + 2
+  done;
+  Buffer.to_bytes out

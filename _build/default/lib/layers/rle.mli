@@ -1,0 +1,7 @@
+(** Byte-pair run-length encoding for the COMPRESS layer. *)
+
+exception Malformed
+
+val encode : Bytes.t -> Bytes.t
+val decode : Bytes.t -> Bytes.t
+(** Raises {!Malformed} on odd lengths or zero counts. *)

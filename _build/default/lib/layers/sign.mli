@@ -1,0 +1,4 @@
+(** SIGN: keyed MAC; forged or tampered messages are dropped
+    (Section 2). Parameter [key] must match across the group. *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

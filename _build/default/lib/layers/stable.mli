@@ -1,0 +1,19 @@
+(** STABLE: the application-defined stability matrix of Section 9.
+    Deliveries carry a stability id in their meta (key {!meta_key});
+    the application acknowledges processing through the ack downcall;
+    ack vectors are gossiped and the full matrix is reported via STABLE
+    upcalls. Parameters: [auto_ack] (default true: receipt counts as
+    processing) and [gossip_period]. *)
+
+val id_bits : int
+
+val make_id : rank:int -> seq:int -> int
+(** Pack (origin rank, per-origin sequence number) into a stability
+    id. *)
+
+val split_id : int -> int * int
+
+val meta_key : string
+(** Delivery meta key carrying the stability id ("stable_id"). *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

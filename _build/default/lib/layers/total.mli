@@ -1,0 +1,7 @@
+(** TOTAL: token-based totally ordered multicast over virtual
+    synchrony (Section 7). The token carries the next global sequence
+    number; requesters broadcast for it; at view changes the surviving
+    members hold identical buffers (virtual synchrony) and resume from
+    a deterministic state — no failure detector needed. *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

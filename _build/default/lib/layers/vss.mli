@@ -1,0 +1,5 @@
+(** VSS: decentralized virtual synchrony over BMS — every survivor
+    exchanges unstable state with every other survivor directly (one
+    round, O(n^2) messages), the alternative P9 provider of Table 3. *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

@@ -1,0 +1,1 @@
+lib/model/automaton.ml: Format Hashtbl List Queue

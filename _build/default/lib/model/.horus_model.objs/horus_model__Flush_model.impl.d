@@ -1,0 +1,1 @@
+lib/model/flush_model.ml: Automaton Format List Option String

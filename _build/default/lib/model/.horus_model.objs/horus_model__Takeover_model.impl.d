@@ -1,0 +1,1 @@
+lib/model/takeover_model.ml: Automaton Format List Option String

@@ -1,0 +1,1 @@
+lib/model/total_model.ml: Automaton Format List Option String

@@ -1,0 +1,133 @@
+(* I/O-automaton-style modelling and exhaustive exploration
+   (Section 8 of the paper).
+
+   The paper's verification effort models each Horus layer as an I/O
+   automaton and reasons about the composition. This module provides
+   the executable counterpart: a system is a state machine with a set
+   of enabled actions per state; the explorer enumerates *every*
+   interleaving (up to state identity), checking named invariants in
+   every reachable state and a terminal condition in every quiescent
+   state. A violation comes back with its full action trace — a
+   counterexample. The protocol models in this library are small
+   abstract versions of the production layers, exactly the "reference
+   implementation" role the paper assigns to its ML layers. *)
+
+module type SYSTEM = sig
+  type state
+  type action
+
+  val initial : state list
+  (** One or more initial states. *)
+
+  val enabled : state -> action list
+  (** All actions the adversary may schedule in [state]; the empty list
+      means the state is quiescent (terminal). *)
+
+  val step : state -> action -> state
+  (** Apply an enabled action. Must be pure: states are compared
+      structurally for deduplication. *)
+
+  val invariants : (string * (state -> bool)) list
+  (** Safety properties that must hold in every reachable state. *)
+
+  val terminal_checks : (string * (state -> bool)) list
+  (** Properties that must hold in every quiescent state (e.g. the
+      virtual synchrony agreement conditions). *)
+
+  val pp_action : Format.formatter -> action -> unit
+  val pp_state : Format.formatter -> state -> unit
+end
+
+type violation = {
+  property : string;
+  kind : [ `Invariant | `Terminal ];
+  trace : string list;  (* pretty-printed actions from an initial state *)
+  state : string;       (* pretty-printed offending state *)
+}
+
+type report = {
+  states_explored : int;
+  transitions : int;
+  terminals : int;
+  violations : violation list;
+  truncated : bool;  (* state budget hit before the frontier drained *)
+}
+
+module Make (S : SYSTEM) = struct
+  (* Breadth-first over the reachable state graph, remembering the
+     shortest trace to each state for counterexample reporting. *)
+  let explore ?(max_states = 200_000) ?(max_violations = 5) () =
+    let seen : (S.state, unit) Hashtbl.t = Hashtbl.create 4096 in
+    let queue : (S.state * string list) Queue.t = Queue.create () in
+    let violations = ref [] in
+    let transitions = ref 0 in
+    let terminals = ref 0 in
+    let truncated = ref false in
+    let note_violation property kind trace state =
+      if List.length !violations < max_violations then
+        violations :=
+          { property;
+            kind;
+            trace = List.rev trace;
+            state = Format.asprintf "%a" S.pp_state state }
+          :: !violations
+    in
+    let check_state state trace =
+      List.iter
+        (fun (name, pred) -> if not (pred state) then note_violation name `Invariant trace state)
+        S.invariants
+    in
+    List.iter
+      (fun s ->
+         if not (Hashtbl.mem seen s) then begin
+           Hashtbl.replace seen s ();
+           check_state s [];
+           Queue.push (s, []) queue
+         end)
+      S.initial;
+    while not (Queue.is_empty queue) do
+      let state, trace = Queue.pop queue in
+      match S.enabled state with
+      | [] ->
+        incr terminals;
+        List.iter
+          (fun (name, pred) ->
+             if not (pred state) then note_violation name `Terminal trace state)
+          S.terminal_checks
+      | actions ->
+        List.iter
+          (fun a ->
+             incr transitions;
+             let s' = S.step state a in
+             if not (Hashtbl.mem seen s') then begin
+               if Hashtbl.length seen >= max_states then truncated := true
+               else begin
+                 Hashtbl.replace seen s' ();
+                 let trace' = Format.asprintf "%a" S.pp_action a :: trace in
+                 check_state s' trace';
+                 Queue.push (s', trace') queue
+               end
+             end)
+          actions
+    done;
+    { states_explored = Hashtbl.length seen;
+      transitions = !transitions;
+      terminals = !terminals;
+      violations = List.rev !violations;
+      truncated = !truncated }
+
+  let pp_report fmt r =
+    Format.fprintf fmt "states=%d transitions=%d terminals=%d%s@." r.states_explored
+      r.transitions r.terminals
+      (if r.truncated then " (TRUNCATED)" else "");
+    match r.violations with
+    | [] -> Format.fprintf fmt "all invariants and terminal checks hold@."
+    | vs ->
+      List.iter
+        (fun v ->
+           Format.fprintf fmt "VIOLATION of %s (%s):@." v.property
+             (match v.kind with `Invariant -> "invariant" | `Terminal -> "terminal");
+           List.iteri (fun i a -> Format.fprintf fmt "  %2d. %s@." (i + 1) a) v.trace;
+           Format.fprintf fmt "  state: %s@." v.state)
+        vs
+end

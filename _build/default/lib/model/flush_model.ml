@@ -1,0 +1,197 @@
+(* Reference model of the MBRSHIP flush protocol (Sections 5 and 8).
+
+   Three processes; process 2 casts message 100 (already delivered
+   locally) whose copies are still in flight, then may crash — the
+   Figure 2 situation. Optionally process 0 has a concurrent cast of
+   its own in flight. The adversary schedules every possible
+   interleaving of packet deliveries, the crash, and the failure
+   detection; channels are per-pair FIFO (the guarantee NAK provides
+   beneath MBRSHIP) but deliveries across pairs commute freely.
+
+   The model is parameterized on the rule from Section 5 — "the members
+   ignore messages that they may receive from supposedly failed
+   members" after answering the flush. With the rule the checker proves
+   (by exhaustion) that every quiescent state satisfies view agreement
+   and virtual synchrony; without it the checker produces the
+   counterexample trace in which a straggler copy from the crashed
+   member reaches exactly one survivor after its flush reply. Finding
+   that trace is what this module is for: the same omission was caught
+   in this repository's production MBRSHIP layer by writing this
+   model (see DESIGN.md). *)
+
+type msg =
+  | MData of int
+  | MFlushReq
+  | MFlushReply of int list  (* replier's delivered set *)
+  | MFwd of int list         (* forwarded copies *)
+  | MInstall of int list     (* new view *)
+
+type proc = {
+  alive : bool;
+  delivered : int list;  (* sorted set of message ids *)
+  view : int list;
+  flushing : bool;
+  replied : bool;
+}
+
+type state = {
+  procs : proc list;           (* index = process id; 0 is the coordinator *)
+  chans : ((int * int) * msg list) list;  (* FIFO per (src,dst); sorted; no empties *)
+  crashes_left : int;
+  detected : bool;
+  replies : (int * int list) list;  (* collected at the coordinator; sorted *)
+}
+
+type action =
+  | Deliver of int * int  (* src, dst *)
+  | Crash of int
+  | Detect
+
+let sorted_insert x l = List.sort_uniq compare (x :: l)
+
+let chan state key = Option.value (List.assoc_opt key state.chans) ~default:[]
+
+let set_chan state key msgs =
+  let rest = List.remove_assoc key state.chans in
+  let chans = if msgs = [] then rest else (key, msgs) :: rest in
+  { state with chans = List.sort compare chans }
+
+let push state ~src ~dst m = set_chan state (src, dst) (chan state (src, dst) @ [ m ])
+
+let proc state p = List.nth state.procs p
+
+let set_proc state p f =
+  { state with procs = List.mapi (fun i pr -> if i = p then f pr else pr) state.procs }
+
+let coordinator = 0
+
+let failed_set = [ 2 ]
+
+let n_procs = 3
+
+let survivors = [ 0; 1 ]
+
+(* [system ~ignore_stragglers ~survivor_cast ()] builds the automaton. *)
+let system ~ignore_stragglers ~survivor_cast () =
+  (module struct
+    type nonrec state = state
+    type nonrec action = action
+
+    let initial =
+      let base_proc = { alive = true; delivered = []; view = [ 0; 1; 2 ]; flushing = false; replied = false } in
+      let procs =
+        [ { base_proc with delivered = (if survivor_cast then [ 50 ] else []) };
+          base_proc;
+          { base_proc with delivered = [ 100 ] } ]
+      in
+      let st = { procs; chans = []; crashes_left = 1; detected = false; replies = [] } in
+      (* Process 2's cast is in flight to 0 and 1. *)
+      let st = push st ~src:2 ~dst:0 (MData 100) in
+      let st = push st ~src:2 ~dst:1 (MData 100) in
+      (* Optionally process 0's own cast is in flight to 1 and 2. *)
+      let st =
+        if survivor_cast then
+          push (push st ~src:0 ~dst:1 (MData 50)) ~src:0 ~dst:2 (MData 50)
+        else st
+      in
+      [ st ]
+
+    let enabled st =
+      let deliveries = List.map (fun ((src, dst), _) -> Deliver (src, dst)) st.chans in
+      let crashes =
+        if st.crashes_left > 0 && (proc st 2).alive then [ Crash 2 ] else []
+      in
+      let detects = if (not (proc st 2).alive) && not st.detected then [ Detect ] else [] in
+      deliveries @ crashes @ detects
+
+    (* The coordinator completes the flush when every survivor has
+       replied: compute the union cut, forward what each misses, then
+       install the new view. Per-channel FIFO makes the forwarded
+       copies arrive before the install. *)
+    let maybe_complete st =
+      if List.length st.replies = List.length survivors then begin
+        let cut =
+          List.sort_uniq compare (List.concat_map snd st.replies)
+        in
+        let st =
+          List.fold_left
+            (fun st (r, del) ->
+               let missing = List.filter (fun m -> not (List.mem m del)) cut in
+               let st = if missing = [] then st else push st ~src:coordinator ~dst:r (MFwd missing) in
+               push st ~src:coordinator ~dst:r (MInstall survivors))
+            st st.replies
+        in
+        { st with replies = [] }
+      end
+      else st
+
+    let receive st ~src ~dst m =
+      let pr = proc st dst in
+      if not pr.alive then st
+      else
+        match m with
+        | MData id ->
+          if not (List.mem src pr.view) then st  (* epoch/COM filter *)
+          else if
+            ignore_stragglers && pr.flushing && pr.replied && List.mem src failed_set
+          then st  (* Section 5's ignore rule *)
+          else set_proc st dst (fun pr -> { pr with delivered = sorted_insert id pr.delivered })
+        | MFlushReq ->
+          (* The application's flush_ok is immediate in this model. *)
+          let st =
+            set_proc st dst (fun pr -> { pr with flushing = true; replied = true })
+          in
+          push st ~src:dst ~dst:coordinator (MFlushReply (proc st dst).delivered)
+        | MFlushReply del ->
+          if dst <> coordinator then st
+          else
+            maybe_complete
+              { st with replies = List.sort compare ((src, del) :: List.remove_assoc src st.replies) }
+        | MFwd ms ->
+          set_proc st dst (fun pr ->
+              { pr with delivered = List.sort_uniq compare (ms @ pr.delivered) })
+        | MInstall v ->
+          set_proc st dst (fun pr -> { pr with view = v; flushing = false; replied = false })
+
+    let step st = function
+      | Deliver (src, dst) ->
+        (match chan st (src, dst) with
+         | [] -> st
+         | m :: rest -> receive (set_chan st (src, dst) rest) ~src ~dst m)
+      | Crash p ->
+        let st = set_proc st p (fun pr -> { pr with alive = false }) in
+        { st with crashes_left = st.crashes_left - 1 }
+      | Detect ->
+        (* The coordinator flushes: requests go to every survivor,
+           itself included (its own runs over the loopback channel). *)
+        let st = { st with detected = true } in
+        List.fold_left (fun st p -> push st ~src:coordinator ~dst:p MFlushReq) st survivors
+
+    let invariants =
+      [ ( "views only shrink to the survivor set",
+          fun st ->
+            List.for_all
+              (fun p -> (proc st p).view = [ 0; 1; 2 ] || (proc st p).view = survivors)
+              survivors ) ]
+
+    let terminal_checks =
+      [ ( "view agreement: survivors end in {0,1}",
+          fun st -> List.for_all (fun p -> (proc st p).view = survivors) survivors );
+        ( "virtual synchrony: survivors delivered the same set",
+          fun st -> (proc st 0).delivered = (proc st 1).delivered ) ]
+
+    let pp_action fmt = function
+      | Deliver (s, d) -> Format.fprintf fmt "deliver %d->%d" s d
+      | Crash p -> Format.fprintf fmt "crash %d" p
+      | Detect -> Format.fprintf fmt "detect"
+
+    let pp_state fmt st =
+      List.iteri
+        (fun i pr ->
+           Format.fprintf fmt "p%d%s[%s]%s " i
+             (if pr.alive then "" else "(dead)")
+             (String.concat "," (List.map string_of_int pr.delivered))
+             (if pr.replied then "*" else ""))
+        st.procs;
+      Format.fprintf fmt "chans=%d" (List.length st.chans)
+  end : Automaton.SYSTEM with type state = state and type action = action)

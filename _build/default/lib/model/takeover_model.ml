@@ -1,0 +1,197 @@
+(* Reference model of coordinator takeover (Sections 5 and 11).
+
+   Three processes; process 0 is the initial coordinator and has a cast
+   of its own in flight (the straggler candidate) when it crashes, as
+   does process 2. The *new* coordinator —
+   elected without messages as the oldest unsuspected survivor — must
+   be process 1, and it must run the flush that process 0 can no longer
+   run. Detection is per-process and asynchronous: each survivor
+   notices the crash independently, in any order relative to every
+   packet delivery, and a survivor may learn of the failure only from
+   the new coordinator's FLUSH_REQ.
+
+   Checked exhaustively: both survivors install exactly {1,2}, agree on
+   the delivered set, and the straggler rule (post-reply data from the
+   failed member is ignored) keeps the cut consistent. *)
+
+type msg =
+  | MData of int
+  | MFlushReq            (* from the acting coordinator; failed = {0} *)
+  | MFlushReply of int list
+  | MFwd of int list
+  | MInstall of int list
+
+type proc = {
+  alive : bool;
+  suspects : int list;   (* sorted *)
+  view : int list;
+  delivered : int list;  (* sorted set *)
+  flushing : bool;
+  replied : bool;
+  replies : (int * int list) list;  (* coordinator bookkeeping *)
+}
+
+type state = {
+  procs : proc list;
+  chans : ((int * int) * msg list) list;
+  crashed0 : bool;
+}
+
+type action =
+  | Deliver of int * int
+  | Crash0
+  | Detect of int  (* survivor p notices process 0's crash *)
+
+let survivors = [ 1; 2 ]
+
+let sorted_insert x l = List.sort_uniq compare (x :: l)
+
+let chan st key = Option.value (List.assoc_opt key st.chans) ~default:[]
+
+let set_chan st key msgs =
+  let rest = List.remove_assoc key st.chans in
+  let chans = if msgs = [] then rest else (key, msgs) :: rest in
+  { st with chans = List.sort compare chans }
+
+let push st ~src ~dst m = set_chan st (src, dst) (chan st (src, dst) @ [ m ])
+
+let proc st p = List.nth st.procs p
+
+let set_proc st p f =
+  { st with procs = List.mapi (fun i pr -> if i = p then f pr else pr) st.procs }
+
+(* The message-free election, from p's own knowledge. *)
+let coordinator_for pr = List.find_opt (fun m -> not (List.mem m pr.suspects)) pr.view
+
+let start_flush st p =
+  let st = set_proc st p (fun pr -> { pr with flushing = true; replies = [] }) in
+  List.fold_left (fun st dst -> push st ~src:p ~dst MFlushReq) st survivors
+
+let maybe_complete st p =
+  let pr = proc st p in
+  if List.length pr.replies = List.length survivors then begin
+    let cut = List.sort_uniq compare (List.concat_map snd pr.replies) in
+    let st =
+      List.fold_left
+        (fun st (r, del) ->
+           let missing = List.filter (fun m -> not (List.mem m del)) cut in
+           let st = if missing = [] then st else push st ~src:p ~dst:r (MFwd missing) in
+           push st ~src:p ~dst:r (MInstall survivors))
+        st pr.replies
+    in
+    set_proc st p (fun pr -> { pr with replies = [] })
+  end
+  else st
+
+let receive st ~src ~dst m =
+  let pr = proc st dst in
+  if not pr.alive then st
+  else
+    match m with
+    | MData id ->
+      if not (List.mem src pr.view) then st
+      else if pr.flushing && pr.replied && List.mem src pr.suspects then st
+      else set_proc st dst (fun pr -> { pr with delivered = sorted_insert id pr.delivered })
+    | MFlushReq ->
+      (* Learning of the failure from the coordinator counts as
+         detection. *)
+      let st =
+        set_proc st dst (fun pr ->
+            { pr with
+              flushing = true;
+              replied = true;
+              suspects = sorted_insert 0 pr.suspects })
+      in
+      push st ~src:dst ~dst:src (MFlushReply (proc st dst).delivered)
+    | MFlushReply del ->
+      let st =
+        set_proc st dst (fun pr ->
+            { pr with replies = List.sort compare ((src, del) :: List.remove_assoc src pr.replies) })
+      in
+      maybe_complete st dst
+    | MFwd ms ->
+      set_proc st dst (fun pr ->
+          { pr with delivered = List.sort_uniq compare (ms @ pr.delivered) })
+    | MInstall v ->
+      set_proc st dst (fun pr -> { pr with view = v; flushing = false; replied = false })
+
+let system () =
+  (module struct
+    type nonrec state = state
+    type nonrec action = action
+
+    let initial =
+      let pr p =
+        { alive = true;
+          suspects = [];
+          view = [ 0; 1; 2 ];
+          delivered = (if p = 2 then [ 100 ] else if p = 0 then [ 50 ] else []);
+          flushing = false;
+          replied = false;
+          replies = [] }
+      in
+      let st = { procs = List.init 3 pr; chans = []; crashed0 = false } in
+      let st = push st ~src:2 ~dst:0 (MData 100) in
+      let st = push st ~src:2 ~dst:1 (MData 100) in
+      (* The dying coordinator's own cast: the straggler candidate. *)
+      let st = push st ~src:0 ~dst:1 (MData 50) in
+      push st ~src:0 ~dst:2 (MData 50)
+
+    let initial = [ initial ]
+
+    let enabled st =
+      let deliveries = List.map (fun ((s, d), _) -> Deliver (s, d)) st.chans in
+      let crash = if not st.crashed0 then [ Crash0 ] else [] in
+      let detects =
+        if st.crashed0 then
+          List.filter_map
+            (fun p ->
+               let pr = proc st p in
+               if pr.alive && not (List.mem 0 pr.suspects) then Some (Detect p) else None)
+            survivors
+        else []
+      in
+      deliveries @ crash @ detects
+
+    let step st = function
+      | Deliver (src, dst) ->
+        (match chan st (src, dst) with
+         | [] -> st
+         | m :: rest -> receive (set_chan st (src, dst) rest) ~src ~dst m)
+      | Crash0 ->
+        let st = set_proc st 0 (fun pr -> { pr with alive = false }) in
+        { st with crashed0 = true }
+      | Detect p ->
+        let st = set_proc st p (fun pr -> { pr with suspects = sorted_insert 0 pr.suspects }) in
+        (* Takeover: if p now believes itself coordinator and is not
+           already flushing as such, it starts the flush. *)
+        let pr = proc st p in
+        if coordinator_for pr = Some p && pr.replies = [] && not pr.flushing then
+          start_flush st p
+        else st
+
+    let invariants =
+      [ ( "only process 1 ever coordinates a flush",
+          fun st -> (proc st 2).replies = [] ) ]
+
+    let terminal_checks =
+      [ ( "survivors install {1,2}",
+          fun st -> List.for_all (fun p -> (proc st p).view = survivors) survivors );
+        ( "survivors agree on deliveries",
+          fun st -> (proc st 1).delivered = (proc st 2).delivered ) ]
+
+    let pp_action fmt = function
+      | Deliver (s, d) -> Format.fprintf fmt "deliver %d->%d" s d
+      | Crash0 -> Format.fprintf fmt "crash 0"
+      | Detect p -> Format.fprintf fmt "detect@%d" p
+
+    let pp_state fmt st =
+      List.iteri
+        (fun i pr ->
+           Format.fprintf fmt "p%d%s[%s]v%d " i
+             (if pr.alive then "" else "(dead)")
+             (String.concat "," (List.map string_of_int pr.delivered))
+             (List.length pr.view))
+        st.procs;
+      Format.fprintf fmt "chans=%d" (List.length st.chans)
+  end : Automaton.SYSTEM with type state = state and type action = action)

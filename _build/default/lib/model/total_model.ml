@@ -1,0 +1,212 @@
+(* Reference model of the TOTAL token protocol (Section 7).
+
+   Three processes over an abstracted virtually-synchronous transport:
+   reliable per-pair FIFO channels, no loss, no crash (crash recovery
+   is MBRSHIP's job and is modelled separately in Flush_model; the
+   paper notes TOTAL needs no failure handling of its own). Each
+   process wants to cast one message. The adversary interleaves
+   deliveries arbitrarily; the checker verifies that in every quiescent
+   state all processes have delivered all three messages in the *same*
+   order — total order — and that the protocol never deadlocks with an
+   undelivered backlog (every terminal state has empty queues).
+
+   The token carries the next global sequence number; a process with a
+   backlog broadcasts a request; the holder drains its own backlog and
+   hands the token to the first requester it knows of. *)
+
+type msg =
+  | MOrdered of int * int  (* gseq, payload id *)
+  | MRequest of int        (* requester id *)
+  | MToken of int * int    (* new holder id, next gseq *)
+
+type proc = {
+  wants : int list;        (* payload ids still to cast *)
+  delivered : int list;    (* payload ids in delivery order *)
+  next_deliver : int;      (* next gseq to deliver *)
+  buffer : (int * int) list;  (* (gseq, payload), sorted *)
+  holder : int;            (* believed holder *)
+  next_gseq : int;         (* meaningful at the holder *)
+  requested : bool;
+  requests : int list;     (* pending requester ids, oldest first *)
+}
+
+type state = {
+  procs : proc list;
+  chans : ((int * int) * msg list) list;  (* FIFO per (src,dst) *)
+}
+
+type action =
+  | Deliver of int * int
+  | Submit of int  (* process decides to start casting its message *)
+
+let n_procs = 3
+
+let chan st key = Option.value (List.assoc_opt key st.chans) ~default:[]
+
+let set_chan st key msgs =
+  let rest = List.remove_assoc key st.chans in
+  let chans = if msgs = [] then rest else (key, msgs) :: rest in
+  { st with chans = List.sort compare chans }
+
+(* Broadcast = one copy on every channel from [src], including the
+   loopback channel (src,src), preserving the all-destinations FIFO of
+   the VS transport underneath. *)
+let bcast st ~src m =
+  List.fold_left
+    (fun st dst -> set_chan st (src, dst) (chan st (src, dst) @ [ m ]))
+    st
+    (List.init n_procs (fun i -> i))
+
+let proc st p = List.nth st.procs p
+
+let set_proc st p f =
+  { st with procs = List.mapi (fun i pr -> if i = p then f pr else pr) st.procs }
+
+(* Holder-side drain: emit ORDERED for the backlog, then hand over. *)
+let rec drain st p =
+  let pr = proc st p in
+  if pr.holder <> p then st
+  else
+    match pr.wants with
+    | w :: rest ->
+      let st = bcast st ~src:p (MOrdered (pr.next_gseq, w)) in
+      let st =
+        set_proc st p (fun pr -> { pr with wants = rest; next_gseq = pr.next_gseq + 1 })
+      in
+      drain st p
+    | [] ->
+      (match pr.requests with
+       | r :: rest when r <> p ->
+         (* The grant must update the holder's own belief synchronously
+            — waiting for the loopback copy of the TOKEN leaves a
+            window in which a second request makes the stale holder
+            grant a second token (the exhaustive checker finds that
+            divergence immediately; the production layer updates
+            synchronously, as must the model). *)
+         let st = set_proc st p (fun pr -> { pr with requests = rest; holder = r }) in
+         bcast st ~src:p (MToken (r, (proc st p).next_gseq))
+       | r :: rest when r = p -> set_proc st p (fun pr -> { pr with requests = rest })
+       | _ -> st)
+
+let rec deliver_ready st p =
+  let pr = proc st p in
+  match List.assoc_opt pr.next_deliver pr.buffer with
+  | Some payload ->
+    let st =
+      set_proc st p (fun pr ->
+          { pr with
+            delivered = pr.delivered @ [ payload ];
+            buffer = List.remove_assoc pr.next_deliver pr.buffer;
+            next_deliver = pr.next_deliver + 1 })
+    in
+    deliver_ready st p
+  | None -> st
+
+let receive st ~dst m =
+  match m with
+  | MOrdered (g, payload) ->
+    let st =
+      set_proc st dst (fun pr -> { pr with buffer = List.sort compare ((g, payload) :: pr.buffer) })
+    in
+    deliver_ready st dst
+  | MRequest r ->
+    let pr = proc st dst in
+    let st =
+      if List.mem r pr.requests then st
+      else set_proc st dst (fun pr -> { pr with requests = pr.requests @ [ r ] })
+    in
+    if (proc st dst).holder = dst then drain st dst else st
+  | MToken (to_p, gseq) ->
+    let st =
+      set_proc st dst (fun pr ->
+          { pr with
+            holder = to_p;
+            requests = List.filter (fun r -> r <> to_p) pr.requests;
+            next_gseq = (if dst = to_p then gseq else pr.next_gseq);
+            requested = (if dst = to_p then false else pr.requested) })
+    in
+    if to_p = dst then drain st dst else st
+
+let system () =
+  (module struct
+    type nonrec state = state
+    type nonrec action = action
+
+    let initial =
+      (* p0 (initial holder) has nothing to send; p1 and p2 each cast
+         one message — enough to exercise request, grant and handover
+         while keeping the interleaving space exhaustible. *)
+      let pr p =
+        { wants = (if p = 0 then [] else [ 100 + p ]);
+          delivered = [];
+          next_deliver = 0;
+          buffer = [];
+          holder = 0;
+          next_gseq = 0;
+          requested = false;
+          requests = [] }
+      in
+      [ { procs = List.init n_procs pr; chans = [] } ]
+
+    let enabled st =
+      let deliveries = List.map (fun ((s, d), _) -> Deliver (s, d)) st.chans in
+      let submits =
+        List.concat
+          (List.mapi
+             (fun i pr -> if pr.wants <> [] && not pr.requested then [ Submit i ] else [])
+             st.procs)
+      in
+      deliveries @ submits
+
+    let step st = function
+      | Deliver (src, dst) ->
+        (match chan st (src, dst) with
+         | [] -> st
+         | m :: rest -> receive (set_chan st (src, dst) rest) ~dst m)
+      | Submit p ->
+        let pr = proc st p in
+        if pr.holder = p then drain st p
+        else begin
+          let st = set_proc st p (fun pr -> { pr with requested = true }) in
+          bcast st ~src:p (MRequest p)
+        end
+
+    let invariants =
+      [ ( "delivered sequences are consistent prefixes",
+          fun st ->
+            let seqs = List.map (fun pr -> pr.delivered) st.procs in
+            List.for_all
+              (fun s1 ->
+                 List.for_all
+                   (fun s2 ->
+                      let rec prefix a b =
+                        match (a, b) with
+                        | [], _ | _, [] -> true
+                        | x :: a', y :: b' -> x = y && prefix a' b'
+                      in
+                      prefix s1 s2)
+                   seqs)
+              seqs ) ]
+
+    let terminal_checks =
+      [ ( "everyone delivered both messages",
+          fun st -> List.for_all (fun pr -> List.length pr.delivered = 2) st.procs );
+        ( "identical total order",
+          fun st ->
+            match st.procs with
+            | first :: rest -> List.for_all (fun pr -> pr.delivered = first.delivered) rest
+            | [] -> true ) ]
+
+    let pp_action fmt = function
+      | Deliver (s, d) -> Format.fprintf fmt "deliver %d->%d" s d
+      | Submit p -> Format.fprintf fmt "submit %d" p
+
+    let pp_state fmt st =
+      List.iteri
+        (fun i pr ->
+           Format.fprintf fmt "p%d[%s]%s " i
+             (String.concat "," (List.map string_of_int pr.delivered))
+             (if pr.holder = i then "(T)" else ""))
+        st.procs;
+      Format.fprintf fmt "chans=%d" (List.length st.chans)
+  end : Automaton.SYSTEM with type state = state and type action = action)

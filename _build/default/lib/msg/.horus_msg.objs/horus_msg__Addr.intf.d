@@ -1,0 +1,1 @@
+lib/msg/addr.mli: Format Map Set

@@ -1,0 +1,1 @@
+lib/msg/compact.ml: Array Bytes Hashtbl Int Int64 List

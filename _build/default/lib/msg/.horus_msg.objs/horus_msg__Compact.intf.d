@@ -1,0 +1,1 @@
+lib/msg/compact.mli: Bytes

@@ -1,0 +1,1 @@
+lib/msg/msg.ml: Bytes Char Format Int Int32 List String

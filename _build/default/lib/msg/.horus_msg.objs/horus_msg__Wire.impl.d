@@ -1,0 +1,1 @@
+lib/msg/wire.ml: Addr List Msg

@@ -1,0 +1,1 @@
+lib/msg/wire.mli: Addr Msg

@@ -1,0 +1,119 @@
+(* Precomputed compacted headers (Section 10, remedy 3).
+
+   Instead of each layer pushing its own word-aligned header, a layer
+   declares the *fields* it needs, in bits. When a stack is built,
+   Horus precomputes a single packed layout for the whole stack; each
+   layer then reads/writes its fields at fixed bit offsets in one
+   shared header blob, eliminating per-layer push/pop work and
+   alignment padding.
+
+   We implement the layout computation and bit-level accessors, and
+   bench them against the push/pop path (experiment E10). *)
+
+type field = {
+  layer : string;
+  name : string;
+  bits : int;  (* 1..64 *)
+}
+
+type slot = {
+  field : field;
+  bit_offset : int;
+}
+
+type layout = {
+  slots : slot array;
+  total_bits : int;
+  total_bytes : int;
+  index : (string * string, int) Hashtbl.t;  (* (layer, name) -> slot idx *)
+}
+
+let field ~layer ~name ~bits =
+  if bits < 1 || bits > 64 then invalid_arg "Compact.field: bits must be in 1..64";
+  { layer; name; bits }
+
+(* Pack fields in declaration order, tightly, no alignment. A real
+   implementation might sort by size to reduce straddling; declaration
+   order keeps the layout predictable for tests. *)
+let layout fields =
+  let index = Hashtbl.create 16 in
+  let off = ref 0 in
+  let slots =
+    Array.of_list
+      (List.mapi
+         (fun i f ->
+            if Hashtbl.mem index (f.layer, f.name) then
+              invalid_arg "Compact.layout: duplicate field";
+            Hashtbl.replace index (f.layer, f.name) i;
+            let s = { field = f; bit_offset = !off } in
+            off := !off + f.bits;
+            s)
+         fields)
+  in
+  { slots; total_bits = !off; total_bytes = (!off + 7) / 8; index }
+
+let total_bytes l = l.total_bytes
+
+let total_bits l = l.total_bits
+
+let slot_count l = Array.length l.slots
+
+let find l ~layer ~name =
+  match Hashtbl.find_opt l.index (layer, name) with
+  | Some i -> i
+  | None -> invalid_arg "Compact.find: unknown field"
+
+(* Write [value]'s low [bits] bits at [bit_offset] in [buf]. *)
+let write_bits buf ~bit_offset ~bits value =
+  let v = if bits = 64 then value else Int64.logand value (Int64.sub (Int64.shift_left 1L bits) 1L) in
+  (* Write bit by byte: process up to 8 bits per iteration. *)
+  let remaining = ref bits in
+  let boff = ref bit_offset in
+  let v = ref v in
+  while !remaining > 0 do
+    let byte_idx = !boff / 8 in
+    let bit_in_byte = !boff mod 8 in
+    let take = Int.min (8 - bit_in_byte) !remaining in
+    let mask = (1 lsl take) - 1 in
+    let chunk = Int64.to_int (Int64.logand !v (Int64.of_int mask)) in
+    let old = Bytes.get_uint8 buf byte_idx in
+    let cleared = old land lnot (mask lsl bit_in_byte) in
+    Bytes.set_uint8 buf byte_idx (cleared lor (chunk lsl bit_in_byte));
+    v := Int64.shift_right_logical !v take;
+    boff := !boff + take;
+    remaining := !remaining - take
+  done
+
+let read_bits buf ~bit_offset ~bits =
+  let result = ref 0L in
+  let remaining = ref bits in
+  let boff = ref bit_offset in
+  let shift = ref 0 in
+  while !remaining > 0 do
+    let byte_idx = !boff / 8 in
+    let bit_in_byte = !boff mod 8 in
+    let take = Int.min (8 - bit_in_byte) !remaining in
+    let mask = (1 lsl take) - 1 in
+    let chunk = (Bytes.get_uint8 buf byte_idx lsr bit_in_byte) land mask in
+    result := Int64.logor !result (Int64.shift_left (Int64.of_int chunk) !shift);
+    shift := !shift + take;
+    boff := !boff + take;
+    remaining := !remaining - take
+  done;
+  !result
+
+let alloc l = Bytes.make l.total_bytes '\000'
+
+let set l buf ~slot value =
+  let s = l.slots.(slot) in
+  write_bits buf ~bit_offset:s.bit_offset ~bits:s.field.bits value
+
+let get l buf ~slot =
+  let s = l.slots.(slot) in
+  read_bits buf ~bit_offset:s.bit_offset ~bits:s.field.bits
+
+(* Bytes a conventional stack would use: each field in its own
+   word-aligned (4-byte-multiple) header, the overhead the paper
+   complains about. *)
+let padded_bytes fields =
+  List.fold_left (fun acc f -> acc + (((f.bits + 7) / 8 + 3) / 4 * 4)) 0 fields

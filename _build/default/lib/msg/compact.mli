@@ -1,0 +1,40 @@
+(** Precomputed compacted headers (Section 10, remedy 3).
+
+    Layers declare fields in bits; the stack precomputes one packed
+    layout, eliminating per-layer header push/pop and alignment
+    padding. *)
+
+type field = private {
+  layer : string;
+  name : string;
+  bits : int;
+}
+
+type layout
+
+val field : layer:string -> name:string -> bits:int -> field
+(** [bits] must be in 1..64. *)
+
+val layout : field list -> layout
+(** Pack fields tightly in declaration order. Raises on duplicate
+    (layer, name) pairs. *)
+
+val total_bytes : layout -> int
+val total_bits : layout -> int
+val slot_count : layout -> int
+
+val find : layout -> layer:string -> name:string -> int
+(** Slot index of a field. *)
+
+val alloc : layout -> Bytes.t
+(** Zeroed header blob of the layout's size. *)
+
+val set : layout -> Bytes.t -> slot:int -> int64 -> unit
+val get : layout -> Bytes.t -> slot:int -> int64
+
+val write_bits : Bytes.t -> bit_offset:int -> bits:int -> int64 -> unit
+val read_bits : Bytes.t -> bit_offset:int -> bits:int -> int64
+
+val padded_bytes : field list -> int
+(** Bytes the conventional one-word-aligned-header-per-layer scheme
+    would use for the same fields. *)

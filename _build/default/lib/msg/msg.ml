@@ -1,0 +1,180 @@
+(* The Horus message object (Section 3).
+
+   A message is a byte buffer with headroom at the front. Layers push
+   headers as the message travels down the stack and pop them as it
+   travels up, like a stack. Pushing writes immediately before [off];
+   popping reads at [off] and advances it. No data is copied on a
+   push/pop, only on headroom growth.
+
+   All multi-byte fields are big-endian. *)
+
+type t = {
+  mutable buf : Bytes.t;
+  mutable off : int;  (* start of live bytes *)
+  mutable len : int;  (* number of live bytes *)
+}
+
+let default_headroom = 64
+
+exception Truncated of string
+
+let create ?(headroom = default_headroom) payload =
+  let plen = String.length payload in
+  let buf = Bytes.create (headroom + plen) in
+  Bytes.blit_string payload 0 buf headroom plen;
+  { buf; off = headroom; len = plen }
+
+let of_bytes ?(headroom = default_headroom) b =
+  let blen = Bytes.length b in
+  let buf = Bytes.create (headroom + blen) in
+  Bytes.blit b 0 buf headroom blen;
+  { buf; off = headroom; len = blen }
+
+let empty ?headroom () = create ?headroom ""
+
+let length t = t.len
+
+let copy t = { buf = Bytes.copy t.buf; off = t.off; len = t.len }
+
+let to_string t = Bytes.sub_string t.buf t.off t.len
+
+let to_bytes t = Bytes.sub t.buf t.off t.len
+
+(* Ensure at least [n] bytes of headroom before [off]. Doubles the
+   headroom when growing so that repeated pushes amortize. *)
+let reserve t n =
+  if t.off < n then begin
+    let need = n - t.off in
+    let grow = Int.max need (Bytes.length t.buf + default_headroom) in
+    let buf = Bytes.create (Bytes.length t.buf + grow) in
+    Bytes.blit t.buf t.off buf (t.off + grow) t.len;
+    t.buf <- buf;
+    t.off <- t.off + grow
+  end
+
+let check_pop t n what = if t.len < n then raise (Truncated what)
+
+(* --- fixed-width fields --- *)
+
+let push_u8 t v =
+  reserve t 1;
+  t.off <- t.off - 1;
+  t.len <- t.len + 1;
+  Bytes.set_uint8 t.buf t.off (v land 0xff)
+
+let pop_u8 t =
+  check_pop t 1 "u8";
+  let v = Bytes.get_uint8 t.buf t.off in
+  t.off <- t.off + 1;
+  t.len <- t.len - 1;
+  v
+
+let push_u16 t v =
+  reserve t 2;
+  t.off <- t.off - 2;
+  t.len <- t.len + 2;
+  Bytes.set_uint16_be t.buf t.off (v land 0xffff)
+
+let pop_u16 t =
+  check_pop t 2 "u16";
+  let v = Bytes.get_uint16_be t.buf t.off in
+  t.off <- t.off + 2;
+  t.len <- t.len - 2;
+  v
+
+let push_u32 t v =
+  reserve t 4;
+  t.off <- t.off - 4;
+  t.len <- t.len + 4;
+  Bytes.set_int32_be t.buf t.off (Int32.of_int (v land 0xffffffff))
+
+let pop_u32 t =
+  check_pop t 4 "u32";
+  let v = Int32.to_int (Bytes.get_int32_be t.buf t.off) land 0xffffffff in
+  t.off <- t.off + 4;
+  t.len <- t.len - 4;
+  v
+
+let push_i64 t v =
+  reserve t 8;
+  t.off <- t.off - 8;
+  t.len <- t.len + 8;
+  Bytes.set_int64_be t.buf t.off v
+
+let pop_i64 t =
+  check_pop t 8 "i64";
+  let v = Bytes.get_int64_be t.buf t.off in
+  t.off <- t.off + 8;
+  t.len <- t.len - 8;
+  v
+
+let push_bool t v = push_u8 t (if v then 1 else 0)
+
+let pop_bool t = pop_u8 t <> 0
+
+(* --- variable-length fields (u16 length prefix) --- *)
+
+let push_string t s =
+  let n = String.length s in
+  if n > 0xffff then invalid_arg "Msg.push_string: string too long";
+  reserve t (n + 2);
+  t.off <- t.off - n;
+  Bytes.blit_string s 0 t.buf t.off n;
+  t.len <- t.len + n;
+  push_u16 t n
+
+let pop_string t =
+  let n = pop_u16 t in
+  check_pop t n "string body";
+  let s = Bytes.sub_string t.buf t.off n in
+  t.off <- t.off + n;
+  t.len <- t.len - n;
+  s
+
+(* --- splitting and joining, for fragmentation layers --- *)
+
+(* [split_off t n] removes the last [n] bytes of [t] and returns them
+   as a new message. *)
+let split_off t n =
+  if n < 0 || n > t.len then invalid_arg "Msg.split_off";
+  let tail = Bytes.sub t.buf (t.off + t.len - n) n in
+  t.len <- t.len - n;
+  of_bytes tail
+
+(* [take_front t n] removes and returns the first [n] live bytes. *)
+let take_front t n =
+  if n < 0 || n > t.len then invalid_arg "Msg.take_front";
+  let head = Bytes.sub t.buf t.off n in
+  t.off <- t.off + n;
+  t.len <- t.len - n;
+  head
+
+let append t b =
+  (* Append raw bytes at the tail (used by reassembly). Grows the tail
+     as needed. *)
+  let n = Bytes.length b in
+  let cap = Bytes.length t.buf - (t.off + t.len) in
+  if cap < n then begin
+    let buf = Bytes.create (t.off + t.len + Int.max n (t.len + default_headroom)) in
+    Bytes.blit t.buf t.off buf t.off t.len;
+    t.buf <- buf
+  end;
+  Bytes.blit b 0 t.buf (t.off + t.len) n;
+  t.len <- t.len + n
+
+(* Replace the live bytes wholesale (used by transform layers such as
+   compression and encryption); headroom is re-established. *)
+let replace t b =
+  let n = Bytes.length b in
+  let buf = Bytes.create (default_headroom + n) in
+  Bytes.blit b 0 buf default_headroom n;
+  t.buf <- buf;
+  t.off <- default_headroom;
+  t.len <- n
+
+let equal a b = to_string a = to_string b
+
+let pp fmt t =
+  let s = to_string t in
+  let hex = String.concat "" (List.map (fun c -> Format.sprintf "%02x" (Char.code c)) (List.init (Int.min 16 (String.length s)) (String.get s))) in
+  Format.fprintf fmt "<msg len=%d %s%s>" t.len hex (if String.length s > 16 then "..." else "")

@@ -1,0 +1,60 @@
+(** The Horus message object (Section 3 of the paper).
+
+    A byte buffer with headroom at the front. Layers push headers going
+    down the stack and pop them coming up, like a stack. Multi-byte
+    fields are big-endian. *)
+
+type t
+
+exception Truncated of string
+(** Raised by pops on messages shorter than the requested field —
+    i.e. garbled or malformed traffic. *)
+
+val create : ?headroom:int -> string -> t
+(** [create payload] makes a message whose live bytes are [payload]. *)
+
+val of_bytes : ?headroom:int -> Bytes.t -> t
+
+val empty : ?headroom:int -> unit -> t
+
+val length : t -> int
+(** Number of live bytes (headers + payload). *)
+
+val copy : t -> t
+
+val to_string : t -> string
+(** Copy of the live bytes. *)
+
+val to_bytes : t -> Bytes.t
+
+val push_u8 : t -> int -> unit
+val pop_u8 : t -> int
+val push_u16 : t -> int -> unit
+val pop_u16 : t -> int
+val push_u32 : t -> int -> unit
+val pop_u32 : t -> int
+val push_i64 : t -> int64 -> unit
+val pop_i64 : t -> int64
+val push_bool : t -> bool -> unit
+val pop_bool : t -> bool
+
+val push_string : t -> string -> unit
+(** Length-prefixed (u16) string. *)
+
+val pop_string : t -> string
+
+val split_off : t -> int -> t
+(** [split_off t n] removes the last [n] live bytes into a new message
+    (fragmentation). *)
+
+val take_front : t -> int -> Bytes.t
+(** Remove and return the first [n] live bytes. *)
+
+val append : t -> Bytes.t -> unit
+(** Append raw bytes at the tail (reassembly). *)
+
+val replace : t -> Bytes.t -> unit
+(** Replace the live bytes wholesale (compression, encryption). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+(* Codecs for addresses and address lists on messages.
+
+   Every layer that names endpoints in its headers (COM, MBRSHIP,
+   MERGE, ...) uses these, so all layers agree on one address format —
+   the paper notes this single-format property is what lets layers be
+   mixed and matched (Section 12). *)
+
+let push_endpoint m e = Msg.push_u32 m (Addr.endpoint_id e)
+
+let pop_endpoint m = Addr.endpoint (Msg.pop_u32 m)
+
+let push_group m g = Msg.push_u32 m (Addr.group_id g)
+
+let pop_group m = Addr.group (Msg.pop_u32 m)
+
+(* Lists are pushed in reverse so they pop in original order. *)
+let push_list push m l =
+  List.iter (push m) (List.rev l);
+  Msg.push_u16 m (List.length l)
+
+let pop_list pop m =
+  let n = Msg.pop_u16 m in
+  List.init n (fun _ -> pop m)
+
+let push_endpoint_list m l = push_list push_endpoint m l
+
+let pop_endpoint_list m = pop_list pop_endpoint m
+
+let push_int_list m l = push_list (fun m i -> Msg.push_u32 m i) m l
+
+let pop_int_list m = pop_list Msg.pop_u32 m

@@ -1,0 +1,17 @@
+(** Codecs for addresses and lists on messages — the single shared
+    address format that lets layers be mixed and matched. *)
+
+val push_endpoint : Msg.t -> Addr.endpoint -> unit
+val pop_endpoint : Msg.t -> Addr.endpoint
+val push_group : Msg.t -> Addr.group -> unit
+val pop_group : Msg.t -> Addr.group
+
+val push_list : (Msg.t -> 'a -> unit) -> Msg.t -> 'a list -> unit
+(** u16 count prefix; elements pop in original order. *)
+
+val pop_list : (Msg.t -> 'a) -> Msg.t -> 'a list
+
+val push_endpoint_list : Msg.t -> Addr.endpoint list -> unit
+val pop_endpoint_list : Msg.t -> Addr.endpoint list
+val push_int_list : Msg.t -> int list -> unit
+val pop_int_list : Msg.t -> int list

@@ -1,0 +1,1 @@
+lib/props/check.ml: Format Layer_spec List Property

@@ -1,0 +1,1 @@
+lib/props/check.mli: Format Layer_spec Property

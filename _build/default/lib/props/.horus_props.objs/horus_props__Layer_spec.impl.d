@@ -1,0 +1,1 @@
+lib/props/layer_spec.ml: Format List Property

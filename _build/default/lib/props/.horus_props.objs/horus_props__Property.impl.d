@@ -1,0 +1,1 @@
+lib/props/property.ml: Format Horus_util List Printf

@@ -1,0 +1,1 @@
+lib/props/property.mli: Format

@@ -1,0 +1,1 @@
+lib/props/search.ml: Check Hashtbl Horus_util Layer_spec List Property String

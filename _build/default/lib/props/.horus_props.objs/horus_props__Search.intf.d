@@ -1,0 +1,1 @@
+lib/props/search.mli: Layer_spec Property

@@ -1,0 +1,104 @@
+(* Well-formedness checking and property derivation (Section 6).
+
+   A stack is well-formed if, for each layer, all its required
+   properties are guaranteed by the stack underneath it. The property
+   set above a layer is
+
+     provides(layer) ∪ (inherits(layer) ∩ below)
+
+   i.e. a layer contributes its own guarantees and passes through the
+   subset of the guarantees beneath it that it declares inherited. *)
+
+type error = {
+  layer : string;
+  missing : Property.Set.t;  (* required but not guaranteed below *)
+  below : Property.Set.t;    (* what was available below the layer *)
+}
+
+let pp_error fmt e =
+  Format.fprintf fmt "layer %s requires %a but only %a is available below" e.layer
+    Property.Set.pp e.missing Property.Set.pp e.below
+
+(* One composition step: [below] is the property set under the layer. *)
+let step below (spec : Layer_spec.t) =
+  if Property.Set.subset spec.requires below then
+    Ok (Property.Set.union spec.provides (Property.Set.inter spec.inherits below))
+  else
+    Error { layer = spec.name; missing = Property.Set.diff spec.requires below; below }
+
+(* [derive ~net layers] folds from the network upward. [layers] is
+   top-first, matching stack spec strings (TOTAL:...:COM means COM is
+   applied to the network first). *)
+let derive ~net layers =
+  List.fold_left
+    (fun acc spec ->
+       match acc with
+       | Error _ as e -> e
+       | Ok below -> step below spec)
+    (Ok net) (List.rev layers)
+
+let derive_names ~net names = derive ~net (List.map Layer_spec.find_exn names)
+
+let well_formed ~net layers =
+  match derive ~net layers with
+  | Ok _ -> true
+  | Error _ -> false
+
+(* Does the stack provide at least [required] for the application? *)
+let satisfies ~net ~required layers =
+  match derive ~net layers with
+  | Ok props -> Property.Set.subset required props
+  | Error _ -> false
+
+let total_cost layers = List.fold_left (fun acc (s : Layer_spec.t) -> acc + s.cost) 0 layers
+
+(* Intermediate property sets, bottom-up: the set under the bottom
+   layer (= net) first, the set above the top layer last. Useful for
+   explaining a derivation. *)
+let trace ~net layers =
+  let rec loop below acc = function
+    | [] -> Ok (List.rev (below :: acc))
+    | spec :: rest ->
+      (match step below spec with
+       | Ok above -> loop above (below :: acc) rest
+       | Error _ as e -> e)
+  in
+  loop net [] (List.rev layers)
+
+(* Section 8 asks to "help decide when the stacking order of two layers
+   matters". At the algebra level, swapping adjacent layers matters
+   when it changes well-formedness or the derived property set. *)
+type order_verdict =
+  | Order_equivalent of Property.Set.t        (* both orders work, same result *)
+  | Order_differs of Property.Set.t * Property.Set.t  (* both work, different sets *)
+  | Only_first_works of Property.Set.t        (* upper:lower works, swap does not *)
+  | Only_second_works of Property.Set.t
+  | Neither_works
+
+let order_matters ~net ~(upper : Layer_spec.t) ~(lower : Layer_spec.t) =
+  let try_order a b =
+    match step net b with
+    | Error _ -> None
+    | Ok mid ->
+      (match step mid a with
+       | Error _ -> None
+       | Ok top -> Some top)
+  in
+  match (try_order upper lower, try_order lower upper) with
+  | Some p1, Some p2 ->
+    if Property.Set.equal p1 p2 then Order_equivalent p1 else Order_differs (p1, p2)
+  | Some p1, None -> Only_first_works p1
+  | None, Some p2 -> Only_second_works p2
+  | None, None -> Neither_works
+
+let pp_order_verdict fmt = function
+  | Order_equivalent p ->
+    Format.fprintf fmt "order does not matter: both yield %a" Property.Set.pp p
+  | Order_differs (p1, p2) ->
+    Format.fprintf fmt "both orders are well-formed but differ: %a vs %a" Property.Set.pp p1
+      Property.Set.pp p2
+  | Only_first_works p ->
+    Format.fprintf fmt "only the given order is well-formed, yielding %a" Property.Set.pp p
+  | Only_second_works p ->
+    Format.fprintf fmt "only the swapped order is well-formed, yielding %a" Property.Set.pp p
+  | Neither_works -> Format.fprintf fmt "neither order is well-formed over this network"

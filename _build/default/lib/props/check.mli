@@ -1,0 +1,48 @@
+(** Well-formedness checking and property derivation for stacks
+    (Section 6). Layer lists are top-first, matching spec strings. *)
+
+type error = {
+  layer : string;
+  missing : Property.Set.t;
+  below : Property.Set.t;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+val step : Property.Set.t -> Layer_spec.t -> (Property.Set.t, error) result
+(** [step below spec] = [provides ∪ (inherits ∩ below)], or the unmet
+    requirements. *)
+
+val derive : net:Property.Set.t -> Layer_spec.t list -> (Property.Set.t, error) result
+(** Property set above the top of the stack, folding up from the
+    network. *)
+
+val derive_names : net:Property.Set.t -> string list -> (Property.Set.t, error) result
+
+val well_formed : net:Property.Set.t -> Layer_spec.t list -> bool
+
+val satisfies : net:Property.Set.t -> required:Property.Set.t -> Layer_spec.t list -> bool
+
+val total_cost : Layer_spec.t list -> int
+
+val trace : net:Property.Set.t -> Layer_spec.t list -> (Property.Set.t list, error) result
+(** Intermediate property sets bottom-up (net first, top last). *)
+
+(** {1 Stacking order}
+
+    Section 8 asks to "help decide when the stacking order of two
+    layers matters"; at the algebra level, it matters when swapping
+    adjacent layers changes well-formedness or the derived set. *)
+
+type order_verdict =
+  | Order_equivalent of Property.Set.t
+  | Order_differs of Property.Set.t * Property.Set.t
+  | Only_first_works of Property.Set.t
+  | Only_second_works of Property.Set.t
+  | Neither_works
+
+val order_matters :
+  net:Property.Set.t -> upper:Layer_spec.t -> lower:Layer_spec.t -> order_verdict
+(** Compare [upper:lower] against [lower:upper] over [net]. *)
+
+val pp_order_verdict : Format.formatter -> order_verdict -> unit

@@ -1,0 +1,43 @@
+(** Table 3: per-layer Required / Provided / Inherited property sets,
+    plus a relative cost for minimal-stack synthesis.
+
+    See the .ml for the reconstruction notes (the paper's scan is
+    OCR-noisy; the encoding is anchored on the clean R columns, the
+    prose, and the Section 7 worked example). *)
+
+type t = {
+  name : string;
+  requires : Property.Set.t;
+  provides : Property.Set.t;
+  inherits : Property.Set.t;
+  cost : int;
+}
+
+val com : t
+val nfrag : t
+val nak : t
+val nnak : t
+val frag : t
+val mbrship : t
+val bms : t
+val vss : t
+val flush : t
+val stable : t
+val pinwheel : t
+val total : t
+val order_causal : t
+val order_safe : t
+val merge : t
+
+val table3 : t list
+(** The fifteen rows of Table 3, in the paper's order. *)
+
+val extras : t list
+(** Property-transparent layers implemented here but outside Table 3
+    (checksums, crypto, flow control, tracing, no-op). *)
+
+val all : t list
+
+val find : string -> t option
+val find_exn : string -> t
+val pp : Format.formatter -> t -> unit

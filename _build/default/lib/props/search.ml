@@ -1,0 +1,84 @@
+(* Minimal-stack synthesis (Section 6): "given a set of network
+   properties and required properties for an application, it is
+   possible to figure out if a stack exists that can implement the
+   requirements ... we can even create a minimal stack."
+
+   States are property sets (16 bits, so at most 65536 states); an edge
+   applies one layer whose requirements are met, at that layer's cost.
+   Dijkstra over this graph yields the cheapest stack. Ties break on
+   fewer layers, then on Table 3 order, so results are deterministic. *)
+
+type result_stack = {
+  layers : Layer_spec.t list;  (* top-first, like spec strings *)
+  provides : Property.Set.t;
+  cost : int;
+}
+
+(* Priority queue keys: cost, then depth, then insertion order. *)
+type node = {
+  key : int * int * int;
+  props : Property.Set.t;
+  path : Layer_spec.t list;  (* reverse order of application = top-first *)
+}
+
+let search ?(layers = Layer_spec.all) ~net ~required () =
+  let module H = Horus_util.Heap in
+  let best : (Property.Set.t, int * int) Hashtbl.t = Hashtbl.create 256 in
+  let queue = H.create ~compare:(fun a b -> compare a.key b.key) in
+  let counter = ref 0 in
+  let push ~cost ~depth props path =
+    incr counter;
+    H.push queue { key = (cost, depth, !counter); props; path }
+  in
+  push ~cost:0 ~depth:0 net [];
+  let rec loop () =
+    match H.pop queue with
+    | None -> None
+    | Some { key = (cost, depth, _); props; path } ->
+      if Property.Set.subset required props then
+        Some { layers = path; provides = props; cost }
+      else begin
+        let dominated =
+          match Hashtbl.find_opt best props with
+          | Some (c, d) -> (c, d) <= (cost, depth)
+          | None -> false
+        in
+        if dominated then loop ()
+        else begin
+          Hashtbl.replace best props (cost, depth);
+          List.iter
+            (fun (spec : Layer_spec.t) ->
+               match Check.step props spec with
+               | Error _ -> ()
+               | Ok above ->
+                 if not (Property.Set.equal above props) then
+                   push ~cost:(cost + spec.cost) ~depth:(depth + 1) above (spec :: path))
+            layers;
+          loop ()
+        end
+      end
+  in
+  loop ()
+
+let spec_string result = String.concat ":" (List.map (fun (s : Layer_spec.t) -> s.name) result.layers)
+
+(* All well-formed stacks over [layers] up to [max_depth] that satisfy
+   [required]; used by exhaustiveness tests and the "LEGO" bench. *)
+let enumerate ?(layers = Layer_spec.all) ?(max_depth = 6) ~net ~required () =
+  let results = ref [] in
+  (* [path] head is the most recently applied layer, i.e. the top. *)
+  let rec go props path depth =
+    if Property.Set.subset required props && path <> [] then
+      results := path :: !results;
+    if depth < max_depth then
+      List.iter
+        (fun (spec : Layer_spec.t) ->
+           match Check.step props spec with
+           | Error _ -> ()
+           | Ok above ->
+             if not (Property.Set.equal above props) then
+               go above (spec :: path) (depth + 1))
+        layers
+  in
+  go net [] 0;
+  List.rev !results

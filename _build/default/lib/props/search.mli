@@ -1,0 +1,30 @@
+(** Minimal-stack synthesis: given network properties and application
+    requirements, find the cheapest well-formed stack (Section 6). *)
+
+type result_stack = {
+  layers : Layer_spec.t list;  (** top-first, like spec strings *)
+  provides : Property.Set.t;
+  cost : int;
+}
+
+val search :
+  ?layers:Layer_spec.t list ->
+  net:Property.Set.t ->
+  required:Property.Set.t ->
+  unit ->
+  result_stack option
+(** Dijkstra over property sets; ties break on fewer layers then on
+    catalogue order, so results are deterministic. [None] when no
+    stack over [layers] can provide [required]. *)
+
+val spec_string : result_stack -> string
+(** "TOTAL:MBRSHIP:...:COM" form of a result. *)
+
+val enumerate :
+  ?layers:Layer_spec.t list ->
+  ?max_depth:int ->
+  net:Property.Set.t ->
+  required:Property.Set.t ->
+  unit ->
+  Layer_spec.t list list
+(** All satisfying stacks up to [max_depth] (top-first each). *)

@@ -1,0 +1,1 @@
+lib/sim/net.ml: Bytes Char Engine Hashtbl Horus_util List

@@ -1,0 +1,87 @@
+(* Discrete-event simulation engine.
+
+   Time is a float (seconds). Events at equal times fire in scheduling
+   order (a monotonic sequence number breaks ties), which makes every
+   run deterministic. The whole Horus stack — timers, network delivery,
+   endpoint event queues — runs as thunks on this engine. *)
+
+type handle = { mutable cancelled : bool }
+
+type event = {
+  time : float;
+  seq : int;
+  thunk : unit -> unit;
+  handle : handle;
+}
+
+type t = {
+  mutable now : float;
+  mutable next_seq : int;
+  mutable executed : int;
+  queue : event Horus_util.Heap.t;
+}
+
+let compare_event a b =
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
+
+let create () =
+  { now = 0.0; next_seq = 0; executed = 0; queue = Horus_util.Heap.create ~compare:compare_event }
+
+let now t = t.now
+
+let executed t = t.executed
+
+let pending t = Horus_util.Heap.length t.queue
+
+let schedule_at t ~time thunk =
+  if time < t.now then invalid_arg "Engine.schedule_at: time in the past";
+  let handle = { cancelled = false } in
+  Horus_util.Heap.push t.queue { time; seq = t.next_seq; thunk; handle };
+  t.next_seq <- t.next_seq + 1;
+  handle
+
+let schedule t ~delay thunk =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.now +. delay) thunk
+
+let cancel handle = handle.cancelled <- true
+
+let cancelled handle = handle.cancelled
+
+(* Run one event; false when the queue is empty. *)
+let step t =
+  match Horus_util.Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+    t.now <- ev.time;
+    if not ev.handle.cancelled then begin
+      t.executed <- t.executed + 1;
+      ev.thunk ()
+    end;
+    true
+
+exception Budget_exhausted of int
+
+(* Run until the queue drains. [max_events] guards against protocol
+   bugs that generate work forever (retransmission storms). *)
+let run ?(max_events = 10_000_000) t =
+  let budget = ref max_events in
+  while step t do
+    decr budget;
+    if !budget <= 0 then raise (Budget_exhausted max_events)
+  done
+
+let run_until ?(max_events = 10_000_000) t ~time =
+  let budget = ref max_events in
+  let continue = ref true in
+  while !continue do
+    match Horus_util.Heap.peek t.queue with
+    | Some ev when ev.time <= time ->
+      ignore (step t);
+      decr budget;
+      if !budget <= 0 then raise (Budget_exhausted max_events)
+    | Some _ | None ->
+      continue := false
+  done;
+  if t.now < time then t.now <- time

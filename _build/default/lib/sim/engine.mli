@@ -1,0 +1,44 @@
+(** Discrete-event simulation engine.
+
+    Time is a float in seconds. Events at equal times fire in
+    scheduling order, making runs deterministic. *)
+
+type t
+
+type handle
+(** Cancellation handle for a scheduled event. *)
+
+exception Budget_exhausted of int
+(** Raised by {!run}/{!run_until} when the event budget is hit — a
+    guard against runaway protocols. *)
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time. *)
+
+val executed : t -> int
+(** Number of events executed so far. *)
+
+val pending : t -> int
+(** Number of events still queued. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** Schedule a thunk at an absolute time (must not be in the past). *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** Schedule a thunk after a relative delay (must be non-negative). *)
+
+val cancel : handle -> unit
+(** Cancelled events are skipped when their time arrives. *)
+
+val cancelled : handle -> bool
+
+val step : t -> bool
+(** Execute the next event; [false] when the queue is empty. *)
+
+val run : ?max_events:int -> t -> unit
+(** Run until quiescence. *)
+
+val run_until : ?max_events:int -> t -> time:float -> unit
+(** Run all events with time <= [time]; advances [now] to [time]. *)

@@ -1,0 +1,38 @@
+(* Event trace recorder. Tests of protocol scenarios (e.g. the Figure 2
+   flush) assert on the recorded sequence; the TRACE layer also writes
+   here. *)
+
+type entry = {
+  time : float;
+  category : string;
+  detail : string;
+}
+
+type t = {
+  mutable entries : entry list;  (* reverse order *)
+  mutable count : int;
+  limit : int;
+}
+
+let create ?(limit = 100_000) () = { entries = []; count = 0; limit }
+
+let record t ~time ~category detail =
+  if t.count < t.limit then begin
+    t.entries <- { time; category; detail } :: t.entries;
+    t.count <- t.count + 1
+  end
+
+let entries t = List.rev t.entries
+
+let count t = t.count
+
+let clear t =
+  t.entries <- [];
+  t.count <- 0
+
+let find t ~category = List.filter (fun e -> e.category = category) (entries t)
+
+let pp_entry fmt e = Format.fprintf fmt "[%8.4f] %-12s %s" e.time e.category e.detail
+
+let dump fmt t =
+  List.iter (fun e -> Format.fprintf fmt "%a@." pp_entry e) (entries t)

@@ -1,0 +1,18 @@
+(** Event trace recorder for scenario tests and the TRACE layer. *)
+
+type entry = {
+  time : float;
+  category : string;
+  detail : string;
+}
+
+type t
+
+val create : ?limit:int -> unit -> t
+val record : t -> time:float -> category:string -> string -> unit
+val entries : t -> entry list
+val count : t -> int
+val clear : t -> unit
+val find : t -> category:string -> entry list
+val pp_entry : Format.formatter -> entry -> unit
+val dump : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/util/crc.ml: Bytes Char Int64

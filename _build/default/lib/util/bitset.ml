@@ -1,0 +1,50 @@
+(* Small immutable bitsets backed by an [int] (up to 62 elements).
+   Used for property sets (P1..P16) in the stack algebra, where cheap
+   value semantics and hashability matter for the synthesis search. *)
+
+type t = int
+
+let max_bits = 62
+
+let empty = 0
+
+let singleton i =
+  if i < 0 || i >= max_bits then invalid_arg "Bitset.singleton";
+  1 lsl i
+
+let add t i = t lor singleton i
+
+let remove t i = t land lnot (singleton i)
+
+let mem t i = i >= 0 && i < max_bits && t land (1 lsl i) <> 0
+
+let union a b = a lor b
+
+let inter a b = a land b
+
+let diff a b = a land lnot b
+
+let subset a b = a land b = a
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let is_empty t = t = 0
+
+let of_list l = List.fold_left add empty l
+
+let to_list t =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (if mem t i then i :: acc else acc) in
+  loop (max_bits - 1) []
+
+let cardinal t =
+  let rec loop t acc = if t = 0 then acc else loop (t land (t - 1)) (acc + 1) in
+  loop t 0
+
+let fold f t acc = List.fold_left (fun acc i -> f i acc) acc (to_list t)
+
+let pp ?(elt = Format.pp_print_int) fmt t =
+  Format.fprintf fmt "{%a}" (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",") elt) (to_list t)
+
+let hash (t : t) = Hashtbl.hash t

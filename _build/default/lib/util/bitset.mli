@@ -1,0 +1,26 @@
+(** Small immutable bitsets backed by an [int] (elements 0..61). *)
+
+type t = private int
+
+val max_bits : int
+val empty : t
+val singleton : int -> t
+val add : t -> int -> t
+val remove : t -> int -> t
+val mem : t -> int -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val subset : t -> t -> bool
+(** [subset a b] is true when every element of [a] is in [b]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_empty : t -> bool
+val of_list : int list -> t
+val to_list : t -> int list
+val cardinal : t -> int
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val pp : ?elt:(Format.formatter -> int -> unit) -> Format.formatter -> t -> unit
+val hash : t -> int

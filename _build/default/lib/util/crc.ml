@@ -1,0 +1,31 @@
+(* Checksums and keyed MACs for the CHKSUM and SIGN layers.
+
+   FNV-1a is a non-cryptographic hash; the SIGN layer's "MAC" mixes a
+   key into the initial state. That is enough to exercise the protocol
+   behaviour (reject tampered or forged traffic); cipher strength is
+   out of scope for the reproduction (see DESIGN.md substitutions). *)
+
+let fnv_offset = 0xCBF29CE484222325L
+let fnv_prime = 0x100000001B3L
+
+let fnv1a64 ?(init = fnv_offset) b ~off ~len =
+  let h = ref init in
+  for i = off to off + len - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code (Bytes.get b i)));
+    h := Int64.mul !h fnv_prime
+  done;
+  !h
+
+let checksum b ~off ~len = fnv1a64 b ~off ~len
+
+let checksum_string s =
+  let b = Bytes.unsafe_of_string s in
+  fnv1a64 b ~off:0 ~len:(Bytes.length b)
+
+(* Keyed MAC: hash the key into the initial state, then the data, then
+   the key again (sandwich construction). *)
+let mac ~key b ~off ~len =
+  let kb = Bytes.of_string key in
+  let h = fnv1a64 kb ~off:0 ~len:(Bytes.length kb) in
+  let h = fnv1a64 ~init:h b ~off ~len in
+  fnv1a64 ~init:h kb ~off:0 ~len:(Bytes.length kb)

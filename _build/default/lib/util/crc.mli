@@ -1,0 +1,11 @@
+(** Checksums and keyed MACs for the CHKSUM and SIGN layers. *)
+
+val fnv1a64 : ?init:int64 -> Bytes.t -> off:int -> len:int -> int64
+(** FNV-1a 64-bit hash of a byte range. *)
+
+val checksum : Bytes.t -> off:int -> len:int -> int64
+
+val checksum_string : string -> int64
+
+val mac : key:string -> Bytes.t -> off:int -> len:int -> int64
+(** Keyed MAC (sandwich FNV); non-cryptographic stand-in, see DESIGN.md. *)

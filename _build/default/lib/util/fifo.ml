@@ -1,0 +1,19 @@
+(* Mutable FIFO queue. A thin wrapper over [Queue] with the operations
+   the endpoint event loop needs; kept as its own module so that the
+   event-queue discipline of the paper reads explicitly in the code. *)
+
+type 'a t = 'a Queue.t
+
+let create () = Queue.create ()
+
+let push t x = Queue.push x t
+
+let pop t = if Queue.is_empty t then None else Some (Queue.pop t)
+
+let is_empty t = Queue.is_empty t
+
+let length t = Queue.length t
+
+let clear t = Queue.clear t
+
+let iter f t = Queue.iter f t

@@ -1,0 +1,11 @@
+(** Mutable FIFO queue used for per-endpoint event queues. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val clear : 'a t -> unit
+val iter : ('a -> unit) -> 'a t -> unit

@@ -1,0 +1,22 @@
+(** Binary min-heap with a user-supplied comparison. *)
+
+type 'a t
+
+val create : compare:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the smallest element. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Sorted contents; does not disturb the heap. *)

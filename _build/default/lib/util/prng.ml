@@ -1,0 +1,62 @@
+(* Deterministic splitmix64 pseudo-random number generator.
+
+   All randomness in the repository flows through this module so that
+   every simulation — including crash and partition scenarios — replays
+   identically from a seed. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 step: state += 0x9E3779B97F4A7C15; mix with two xor-shifts. *)
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Non-negative int in [0, 2^62). *)
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  bits t mod bound
+
+let float t bound =
+  let x = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  (* 2^53 values mapped into [0, bound) *)
+  x /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Bernoulli trial with probability [p]. *)
+let chance t p = if p <= 0.0 then false else if p >= 1.0 then true else float t 1.0 < p
+
+(* Exponentially distributed value with the given mean (for inter-arrival
+   times in workload generators). *)
+let exponential t ~mean =
+  let u = float t 1.0 in
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u
+
+let shuffle_in_place t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let bytes t n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set b i (Char.chr (int t 256))
+  done;
+  b

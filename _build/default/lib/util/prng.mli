@@ -1,0 +1,40 @@
+(** Deterministic splitmix64 pseudo-random number generator.
+
+    All randomness in the simulator and workload generators flows
+    through this module so that runs replay identically from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator. *)
+
+val copy : t -> t
+(** Independent copy with the same state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val bits : t -> int
+(** Non-negative int drawn from the top 62 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises on [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is a Bernoulli trial with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample with the given mean. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val bytes : t -> int -> Bytes.t
+(** [bytes t n] is [n] uniformly random bytes. *)

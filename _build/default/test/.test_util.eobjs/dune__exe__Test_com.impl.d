@@ -1,0 +1,1 @@
+test/test_com.ml: Addr Alcotest Endpoint Event Group Horus Horus_hcpi Horus_layers Horus_sim Horus_util List Msg Option Socket Spec String View World

@@ -1,0 +1,1 @@
+test/test_compose.ml: Addr Alcotest Endpoint Event Group Horus Horus_props Horus_sim List Msg Printf Registry Spec String View World

@@ -1,0 +1,1 @@
+test/test_conformance.ml: Addr Alcotest Endpoint Group Horus Horus_props List Printf Spec String View World

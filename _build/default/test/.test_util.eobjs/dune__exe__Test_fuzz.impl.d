@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Addr Alcotest Endpoint Event Float Group Horus Horus_sim Horus_util Int List Msg Printf String View World

@@ -1,0 +1,1 @@
+test/test_hcpi.ml: Addr Alcotest Endpoint Event Group Hashtbl Horus Horus_sim List View World

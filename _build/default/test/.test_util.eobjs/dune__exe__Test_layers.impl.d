@@ -1,0 +1,1 @@
+test/test_layers.ml: Addr Alcotest Char Endpoint Group Horus Horus_sim List Printf String View World

@@ -1,0 +1,1 @@
+test/test_mbrship.ml: Addr Alcotest Endpoint Event Group Horus Horus_sim List Msg Option Printf String View World

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Automaton Flush_model Horus_model List String Takeover_model Total_model

@@ -1,0 +1,1 @@
+test/test_msg.ml: Addr Alcotest Bytes Compact Gen Horus_msg Int64 List Msg QCheck QCheck_alcotest Wire

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Check Gen Horus_props Layer_spec List Printf Property QCheck QCheck_alcotest Search

@@ -1,0 +1,1 @@
+test/test_quickcheck.ml: Alcotest Bytes Float Gen Horus_hcpi Horus_layers Horus_msg Horus_props Horus_sim Int List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_services.ml: Addr Alcotest Array Endpoint Event Float Group Horus Horus_hcpi Horus_sim List Msg Printf Rpc State_transfer String World

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bytes Engine Horus_sim List Net String Trace

@@ -1,0 +1,1 @@
+test/test_upper.ml: Addr Alcotest Array Char Endpoint Event Group Horus Horus_sim Int List Msg Printf String View World

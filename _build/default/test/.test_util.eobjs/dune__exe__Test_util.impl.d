@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitset Bytes Char Crc Gen Heap Horus_util Int List Prng QCheck QCheck_alcotest String

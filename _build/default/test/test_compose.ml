@@ -1,0 +1,269 @@
+(* Composition tests: the decomposed FLUSH:BMS and VSS:BMS stacks must
+   provide the same virtual synchrony as the monolithic MBRSHIP, and
+   deep stacks combining many layers must work together — the LEGO
+   claim of the paper, exercised end to end. *)
+
+open Horus
+
+let spawn ?(spec = "MBRSHIP:FRAG:NAK:COM") ?(n = 3) ?(settle = 2.0) world =
+  let g = World.fresh_group_addr world in
+  let founder = Group.join (Endpoint.create world ~spec) g in
+  World.run_for world ~duration:0.2;
+  let rest =
+    List.init (n - 1) (fun _ ->
+        let m = Group.join ~contact:(Group.addr founder) (Endpoint.create world ~spec) g in
+        World.run_for world ~duration:0.5;
+        m)
+  in
+  World.run_for world ~duration:settle;
+  founder :: rest
+
+let check_same_view msg groups =
+  let views =
+    List.map
+      (fun gr ->
+         match Group.view gr with
+         | Some v -> (View.ltime v, List.map Addr.endpoint_id (View.members v))
+         | None -> (-1, []))
+      groups
+  in
+  match views with
+  | [] -> ()
+  | first :: rest ->
+    List.iteri
+      (fun i v ->
+         Alcotest.(check (pair int (list int))) (Printf.sprintf "%s (member %d)" msg (i + 1))
+           first v)
+      rest
+
+(* The Figure 2 scenario, but over the decomposed stack: BMS provides
+   only consistent views; the FLUSH (or VSS) layer above must recover
+   D's message M for A and B. *)
+let figure2_over spec =
+  let world = World.create ~seed:7 () in
+  let groups = spawn ~spec ~n:4 ~settle:3.0 world in
+  let a, b, c, d = match groups with [ a; b; c; d ] -> (a, b, c, d) | _ -> assert false in
+  let n gr = Addr.endpoint_id (Group.addr gr) in
+  Horus_sim.Net.partition (World.net world) [ [ n c; n d ]; [ n a; n b ] ];
+  Group.cast d "M";
+  World.run_for world ~duration:0.02;
+  Endpoint.crash (Group.endpoint d);
+  Horus_sim.Net.heal (World.net world);
+  World.run_for world ~duration:6.0;
+  List.iteri
+    (fun i gr ->
+       Alcotest.(check (list string)) (Printf.sprintf "survivor %d delivered M" i) [ "M" ]
+         (Group.casts gr))
+    [ a; b; c ];
+  check_same_view "survivors agree" [ a; b; c ];
+  Alcotest.(check int) "three members" 3
+    (match Group.view a with Some v -> View.size v | None -> 0)
+
+let test_flush_over_bms_figure2 () = figure2_over "FLUSH:BMS:FRAG:NAK:COM"
+
+let test_vss_over_bms_figure2 () = figure2_over "VSS:BMS:FRAG:NAK:COM"
+
+let test_bms_alone_may_lose () =
+  (* Control experiment: without the FLUSH layer, BMS installs
+     consistent views but A and B never see M — that is precisely the
+     property gap between P8 and P9. *)
+  let world = World.create ~seed:7 () in
+  let groups = spawn ~spec:"BMS:FRAG:NAK:COM" ~n:4 ~settle:3.0 world in
+  let a, b, c, d = match groups with [ a; b; c; d ] -> (a, b, c, d) | _ -> assert false in
+  let n gr = Addr.endpoint_id (Group.addr gr) in
+  Horus_sim.Net.partition (World.net world) [ [ n c; n d ]; [ n a; n b ] ];
+  Group.cast d "M";
+  World.run_for world ~duration:0.02;
+  Endpoint.crash (Group.endpoint d);
+  Horus_sim.Net.heal (World.net world);
+  World.run_for world ~duration:6.0;
+  check_same_view "views still consistent" [ a; b; c ];
+  Alcotest.(check (list string)) "C alone saw M" [ "M" ] (Group.casts c);
+  Alcotest.(check (list string)) "A missed M (semi-synchrony)" [] (Group.casts a);
+  Alcotest.(check (list string)) "B missed M (semi-synchrony)" [] (Group.casts b)
+
+let test_flush_normal_traffic () =
+  let world = World.create () in
+  let groups = spawn ~spec:"FLUSH:BMS:FRAG:NAK:COM" ~n:3 world in
+  let a = List.hd groups in
+  let msgs = List.init 10 (Printf.sprintf "m%d") in
+  List.iter (Group.cast a) msgs;
+  World.run_for world ~duration:2.0;
+  List.iter
+    (fun gr -> Alcotest.(check (list string)) "all delivered in order" msgs (Group.casts gr))
+    groups
+
+let vs_under_traffic spec seed =
+  (* Continuous casting while a member crashes; survivors must deliver
+     identical (payload, epoch) multisets — the same invariant the
+     MBRSHIP suite checks, here against the decomposed stacks. *)
+  let world = World.create ~seed () in
+  let groups = spawn ~spec ~n:4 ~settle:3.0 world in
+  let a, b, c, d = match groups with [ a; b; c; d ] -> (a, b, c, d) | _ -> assert false in
+  let recs =
+    List.map
+      (fun gr ->
+         let r = ref [] in
+         Group.set_on_up gr (fun ev ->
+             match ev with
+             | Event.U_cast (_, m, _) ->
+               let e = match Group.view gr with Some v -> View.ltime v | None -> -1 in
+               r := (Msg.to_string m, e) :: !r
+             | _ -> ());
+         r)
+      [ a; b; c ]
+  in
+  List.iteri
+    (fun i gr ->
+       for k = 0 to 19 do
+         World.after world ~delay:(0.002 *. float_of_int k) (fun () ->
+             Group.cast gr (Printf.sprintf "v%d-%02d" i k))
+       done)
+    [ a; b ];
+  World.after world ~delay:0.02 (fun () -> Endpoint.crash (Group.endpoint d));
+  World.run_for world ~duration:8.0;
+  (match recs with
+   | r0 :: rest ->
+     List.iteri
+       (fun i r ->
+          Alcotest.(check (list (pair string int)))
+            (Printf.sprintf "%s: survivor %d matches survivor 0" spec (i + 1))
+            (List.sort compare !r0) (List.sort compare !r))
+       rest;
+     Alcotest.(check int) (spec ^ ": all 40 delivered") 40 (List.length !r0)
+   | [] -> ());
+  check_same_view (spec ^ ": final view") [ a; b; c ]
+
+let test_flush_bms_vs_under_traffic () = vs_under_traffic "FLUSH:BMS:FRAG:NAK:COM" 81
+
+let test_vss_bms_vs_under_traffic () = vs_under_traffic "VSS:BMS:FRAG:NAK:COM" 83
+
+let test_total_over_decomposed_stack () =
+  (* The paper's headline property set out of entirely different LEGO
+     bricks: TOTAL over FLUSH:BMS instead of over MBRSHIP. *)
+  let world = World.create ~seed:13 () in
+  let spec = "TOTAL:FLUSH:BMS:FRAG:NAK:COM" in
+  let groups = spawn ~spec ~n:3 ~settle:3.0 world in
+  List.iteri
+    (fun i gr ->
+       for k = 0 to 7 do
+         World.after world ~delay:(0.002 *. float_of_int k) (fun () ->
+             Group.cast gr (Printf.sprintf "d%d-%d" i k))
+       done)
+    groups;
+  World.run_for world ~duration:4.0;
+  match List.map Group.casts groups with
+  | first :: rest ->
+    Alcotest.(check int) "all 24" 24 (List.length first);
+    List.iteri
+      (fun i s ->
+         Alcotest.(check (list string)) (Printf.sprintf "member %d agrees" (i + 1)) first s)
+      rest
+  | [] -> ()
+
+let test_deep_stack_kitchen_sink () =
+  (* Nine layers, exercising crypto, compression, flow control, frag,
+     reliability and total order together over a lossy garbling net. *)
+  let config = { Horus_sim.Net.default_config with drop_prob = 0.05; garble_prob = 0.05 } in
+  let world = World.create ~config ~seed:19 () in
+  let spec =
+    "TOTAL:MBRSHIP:FRAG(frag_size=128):COMPRESS:ENCRYPT(key=s3):SIGN(key=s3):NAK:CHKSUM:COM"
+  in
+  let groups = spawn ~spec ~n:3 ~settle:4.0 world in
+  let a = List.hd groups in
+  let big = String.concat "-" (List.init 40 (fun i -> Printf.sprintf "block%02d" i)) in
+  Group.cast a big;
+  Group.cast a "tail";
+  World.run_for world ~duration:10.0;
+  List.iteri
+    (fun i gr ->
+       Alcotest.(check (list string)) (Printf.sprintf "member %d: deep stack delivers" i)
+         [ big; "tail" ] (Group.casts gr))
+    groups
+
+let test_stack_order_swap_filters () =
+  (* SIGN above or below COMPRESS: both well-formed, both must work —
+     run-time restacking per Figure 1. *)
+  List.iter
+    (fun spec ->
+       let world = World.create () in
+       let groups = spawn ~spec ~n:2 world in
+       let a, b = match groups with [ a; b ] -> (a, b) | _ -> assert false in
+       (* No membership layer in these stacks: install the destination
+          set by hand at both members. *)
+       let v =
+         View.create ~group:(Group.group a) ~ltime:0
+           ~members:(List.sort Addr.compare_endpoint [ Group.addr a; Group.addr b ])
+       in
+       Group.install_view a v;
+       Group.install_view b v;
+       Group.cast a "swapped";
+       World.run_for world ~duration:1.0;
+       Alcotest.(check (list string)) spec [ "swapped" ] (Group.casts b))
+    [ "SIGN:COMPRESS:NAK:COM"; "COMPRESS:SIGN:NAK:COM" ]
+
+let test_spec_roundtrip () =
+  let s = "TOTAL:MBRSHIP:FRAG(frag_size=128):NAK(status_period=0.01):COM" in
+  let parsed = Spec.parse s in
+  Alcotest.(check string) "print . parse = id" s (Spec.to_string parsed);
+  Alcotest.(check (list string)) "names" [ "TOTAL"; "MBRSHIP"; "FRAG"; "NAK"; "COM" ]
+    (Spec.names parsed)
+
+let test_spec_errors () =
+  List.iter
+    (fun bad ->
+       Alcotest.(check bool) bad true
+         (try ignore (Spec.parse bad); false with Spec.Parse_error _ -> true))
+    [ ""; "FOO("; "FRAG(frag_size)"; ":" ]
+
+let test_unknown_layer_rejected () =
+  let world = World.create () in
+  Alcotest.(check bool) "unknown layer" true
+    (try
+       ignore (Group.join (Endpoint.create world ~spec:"NOSUCH:COM") (World.fresh_group_addr world));
+       false
+     with Spec.Parse_error _ -> true)
+
+let test_registry_covers_table3 () =
+  (* Every Table 3 layer name resolves to an implementation. *)
+  let world = World.create () in
+  ignore world;
+  List.iter
+    (fun (spec : Horus_props.Layer_spec.t) ->
+       Alcotest.(check bool) (spec.Horus_props.Layer_spec.name ^ " registered") true
+         (Registry.mem spec.Horus_props.Layer_spec.name))
+    Horus_props.Layer_spec.table3
+
+let test_registry_protocol_types () =
+  (* The registry doubles as Figure 1's protocol-type table. *)
+  let world = World.create () in
+  ignore world;
+  let types = List.map (fun e -> e.Registry.protocol_type) (Registry.all ()) in
+  List.iter
+    (fun required ->
+       Alcotest.(check bool) (required ^ " represented") true (List.mem required types))
+    [ "membership"; "ordering"; "retransmission"; "fragment/assem."; "checksumming";
+      "signing"; "encryption"; "compression"; "flow control"; "tracing"; "logging";
+      "resource location"; "signaling" ]
+
+let () =
+  Alcotest.run "compose"
+    [ ( "decomposition",
+        [ Alcotest.test_case "figure 2 over FLUSH:BMS" `Quick test_flush_over_bms_figure2;
+          Alcotest.test_case "figure 2 over VSS:BMS" `Quick test_vss_over_bms_figure2;
+          Alcotest.test_case "BMS alone may lose (control)" `Quick test_bms_alone_may_lose;
+          Alcotest.test_case "FLUSH normal traffic" `Quick test_flush_normal_traffic;
+          Alcotest.test_case "TOTAL over decomposed stack" `Quick
+            test_total_over_decomposed_stack;
+          Alcotest.test_case "FLUSH:BMS under traffic" `Quick test_flush_bms_vs_under_traffic;
+          Alcotest.test_case "VSS:BMS under traffic" `Quick test_vss_bms_vs_under_traffic ] );
+      ( "lego",
+        [ Alcotest.test_case "kitchen sink stack" `Quick test_deep_stack_kitchen_sink;
+          Alcotest.test_case "filter order swap" `Quick test_stack_order_swap_filters ] );
+      ( "spec",
+        [ Alcotest.test_case "roundtrip" `Quick test_spec_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_spec_errors;
+          Alcotest.test_case "unknown layer" `Quick test_unknown_layer_rejected ] );
+      ( "registry",
+        [ Alcotest.test_case "covers table 3" `Quick test_registry_covers_table3;
+          Alcotest.test_case "protocol types" `Quick test_registry_protocol_types ] ) ]

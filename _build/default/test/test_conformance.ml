@@ -1,0 +1,103 @@
+(* Catalogue conformance: for every layer in Table 3, ask the synthesis
+   engine for a minimal stack that can host it (over a bare {P1}
+   network), then *instantiate and run* that stack in a live 3-member
+   world: the group must form, a multicast must reach everyone, and —
+   when the stack provides virtual synchrony — survive a crash.
+
+   This bridges the paper's two halves: the property algebra (Section
+   6) and the runtime (Sections 3-5). A row in Table 3 that could not
+   actually run would fail here. *)
+
+open Horus
+module Layer_spec = Horus_props.Layer_spec
+module Search = Horus_props.Search
+module P = Horus_props.Property
+
+let p1 = P.Set.of_numbers [ 1 ]
+
+(* The stack that hosts [layer]: the layer itself on top of the
+   cheapest provider of its requirements. *)
+let hosting_stack (layer : Layer_spec.t) =
+  match Search.search ~net:p1 ~required:layer.Layer_spec.requires () with
+  | None -> None
+  | Some r ->
+    let names =
+      layer.Layer_spec.name :: List.map (fun (s : Layer_spec.t) -> s.Layer_spec.name) r.Search.layers
+    in
+    Some (String.concat ":" names)
+
+let has_membership spec_string =
+  List.exists
+    (fun n -> n = "MBRSHIP" || n = "BMS")
+    (Spec.names (Spec.parse spec_string))
+
+let provides_vs (layer : Layer_spec.t) spec_string =
+  match
+    Horus_props.Check.derive_names ~net:p1 (Spec.names (Spec.parse spec_string))
+  with
+  | Ok props -> P.Set.mem props P.P9_virtually_synchronous && ignore layer = ()
+  | Error _ -> false
+
+let run_conformance (layer : Layer_spec.t) () =
+  match hosting_stack layer with
+  | None -> Alcotest.failf "no hosting stack for %s" layer.Layer_spec.name
+  | Some spec ->
+    (* The synthesized stack must itself be well-formed. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "%s is well-formed" spec)
+      true
+      (match Horus_props.Check.derive_names ~net:p1 (Spec.names (Spec.parse spec)) with
+       | Ok _ -> true
+       | Error _ -> false);
+    let world = World.create ~seed:61 () in
+    let g = World.fresh_group_addr world in
+    let founder = Group.join (Endpoint.create world ~spec) g in
+    World.run_for world ~duration:0.3;
+    let rest =
+      List.init 2 (fun _ ->
+          let m = Group.join ~contact:(Group.addr founder) (Endpoint.create world ~spec) g in
+          World.run_for world ~duration:0.5;
+          m)
+    in
+    let members = founder :: rest in
+    if not (has_membership spec) then begin
+      (* No membership layer: install the destination sets by hand. *)
+      let v =
+        View.create ~group:g ~ltime:0
+          ~members:(List.sort Addr.compare_endpoint (List.map Group.addr members))
+      in
+      List.iter (fun m -> Group.install_view m v) members
+    end;
+    World.run_for world ~duration:3.0;
+    Group.cast founder "conformance";
+    World.run_for world ~duration:3.0;
+    List.iteri
+      (fun i gr ->
+         Alcotest.(check (list string))
+           (Printf.sprintf "%s: member %d delivered" spec i)
+           [ "conformance" ] (Group.casts gr))
+      members;
+    (* Stacks providing virtual synchrony must also survive a crash. *)
+    if provides_vs layer spec then begin
+      Endpoint.crash (Group.endpoint (List.nth members 2));
+      World.run_for world ~duration:4.0;
+      let survivors = [ founder; List.nth members 1 ] in
+      List.iter
+        (fun gr ->
+           Alcotest.(check int)
+             (Printf.sprintf "%s: reconfigured to 2" spec)
+             2
+             (match Group.view gr with Some v -> View.size v | None -> 0))
+        survivors
+    end
+
+let () =
+  let cases =
+    List.map
+      (fun (layer : Layer_spec.t) ->
+         Alcotest.test_case
+           (Printf.sprintf "%s in its synthesized stack" layer.Layer_spec.name)
+           `Quick (run_conformance layer))
+      Layer_spec.table3
+  in
+  Alcotest.run "conformance" [ ("table3", cases) ]

@@ -1,0 +1,469 @@
+(* Integration tests for the substrate layers: NAK (reliable FIFO),
+   FRAG/NFRAG (fragmentation), CHKSUM/SIGN/ENCRYPT/COMPRESS (filters),
+   FC (flow control), NNAK (prioritized effort).
+
+   All tests run membershipless stacks: views are installed explicitly,
+   so only the layer under test is in play. *)
+
+open Horus
+
+let lossy drop = { Horus_sim.Net.default_config with drop_prob = drop }
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec loop i = i + n <= m && (String.sub s i n = sub || loop (i + 1)) in
+  n = 0 || loop 0
+
+(* Build an n-member group over [spec], installing a symmetric view at
+   every member. *)
+let mk_group ?(n = 2) ?(spec = "NAK:COM") ?(config = Horus_sim.Net.default_config) ?(seed = 1) () =
+  let world = World.create ~config ~seed () in
+  let g = World.fresh_group_addr world in
+  let members = List.init n (fun _ -> Group.join (Endpoint.create world ~spec) g) in
+  let addrs = List.sort Addr.compare_endpoint (List.map Group.addr members) in
+  let v = View.create ~group:g ~ltime:0 ~members:addrs in
+  List.iter (fun m -> Group.install_view m v) members;
+  (world, members)
+
+let payloads n prefix = List.init n (fun i -> Printf.sprintf "%s-%03d" prefix i)
+
+(* --- NAK --- *)
+
+let test_nak_fifo_no_loss () =
+  let world, members = mk_group () in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  let msgs = payloads 20 "m" in
+  List.iter (Group.cast a) msgs;
+  World.run_for world ~duration:1.0;
+  Alcotest.(check (list string)) "b in order" msgs (Group.casts b);
+  Alcotest.(check (list string)) "a loopback in order" msgs (Group.casts a)
+
+let test_nak_recovers_loss () =
+  (* 30% loss; NAK must still deliver everything, in order. *)
+  let world, members = mk_group ~config:(lossy 0.3) ~seed:7 () in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  let msgs = payloads 50 "loss" in
+  List.iter (Group.cast a) msgs;
+  World.run_for world ~duration:10.0;
+  Alcotest.(check (list string)) "all delivered in order despite loss" msgs (Group.casts b)
+
+let test_nak_recovers_heavy_loss_multi () =
+  (* Three members, everyone casting, 40% loss. *)
+  let world, members = mk_group ~n:3 ~config:(lossy 0.4) ~seed:11 () in
+  List.iteri
+    (fun i m -> List.iter (Group.cast m) (payloads 20 (Printf.sprintf "p%d" i)))
+    members;
+  World.run_for world ~duration:30.0;
+  List.iteri
+    (fun j receiver ->
+       let got = Group.casts receiver in
+       (* Per-origin FIFO: the subsequence from each origin must be in
+          order and complete. *)
+       List.iteri
+         (fun i _ ->
+            let want = payloads 20 (Printf.sprintf "p%d" i) in
+            let from_i =
+              List.filter (fun p -> String.length p > 1 && p.[1] = Char.chr (Char.code '0' + i)) got
+            in
+            Alcotest.(check (list string))
+              (Printf.sprintf "receiver %d sees origin %d complete+ordered" j i)
+              want from_i)
+         members)
+    members
+
+let test_nak_reordering_repaired () =
+  (* Heavy jitter reorders packets; NAK restores FIFO. *)
+  let config = { Horus_sim.Net.default_config with latency = 0.001; jitter = 0.02 } in
+  let world, members = mk_group ~config ~seed:3 () in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  let msgs = payloads 30 "jit" in
+  List.iter (Group.cast a) msgs;
+  World.run_for world ~duration:5.0;
+  Alcotest.(check (list string)) "order restored" msgs (Group.casts b)
+
+let test_nak_duplicates_suppressed () =
+  let config = { Horus_sim.Net.default_config with duplicate_prob = 0.5 } in
+  let world, members = mk_group ~config ~seed:5 () in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  let msgs = payloads 25 "dup" in
+  List.iter (Group.cast a) msgs;
+  World.run_for world ~duration:2.0;
+  Alcotest.(check (list string)) "exactly once, in order" msgs (Group.casts b)
+
+let test_nak_sends_reliable () =
+  let world, members = mk_group ~config:(lossy 0.3) ~seed:13 () in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  let msgs = payloads 30 "s" in
+  List.iter (fun p -> Group.send a [ Group.addr b ] p) msgs;
+  World.run_for world ~duration:10.0;
+  let got =
+    List.filter_map
+      (fun d -> if d.Group.kind = `Send then Some d.Group.payload else None)
+      (Group.deliveries b)
+  in
+  Alcotest.(check (list string)) "sends reliable and ordered" msgs got
+
+let test_nak_problem_on_silence () =
+  let world, members = mk_group () in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  World.run_for world ~duration:0.5;
+  Endpoint.crash (Group.endpoint b);
+  World.run_for world ~duration:2.0;
+  Alcotest.(check bool) "a suspects b" true
+    (List.exists (Addr.equal_endpoint (Group.addr b)) (Group.problems a))
+
+let test_nak_no_problem_when_alive () =
+  let world, members = mk_group () in
+  let a, _b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  World.run_for world ~duration:3.0;
+  Alcotest.(check (list string)) "no suspicion of live members" []
+    (List.map Addr.endpoint_to_string (Group.problems a))
+
+let test_nak_placeholder_lost_message () =
+  (* The paper's placeholder path: with a tiny retransmission buffer, a
+     receiver that missed early casts gets placeholders for whatever
+     the sender has forgotten — surfacing as LOST_MESSAGE — and the
+     still-buffered tail is recovered normally, in order. *)
+  let world, members =
+    mk_group ~spec:"NAK(buffer_limit=3,status_period=0.02):COM" ()
+  in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  let node gr = Addr.endpoint_id (Group.addr gr) in
+  (* Cut the wire while a casts 10 messages: b misses all of them and
+     a's buffer only retains the last 3. *)
+  Horus_sim.Net.partition (World.net world) [ [ node a ]; [ node b ] ];
+  List.iter (Group.cast a) (payloads 10 "ph");
+  World.run_for world ~duration:0.01;
+  Horus_sim.Net.heal (World.net world);
+  World.run_for world ~duration:3.0;
+  (* The tail that survived in the buffer arrives intact and ordered... *)
+  Alcotest.(check (list string)) "buffered tail recovered"
+    [ "ph-007"; "ph-008"; "ph-009" ]
+    (Group.casts b);
+  (* ...and every forgotten message was acknowledged as lost. *)
+  Alcotest.(check int) "seven placeholders -> LOST_MESSAGE" 7 (Group.lost_messages b)
+
+(* --- FRAG --- *)
+
+let test_frag_large_message () =
+  let world, members = mk_group ~spec:"FRAG(frag_size=64):NAK:COM" () in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  let big = String.init 1000 (fun i -> Char.chr (32 + (i mod 95))) in
+  Group.cast a big;
+  World.run_for world ~duration:1.0;
+  Alcotest.(check (list string)) "reassembled" [ big ] (Group.casts b)
+
+let test_frag_exact_boundary () =
+  let world, members = mk_group ~spec:"FRAG(frag_size=64):NAK:COM" () in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  let m64 = String.make 64 'x' in
+  let m65 = String.make 65 'y' in
+  let m128 = String.make 128 'z' in
+  List.iter (Group.cast a) [ m64; m65; m128 ];
+  World.run_for world ~duration:1.0;
+  Alcotest.(check (list string)) "boundaries" [ m64; m65; m128 ] (Group.casts b)
+
+let test_frag_interleaved_origins () =
+  let world, members = mk_group ~n:3 ~spec:"FRAG(frag_size=32):NAK:COM" () in
+  let big i = String.make 200 (Char.chr (Char.code 'a' + i)) in
+  List.iteri (fun i m -> Group.cast m (big i)) members;
+  World.run_for world ~duration:2.0;
+  List.iter
+    (fun m ->
+       let got = List.sort compare (Group.casts m) in
+       Alcotest.(check (list string)) "all three large messages" [ big 0; big 1; big 2 ] got)
+    members
+
+let test_frag_under_loss () =
+  let world, members =
+    mk_group ~spec:"FRAG(frag_size=16):NAK:COM" ~config:(lossy 0.25) ~seed:17 ()
+  in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  let big = String.init 300 (fun i -> Char.chr (65 + (i mod 26))) in
+  Group.cast a big;
+  World.run_for world ~duration:10.0;
+  Alcotest.(check (list string)) "reassembled despite loss" [ big ] (Group.casts b)
+
+let test_frag_send_path () =
+  let world, members = mk_group ~spec:"FRAG(frag_size=16):NAK:COM" () in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  let big = String.make 100 'q' in
+  Group.send a [ Group.addr b ] big;
+  World.run_for world ~duration:1.0;
+  let got =
+    List.filter_map
+      (fun d -> if d.Group.kind = `Send then Some d.Group.payload else None)
+      (Group.deliveries b)
+  in
+  Alcotest.(check (list string)) "send reassembled" [ big ] got
+
+(* --- NFRAG (no FIFO below) --- *)
+
+let test_nfrag_over_reordering_net () =
+  let config = { Horus_sim.Net.default_config with latency = 0.001; jitter = 0.02 } in
+  let world, members = mk_group ~spec:"NFRAG(frag_size=32):COM" ~config ~seed:19 () in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  let big = String.init 500 (fun i -> Char.chr (48 + (i mod 75))) in
+  Group.cast a big;
+  World.run_for world ~duration:2.0;
+  Alcotest.(check (list string)) "reassembled out of order" [ big ] (Group.casts b)
+
+let test_nfrag_loses_whole_message_on_fragment_loss () =
+  let world, members = mk_group ~spec:"NFRAG(frag_size=8):COM" ~config:(lossy 0.5) ~seed:23 () in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  Group.cast a (String.make 64 'L');
+  World.run_for world ~duration:2.0;
+  (* Best-effort: either complete or absent, never corrupt. *)
+  List.iter (fun p -> Alcotest.(check string) "intact if present" (String.make 64 'L') p)
+    (Group.casts b)
+
+(* --- CHKSUM / SIGN / ENCRYPT / COMPRESS --- *)
+
+let test_chksum_drops_garbled () =
+  let config = { Horus_sim.Net.default_config with garble_prob = 1.0 } in
+  let world, members = mk_group ~spec:"CHKSUM:COM" ~config ~seed:29 () in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  let msgs = payloads 20 "g" in
+  List.iter (Group.cast a) msgs;
+  World.run_for world ~duration:1.0;
+  (* Every wire packet has one flipped byte. A flip in the payload or
+     checksum is dropped by CHKSUM; a flip in COM's envelope is dropped
+     there. Nothing corrupted may ever surface. *)
+  List.iter
+    (fun p -> Alcotest.(check bool) "only pristine payloads surface" true (List.mem p msgs))
+    (Group.casts b);
+  (* loopback skips the wire, so a keeps its own *)
+  Alcotest.(check int) "loopback intact" 20 (List.length (Group.casts a))
+
+let test_chksum_passes_clean () =
+  let world, members = mk_group ~spec:"CHKSUM:NAK:COM" () in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  let msgs = payloads 10 "c" in
+  List.iter (Group.cast a) msgs;
+  World.run_for world ~duration:1.0;
+  Alcotest.(check (list string)) "clean traffic unharmed" msgs (Group.casts b)
+
+let test_chksum_with_nak_repairs_garbling () =
+  (* CHKSUM drops garbled copies; NAK above it retransmits until a
+     clean copy arrives: garbling becomes mere loss. *)
+  let config = { Horus_sim.Net.default_config with garble_prob = 0.3 } in
+  let world, members = mk_group ~spec:"NAK:CHKSUM:COM" ~config ~seed:31 () in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  let msgs = payloads 30 "gc" in
+  List.iter (Group.cast a) msgs;
+  World.run_for world ~duration:10.0;
+  Alcotest.(check (list string)) "garbling repaired" msgs (Group.casts b)
+
+let test_sign_accepts_same_key () =
+  let world, members = mk_group ~spec:"SIGN(key=sesame):NAK:COM" () in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  Group.cast a "signed";
+  World.run_for world ~duration:1.0;
+  Alcotest.(check (list string)) "accepted" [ "signed" ] (Group.casts b)
+
+let test_sign_rejects_forgery () =
+  (* The intruder has the wrong key; its casts must not reach the
+     member above SIGN. *)
+  let world = World.create () in
+  let g = World.fresh_group_addr world in
+  let good = Group.join (Endpoint.create world ~spec:"SIGN(key=sesame):COM") g in
+  let evil = Group.join (Endpoint.create world ~spec:"SIGN(key=wrong):COM") g in
+  let v =
+    View.create ~group:g ~ltime:0
+      ~members:(List.sort Addr.compare_endpoint [ Group.addr good; Group.addr evil ])
+  in
+  Group.install_view good v;
+  Group.install_view evil v;
+  Group.cast evil "forged";
+  World.run_for world ~duration:1.0;
+  Alcotest.(check (list string)) "forgery dropped" [] (Group.casts good)
+
+let test_encrypt_roundtrip () =
+  let world, members = mk_group ~spec:"ENCRYPT(key=k1):NAK:COM" ~n:3 () in
+  let a = List.hd members in
+  let msgs = payloads 10 "e" in
+  List.iter (Group.cast a) msgs;
+  World.run_for world ~duration:1.0;
+  List.iter
+    (fun m -> Alcotest.(check (list string)) "decrypted" msgs (Group.casts m))
+    members
+
+let test_encrypt_hides_payload () =
+  (* An eavesdropper without ENCRYPT sees bytes, but never the
+     plaintext. *)
+  let world = World.create () in
+  let g = World.fresh_group_addr world in
+  let a = Group.join (Endpoint.create world ~spec:"ENCRYPT(key=k1):COM") g in
+  let eve = Group.join (Endpoint.create world ~spec:"COM") g in
+  let v =
+    View.create ~group:g ~ltime:0
+      ~members:(List.sort Addr.compare_endpoint [ Group.addr a; Group.addr eve ])
+  in
+  Group.install_view a v;
+  Group.install_view eve v;
+  let secret = "attack at dawn, sector seven" in
+  Group.cast a secret;
+  World.run_for world ~duration:1.0;
+  List.iter
+    (fun p ->
+       Alcotest.(check bool) "ciphertext only" false (contains_sub ~sub:secret p))
+    (Group.casts eve)
+
+let test_compress_roundtrip () =
+  let world, members = mk_group ~spec:"COMPRESS:NAK:COM" () in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  let compressible = String.make 500 'A' in
+  let incompressible = String.init 100 (fun i -> Char.chr (i * 37 mod 256)) in
+  Group.cast a compressible;
+  Group.cast a incompressible;
+  World.run_for world ~duration:1.0;
+  Alcotest.(check (list string)) "both roundtrip" [ compressible; incompressible ]
+    (Group.casts b)
+
+let test_compress_saves_wire_bytes () =
+  let run spec =
+    let world, members = mk_group ~spec () in
+    let a, _ = match members with [ a; b ] -> (a, b) | _ -> assert false in
+    Group.cast a (String.make 2000 'B');
+    World.run_for world ~duration:1.0;
+    (Horus_sim.Net.stats (World.net world)).Horus_sim.Net.bytes_sent
+  in
+  let plain = run "COM" in
+  let packed = run "COMPRESS:COM" in
+  Alcotest.(check bool)
+    (Printf.sprintf "compressed wire smaller (%d < %d)" packed plain)
+    true (packed < plain)
+
+(* --- FC --- *)
+
+let test_fc_paces_traffic () =
+  (* 100 msgs at 100/s with burst 10 should take roughly a second. *)
+  let world, members = mk_group ~spec:"FC(rate=100,burst=10):NAK:COM" () in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  List.iter (Group.cast a) (payloads 100 "f");
+  World.run_for world ~duration:0.2;
+  let early = List.length (Group.casts b) in
+  World.run_for world ~duration:2.0;
+  let final = List.length (Group.casts b) in
+  Alcotest.(check bool) (Printf.sprintf "paced (early=%d)" early) true (early < 50);
+  Alcotest.(check int) "eventually all" 100 final
+
+let test_fc_preserves_order () =
+  let world, members = mk_group ~spec:"FC(rate=200,burst=5):NAK:COM" () in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  let msgs = payloads 50 "o" in
+  List.iter (Group.cast a) msgs;
+  World.run_for world ~duration:3.0;
+  Alcotest.(check (list string)) "order kept" msgs (Group.casts b)
+
+(* --- BATCH --- *)
+
+let test_batch_delivers_all_in_order () =
+  let world, members = mk_group ~spec:"BATCH(window=0.01):NAK:COM" () in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  let msgs = payloads 40 "bt" in
+  List.iter (Group.cast a) msgs;
+  World.run_for world ~duration:1.0;
+  Alcotest.(check (list string)) "all delivered in order" msgs (Group.casts b)
+
+let test_batch_saves_packets () =
+  let wire spec =
+    let world, members = mk_group ~spec () in
+    let a, _b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+    let before = (Horus_sim.Net.stats (World.net world)).Horus_sim.Net.sent in
+    List.iter (Group.cast a) (payloads 64 "w");
+    World.run_for world ~duration:1.0;
+    (Horus_sim.Net.stats (World.net world)).Horus_sim.Net.sent - before
+  in
+  let plain = wire "NAK:COM" in
+  let batched = wire "BATCH(window=0.005,max_batch=16):NAK:COM" in
+  Alcotest.(check bool)
+    (Printf.sprintf "batched %d < plain %d / 2" batched plain)
+    true
+    (batched * 2 < plain)
+
+let test_batch_flushes_on_size () =
+  (* max_batch 4: a burst of 4 must go out immediately, without waiting
+     for the window. *)
+  let world, members = mk_group ~spec:"BATCH(window=10.0,max_batch=4):NAK:COM" () in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  List.iter (Group.cast a) (payloads 4 "sz");
+  World.run_for world ~duration:0.1;  (* far less than the 10 s window *)
+  Alcotest.(check (list string)) "size-triggered flush" (payloads 4 "sz") (Group.casts b)
+
+let test_batch_window_flush () =
+  (* A single message must still go out once the window elapses. *)
+  let world, members = mk_group ~spec:"BATCH(window=0.02,max_batch=100):NAK:COM" () in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  Group.cast a "lonely";
+  World.run_for world ~duration:0.01;
+  Alcotest.(check (list string)) "held within window" [] (Group.casts b);
+  World.run_for world ~duration:0.1;
+  Alcotest.(check (list string)) "flushed after window" [ "lonely" ] (Group.casts b)
+
+(* --- NNAK --- *)
+
+let test_nnak_priority_overtakes () =
+  let world = World.create () in
+  let g = World.fresh_group_addr world in
+  let bulk = Group.join (Endpoint.create world ~spec:"NNAK(priority=1):COM") g in
+  let ctl = Group.join (Endpoint.create world ~spec:"NNAK(priority=9):COM") g in
+  let sink = Group.join (Endpoint.create world ~spec:"NNAK(window=0.01):COM") g in
+  let addrs =
+    List.sort Addr.compare_endpoint [ Group.addr bulk; Group.addr ctl; Group.addr sink ]
+  in
+  let v = View.create ~group:g ~ltime:0 ~members:addrs in
+  List.iter (fun m -> Group.install_view m v) [ bulk; ctl; sink ];
+  (* Bulk casts first; both arrive within the sink's batching window,
+     but the control message must be delivered first. *)
+  Group.cast bulk "bulk";
+  Group.cast ctl "control";
+  World.run_for world ~duration:1.0;
+  match Group.casts sink with
+  | [ "control"; "bulk" ] -> ()
+  | other -> Alcotest.failf "priority not honoured: [%s]" (String.concat "; " other)
+
+let () =
+  Alcotest.run "layers"
+    [ ( "nak",
+        [ Alcotest.test_case "FIFO no loss" `Quick test_nak_fifo_no_loss;
+          Alcotest.test_case "recovers 30% loss" `Quick test_nak_recovers_loss;
+          Alcotest.test_case "heavy loss, 3 members" `Quick test_nak_recovers_heavy_loss_multi;
+          Alcotest.test_case "reordering repaired" `Quick test_nak_reordering_repaired;
+          Alcotest.test_case "duplicates suppressed" `Quick test_nak_duplicates_suppressed;
+          Alcotest.test_case "sends reliable" `Quick test_nak_sends_reliable;
+          Alcotest.test_case "placeholders -> LOST_MESSAGE" `Quick
+            test_nak_placeholder_lost_message;
+          Alcotest.test_case "PROBLEM on silence" `Quick test_nak_problem_on_silence;
+          Alcotest.test_case "no false suspicion" `Quick test_nak_no_problem_when_alive ] );
+      ( "frag",
+        [ Alcotest.test_case "large message" `Quick test_frag_large_message;
+          Alcotest.test_case "exact boundary" `Quick test_frag_exact_boundary;
+          Alcotest.test_case "interleaved origins" `Quick test_frag_interleaved_origins;
+          Alcotest.test_case "under loss" `Quick test_frag_under_loss;
+          Alcotest.test_case "send path" `Quick test_frag_send_path ] );
+      ( "nfrag",
+        [ Alcotest.test_case "over reordering net" `Quick test_nfrag_over_reordering_net;
+          Alcotest.test_case "all-or-nothing" `Quick
+            test_nfrag_loses_whole_message_on_fragment_loss ] );
+      ( "filters",
+        [ Alcotest.test_case "chksum drops garbled" `Quick test_chksum_drops_garbled;
+          Alcotest.test_case "chksum passes clean" `Quick test_chksum_passes_clean;
+          Alcotest.test_case "chksum+nak repair garbling" `Quick
+            test_chksum_with_nak_repairs_garbling;
+          Alcotest.test_case "sign accepts same key" `Quick test_sign_accepts_same_key;
+          Alcotest.test_case "sign rejects forgery" `Quick test_sign_rejects_forgery;
+          Alcotest.test_case "encrypt roundtrip" `Quick test_encrypt_roundtrip;
+          Alcotest.test_case "encrypt hides payload" `Quick test_encrypt_hides_payload;
+          Alcotest.test_case "compress roundtrip" `Quick test_compress_roundtrip;
+          Alcotest.test_case "compress saves bytes" `Quick test_compress_saves_wire_bytes ] );
+      ( "batch",
+        [ Alcotest.test_case "delivers all in order" `Quick test_batch_delivers_all_in_order;
+          Alcotest.test_case "saves packets" `Quick test_batch_saves_packets;
+          Alcotest.test_case "flushes on size" `Quick test_batch_flushes_on_size;
+          Alcotest.test_case "flushes on window" `Quick test_batch_window_flush ] );
+      ( "fc",
+        [ Alcotest.test_case "paces traffic" `Quick test_fc_paces_traffic;
+          Alcotest.test_case "preserves order" `Quick test_fc_preserves_order ] );
+      ( "nnak",
+        [ Alcotest.test_case "priority overtakes" `Quick test_nnak_priority_overtakes ] ) ]

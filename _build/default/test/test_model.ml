@@ -1,0 +1,138 @@
+(* Exhaustive model checking of the flush protocol (Section 8).
+
+   The correct model (with Section 5's ignore-stragglers rule) must
+   satisfy view agreement and virtual synchrony in *every* reachable
+   quiescent state; the model without the rule must yield the
+   counterexample where a straggler copy from the crashed member
+   reaches exactly one survivor after its flush reply. *)
+
+open Horus_model
+
+let explore ~ignore_stragglers ~survivor_cast () =
+  let module Sys =
+    (val Flush_model.system ~ignore_stragglers ~survivor_cast ()
+      : Automaton.SYSTEM
+      with type state = Flush_model.state
+       and type action = Flush_model.action)
+  in
+  let module E = Automaton.Make (Sys) in
+  E.explore ()
+
+let test_correct_model_holds () =
+  let r = explore ~ignore_stragglers:true ~survivor_cast:false () in
+  Alcotest.(check bool) "exhaustive" false r.Automaton.truncated;
+  Alcotest.(check int) "no violations" 0 (List.length r.Automaton.violations);
+  Alcotest.(check bool) "explored a real space" true (r.Automaton.states_explored > 50);
+  Alcotest.(check bool) "has terminal states" true (r.Automaton.terminals > 0)
+
+let test_correct_model_with_survivor_cast () =
+  let r = explore ~ignore_stragglers:true ~survivor_cast:true () in
+  Alcotest.(check bool) "exhaustive" false r.Automaton.truncated;
+  (match r.Automaton.violations with
+   | [] -> ()
+   | v :: _ ->
+     Alcotest.failf "unexpected violation of %s:\n%s\nstate %s" v.Automaton.property
+       (String.concat "\n" v.Automaton.trace)
+       v.Automaton.state);
+  Alcotest.(check bool) "larger space" true (r.Automaton.states_explored > 200)
+
+let test_buggy_model_caught () =
+  (* Without the ignore rule, the checker must find the straggler
+     counterexample: virtual synchrony broken at some quiescent
+     state. *)
+  let r = explore ~ignore_stragglers:false ~survivor_cast:false () in
+  Alcotest.(check bool) "exhaustive" false r.Automaton.truncated;
+  Alcotest.(check bool) "violation found" true (r.Automaton.violations <> []);
+  let v = List.hd r.Automaton.violations in
+  Alcotest.(check string) "the broken property"
+    "virtual synchrony: survivors delivered the same set" v.Automaton.property;
+  (* The counterexample must involve the crash and a straggler delivery
+     from process 2. *)
+  Alcotest.(check bool) "trace crashes 2" true
+    (List.exists (fun a -> a = "crash 2") v.Automaton.trace)
+
+let test_buggy_model_caught_with_survivor_cast () =
+  let r = explore ~ignore_stragglers:false ~survivor_cast:true () in
+  Alcotest.(check bool) "violation found" true (r.Automaton.violations <> [])
+
+let test_counterexample_is_minimal_shape () =
+  (* The counterexample must involve the crashed member's data
+     straggling in, and end with the survivors' delivery sets
+     differing on message 100. *)
+  let r = explore ~ignore_stragglers:false ~survivor_cast:false () in
+  match r.Automaton.violations with
+  | [] -> Alcotest.fail "no violation"
+  | v :: _ ->
+    Alcotest.(check bool) "a straggler delivery appears" true
+      (List.exists (fun a -> a = "deliver 2->0" || a = "deliver 2->1") v.Automaton.trace);
+    Alcotest.(check bool) "one survivor has 100, the other does not" true
+      (let s = v.Automaton.state in
+       (* state strings look like "p0[] p1[100] p2(dead)[100] ..." *)
+       let contains sub =
+         let n = String.length sub and m = String.length s in
+         let rec loop i = i + n <= m && (String.sub s i n = sub || loop (i + 1)) in
+         loop 0
+       in
+       (contains "p0[] " && contains "p1[100]") || (contains "p0[100]" && contains "p1[] "))
+
+(* --- TOTAL token protocol --- *)
+
+let explore_total () =
+  let module Sys =
+    (val Total_model.system ()
+      : Automaton.SYSTEM
+      with type state = Total_model.state
+       and type action = Total_model.action)
+  in
+  let module E = Automaton.Make (Sys) in
+  E.explore ~max_states:2_000_000 ()
+
+let test_total_model_holds () =
+  let r = explore_total () in
+  Alcotest.(check bool) "exhaustive" false r.Automaton.truncated;
+  (match r.Automaton.violations with
+   | [] -> ()
+   | v :: _ ->
+     Alcotest.failf "violation of %s:\n%s\nstate %s" v.Automaton.property
+       (String.concat "\n" v.Automaton.trace)
+       v.Automaton.state);
+  Alcotest.(check bool) "non-trivial space" true (r.Automaton.states_explored > 1000);
+  Alcotest.(check bool) "has terminals" true (r.Automaton.terminals > 0)
+
+(* --- coordinator takeover --- *)
+
+let test_takeover_model_holds () =
+  let module Sys =
+    (val Takeover_model.system ()
+      : Automaton.SYSTEM
+      with type state = Takeover_model.state
+       and type action = Takeover_model.action)
+  in
+  let module E = Automaton.Make (Sys) in
+  let r = E.explore ~max_states:2_000_000 () in
+  Alcotest.(check bool) "exhaustive" false r.Automaton.truncated;
+  (match r.Automaton.violations with
+   | [] -> ()
+   | v :: _ ->
+     Alcotest.failf "violation of %s:\n%s\nstate %s" v.Automaton.property
+       (String.concat "\n" v.Automaton.trace)
+       v.Automaton.state);
+  Alcotest.(check bool) "non-trivial space" true (r.Automaton.states_explored > 500);
+  Alcotest.(check bool) "has terminals" true (r.Automaton.terminals > 0)
+
+let () =
+  Alcotest.run "model"
+    [ ( "takeover",
+        [ Alcotest.test_case "coordinator crash: election and cut" `Quick
+            test_takeover_model_holds ] );
+      ( "total",
+        [ Alcotest.test_case "token protocol: agreement and liveness" `Quick
+            test_total_model_holds ] );
+      ( "flush",
+        [ Alcotest.test_case "correct model holds exhaustively" `Quick test_correct_model_holds;
+          Alcotest.test_case "correct model + survivor cast" `Quick
+            test_correct_model_with_survivor_cast;
+          Alcotest.test_case "buggy model caught" `Quick test_buggy_model_caught;
+          Alcotest.test_case "buggy model + survivor cast caught" `Quick
+            test_buggy_model_caught_with_survivor_cast;
+          Alcotest.test_case "counterexample shape" `Quick test_counterexample_is_minimal_shape ] ) ]

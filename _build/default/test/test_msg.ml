@@ -1,0 +1,276 @@
+(* Tests for addresses, the message object, wire codecs, and compacted
+   headers. *)
+
+open Horus_msg
+
+(* --- Addr --- *)
+
+let test_addr_basics () =
+  let a = Addr.endpoint 3 and b = Addr.endpoint 5 in
+  Alcotest.(check bool) "equal self" true (Addr.equal_endpoint a a);
+  Alcotest.(check bool) "distinct" false (Addr.equal_endpoint a b);
+  Alcotest.(check bool) "age order" true (Addr.compare_endpoint a b < 0);
+  Alcotest.(check int) "id" 3 (Addr.endpoint_id a)
+
+let test_addr_negative_rejected () =
+  Alcotest.(check bool) "negative endpoint" true
+    (try ignore (Addr.endpoint (-1)); false with Invalid_argument _ -> true);
+  Alcotest.(check bool) "negative group" true
+    (try ignore (Addr.group (-1)); false with Invalid_argument _ -> true)
+
+(* --- Msg push/pop --- *)
+
+let test_msg_payload_roundtrip () =
+  let m = Msg.create "hello" in
+  Alcotest.(check string) "payload" "hello" (Msg.to_string m);
+  Alcotest.(check int) "length" 5 (Msg.length m)
+
+let test_msg_header_stack_order () =
+  (* Headers pop in reverse push order, like a stack (Section 3). *)
+  let m = Msg.create "data" in
+  Msg.push_u8 m 1;
+  Msg.push_u8 m 2;
+  Msg.push_u8 m 3;
+  Alcotest.(check int) "top" 3 (Msg.pop_u8 m);
+  Alcotest.(check int) "middle" 2 (Msg.pop_u8 m);
+  Alcotest.(check int) "bottom" 1 (Msg.pop_u8 m);
+  Alcotest.(check string) "payload intact" "data" (Msg.to_string m)
+
+let test_msg_typed_fields () =
+  let m = Msg.create "" in
+  Msg.push_i64 m (-123456789012345L);
+  Msg.push_u32 m 0xDEADBE;
+  Msg.push_u16 m 65535;
+  Msg.push_u8 m 200;
+  Msg.push_bool m true;
+  Msg.push_string m "str";
+  Alcotest.(check string) "string" "str" (Msg.pop_string m);
+  Alcotest.(check bool) "bool" true (Msg.pop_bool m);
+  Alcotest.(check int) "u8" 200 (Msg.pop_u8 m);
+  Alcotest.(check int) "u16" 65535 (Msg.pop_u16 m);
+  Alcotest.(check int) "u32" 0xDEADBE (Msg.pop_u32 m);
+  Alcotest.(check int64) "i64" (-123456789012345L) (Msg.pop_i64 m)
+
+let test_msg_headroom_growth () =
+  (* Push far more than the initial headroom. *)
+  let m = Msg.create ~headroom:2 "x" in
+  for i = 0 to 99 do
+    Msg.push_u32 m i
+  done;
+  for i = 99 downto 0 do
+    Alcotest.(check int) "value" i (Msg.pop_u32 m)
+  done;
+  Alcotest.(check string) "payload" "x" (Msg.to_string m)
+
+let test_msg_truncated_pop () =
+  let m = Msg.create "ab" in
+  Alcotest.(check bool) "truncated u32" true
+    (try ignore (Msg.pop_u32 m); false with Msg.Truncated _ -> true)
+
+let test_msg_copy_independent () =
+  let m = Msg.create "payload" in
+  Msg.push_u8 m 7;
+  let c = Msg.copy m in
+  ignore (Msg.pop_u8 c);
+  Alcotest.(check int) "original keeps header" 8 (Msg.length m);
+  Alcotest.(check int) "copy popped" 7 (Msg.length c)
+
+let test_msg_split_and_append () =
+  let m = Msg.create "0123456789" in
+  let tail = Msg.split_off m 4 in
+  Alcotest.(check string) "head" "012345" (Msg.to_string m);
+  Alcotest.(check string) "tail" "6789" (Msg.to_string tail);
+  Msg.append m (Msg.to_bytes tail);
+  Alcotest.(check string) "rejoined" "0123456789" (Msg.to_string m)
+
+let test_msg_take_front () =
+  let m = Msg.create "abcdef" in
+  let front = Msg.take_front m 2 in
+  Alcotest.(check string) "front" "ab" (Bytes.to_string front);
+  Alcotest.(check string) "rest" "cdef" (Msg.to_string m)
+
+let test_msg_of_bytes_pushable () =
+  (* A received message must still accept pushes (retransmission). *)
+  let m = Msg.of_bytes (Bytes.of_string "recv") in
+  Msg.push_u16 m 42;
+  Alcotest.(check int) "pushed onto received" 42 (Msg.pop_u16 m);
+  Alcotest.(check string) "payload" "recv" (Msg.to_string m)
+
+let prop_msg_u32_roundtrip =
+  QCheck.Test.make ~name:"u32 push/pop roundtrip" ~count:500
+    QCheck.(int_bound 0xFFFFFFF)
+    (fun v ->
+       let m = Msg.create "p" in
+       Msg.push_u32 m v;
+       Msg.pop_u32 m = v && Msg.to_string m = "p")
+
+let prop_msg_string_roundtrip =
+  QCheck.Test.make ~name:"string push/pop roundtrip" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 200))
+    (fun s ->
+       let m = Msg.create "payload" in
+       Msg.push_string m s;
+       Msg.pop_string m = s)
+
+let prop_msg_mixed_stack =
+  QCheck.Test.make ~name:"mixed header stack roundtrip" ~count:300
+    QCheck.(list (pair (int_bound 2) (int_bound 0xFFFF)))
+    (fun fields ->
+       let m = Msg.create "body" in
+       List.iter
+         (fun (kind, v) ->
+            match kind with
+            | 0 -> Msg.push_u8 m (v land 0xFF)
+            | 1 -> Msg.push_u16 m v
+            | _ -> Msg.push_u32 m v)
+         fields;
+       let ok = ref true in
+       List.iter
+         (fun (kind, v) ->
+            let got =
+              match kind with
+              | 0 -> Msg.pop_u8 m
+              | 1 -> Msg.pop_u16 m
+              | _ -> Msg.pop_u32 m
+            in
+            let want = if kind = 0 then v land 0xFF else v in
+            if got <> want then ok := false)
+         (List.rev fields);
+       !ok && Msg.to_string m = "body")
+
+(* --- Wire --- *)
+
+let test_wire_endpoint_roundtrip () =
+  let m = Msg.create "" in
+  Wire.push_endpoint m (Addr.endpoint 77);
+  Alcotest.(check int) "endpoint" 77 (Addr.endpoint_id (Wire.pop_endpoint m))
+
+let test_wire_list_roundtrip () =
+  let l = List.map Addr.endpoint [ 1; 5; 3; 9 ] in
+  let m = Msg.create "" in
+  Wire.push_endpoint_list m l;
+  let got = Wire.pop_endpoint_list m in
+  Alcotest.(check (list int)) "order preserved" [ 1; 5; 3; 9 ] (List.map Addr.endpoint_id got)
+
+let test_wire_empty_list () =
+  let m = Msg.create "" in
+  Wire.push_endpoint_list m [];
+  Alcotest.(check int) "empty" 0 (List.length (Wire.pop_endpoint_list m))
+
+let prop_wire_int_list =
+  QCheck.Test.make ~name:"int list roundtrip" ~count:300
+    QCheck.(list_of_size Gen.(0 -- 50) (int_bound 0xFFFFFF))
+    (fun l ->
+       let m = Msg.create "" in
+       Wire.push_int_list m l;
+       Wire.pop_int_list m = l)
+
+(* --- Compact --- *)
+
+let test_compact_layout_sizes () =
+  let fields =
+    [ Compact.field ~layer:"FRAG" ~name:"more" ~bits:1;
+      Compact.field ~layer:"NAK" ~name:"seq" ~bits:20;
+      Compact.field ~layer:"COM" ~name:"src" ~bits:16 ]
+  in
+  let l = Compact.layout fields in
+  Alcotest.(check int) "total bits" 37 (Compact.total_bits l);
+  Alcotest.(check int) "total bytes" 5 (Compact.total_bytes l);
+  (* The conventional scheme word-aligns each header: 4 + 4 + 4. *)
+  Alcotest.(check int) "padded bytes" 12 (Compact.padded_bytes fields)
+
+let test_compact_write_read () =
+  let fields =
+    [ Compact.field ~layer:"A" ~name:"x" ~bits:1;
+      Compact.field ~layer:"B" ~name:"y" ~bits:13;
+      Compact.field ~layer:"C" ~name:"z" ~bits:33 ]
+  in
+  let l = Compact.layout fields in
+  let buf = Compact.alloc l in
+  Compact.set l buf ~slot:0 1L;
+  Compact.set l buf ~slot:1 5000L;
+  Compact.set l buf ~slot:2 0x1_FFFF_FFFFL;
+  Alcotest.(check int64) "x" 1L (Compact.get l buf ~slot:0);
+  Alcotest.(check int64) "y" 5000L (Compact.get l buf ~slot:1);
+  Alcotest.(check int64) "z" 0x1_FFFF_FFFFL (Compact.get l buf ~slot:2)
+
+let test_compact_find () =
+  let fields = [ Compact.field ~layer:"NAK" ~name:"seq" ~bits:16 ] in
+  let l = Compact.layout fields in
+  Alcotest.(check int) "found" 0 (Compact.find l ~layer:"NAK" ~name:"seq");
+  Alcotest.(check bool) "missing raises" true
+    (try ignore (Compact.find l ~layer:"X" ~name:"y"); false with Invalid_argument _ -> true)
+
+let test_compact_duplicate_rejected () =
+  let f = Compact.field ~layer:"A" ~name:"x" ~bits:4 in
+  Alcotest.(check bool) "duplicate" true
+    (try ignore (Compact.layout [ f; f ]); false with Invalid_argument _ -> true)
+
+let test_compact_neighbours_unclobbered () =
+  let fields =
+    [ Compact.field ~layer:"A" ~name:"a" ~bits:3;
+      Compact.field ~layer:"B" ~name:"b" ~bits:5;
+      Compact.field ~layer:"C" ~name:"c" ~bits:3 ]
+  in
+  let l = Compact.layout fields in
+  let buf = Compact.alloc l in
+  Compact.set l buf ~slot:0 7L;
+  Compact.set l buf ~slot:2 5L;
+  Compact.set l buf ~slot:1 0L;
+  Compact.set l buf ~slot:1 31L;
+  Alcotest.(check int64) "a survives" 7L (Compact.get l buf ~slot:0);
+  Alcotest.(check int64) "c survives" 5L (Compact.get l buf ~slot:2);
+  Alcotest.(check int64) "b set" 31L (Compact.get l buf ~slot:1)
+
+let prop_compact_roundtrip =
+  QCheck.Test.make ~name:"compact write/read roundtrip" ~count:300
+    QCheck.(list_of_size Gen.(1 -- 10) (pair (int_range 1 48) (int_bound max_int)))
+    (fun specs ->
+       let fields =
+         List.mapi (fun i (bits, _) -> Compact.field ~layer:"L" ~name:(string_of_int i) ~bits) specs
+       in
+       let l = Compact.layout fields in
+       let buf = Compact.alloc l in
+       let values =
+         List.mapi
+           (fun i (bits, v) ->
+              let mask = Int64.sub (Int64.shift_left 1L bits) 1L in
+              let v64 = Int64.logand (Int64.of_int v) mask in
+              Compact.set l buf ~slot:i v64;
+              v64)
+           specs
+       in
+       List.for_all2 (fun i v -> Compact.get l buf ~slot:i = v)
+         (List.init (List.length values) (fun i -> i))
+         values)
+
+let () =
+  Alcotest.run "msg"
+    [ ( "addr",
+        [ Alcotest.test_case "basics" `Quick test_addr_basics;
+          Alcotest.test_case "negative rejected" `Quick test_addr_negative_rejected ] );
+      ( "msg",
+        [ Alcotest.test_case "payload roundtrip" `Quick test_msg_payload_roundtrip;
+          Alcotest.test_case "header stack order" `Quick test_msg_header_stack_order;
+          Alcotest.test_case "typed fields" `Quick test_msg_typed_fields;
+          Alcotest.test_case "headroom growth" `Quick test_msg_headroom_growth;
+          Alcotest.test_case "truncated pop" `Quick test_msg_truncated_pop;
+          Alcotest.test_case "copy independent" `Quick test_msg_copy_independent;
+          Alcotest.test_case "split and append" `Quick test_msg_split_and_append;
+          Alcotest.test_case "take front" `Quick test_msg_take_front;
+          Alcotest.test_case "received messages pushable" `Quick test_msg_of_bytes_pushable;
+          QCheck_alcotest.to_alcotest prop_msg_u32_roundtrip;
+          QCheck_alcotest.to_alcotest prop_msg_string_roundtrip;
+          QCheck_alcotest.to_alcotest prop_msg_mixed_stack ] );
+      ( "wire",
+        [ Alcotest.test_case "endpoint roundtrip" `Quick test_wire_endpoint_roundtrip;
+          Alcotest.test_case "list roundtrip" `Quick test_wire_list_roundtrip;
+          Alcotest.test_case "empty list" `Quick test_wire_empty_list;
+          QCheck_alcotest.to_alcotest prop_wire_int_list ] );
+      ( "compact",
+        [ Alcotest.test_case "layout sizes" `Quick test_compact_layout_sizes;
+          Alcotest.test_case "write read" `Quick test_compact_write_read;
+          Alcotest.test_case "find" `Quick test_compact_find;
+          Alcotest.test_case "duplicate rejected" `Quick test_compact_duplicate_rejected;
+          Alcotest.test_case "neighbours unclobbered" `Quick test_compact_neighbours_unclobbered;
+          QCheck_alcotest.to_alcotest prop_compact_roundtrip ] ) ]

@@ -1,0 +1,203 @@
+(* Tests for the property algebra (Tables 3 and 4, Sections 6 and 7). *)
+
+open Horus_props
+
+let pset = Alcotest.testable Property.Set.pp Property.Set.equal
+
+let p1 = Property.Set.of_numbers [ 1 ]
+
+(* The paper's worked example, Section 7: TOTAL:MBRSHIP:FRAG:NAK:COM
+   over an ATM network providing only P1 yields exactly
+   {P3,P4,P6,P8,P9,P10,P11,P12,P15}. *)
+let test_section7_derivation () =
+  let stack = [ "TOTAL"; "MBRSHIP"; "FRAG"; "NAK"; "COM" ] in
+  match Check.derive_names ~net:p1 stack with
+  | Error e -> Alcotest.failf "stack not well-formed: %a" Check.pp_error e
+  | Ok props ->
+    Alcotest.check pset "section 7 property set"
+      (Property.Set.of_numbers [ 3; 4; 6; 8; 9; 10; 11; 12; 15 ])
+      props
+
+(* Intermediate sets of the same derivation, as Section 7 narrates:
+   COM adds source addresses, NAK adds FIFO, FRAG adds large messages,
+   MBRSHIP adds virtual synchrony, TOTAL adds total order. *)
+let test_section7_trace () =
+  let stack = List.map Layer_spec.find_exn [ "TOTAL"; "MBRSHIP"; "FRAG"; "NAK"; "COM" ] in
+  match Check.trace ~net:p1 stack with
+  | Error e -> Alcotest.failf "trace failed: %a" Check.pp_error e
+  | Ok steps ->
+    let expect =
+      [ [ 1 ];                                (* the network *)
+        [ 1; 10; 11 ];                        (* above COM *)
+        [ 3; 4; 10; 11 ];                     (* above NAK *)
+        [ 3; 4; 10; 11; 12 ];                 (* above FRAG *)
+        [ 3; 4; 8; 9; 10; 11; 12; 15 ];       (* above MBRSHIP *)
+        [ 3; 4; 6; 8; 9; 10; 11; 12; 15 ] ]   (* above TOTAL *)
+    in
+    Alcotest.(check int) "six intermediate sets" (List.length expect) (List.length steps);
+    List.iteri
+      (fun i (got, want) ->
+         Alcotest.check pset (Printf.sprintf "step %d" i) (Property.Set.of_numbers want) got)
+      (List.map2 (fun g w -> (g, w)) steps expect)
+
+let test_missing_requirement () =
+  (* MBRSHIP directly over COM lacks FIFO and large messages. *)
+  match Check.derive_names ~net:p1 [ "MBRSHIP"; "COM" ] with
+  | Ok props -> Alcotest.failf "expected failure, got %a" Property.Set.pp props
+  | Error e ->
+    Alcotest.(check string) "failing layer" "MBRSHIP" e.layer;
+    Alcotest.check pset "missing" (Property.Set.of_numbers [ 3; 4; 12 ]) e.missing
+
+let test_order_matters () =
+  (* FRAG below NAK is ill-formed (FRAG needs FIFO), while NAK below
+     FRAG is fine: stacking order matters, as Section 8 discusses. *)
+  Alcotest.(check bool) "NAK:FRAG:COM ill-formed" false
+    (Check.well_formed ~net:p1 (List.map Layer_spec.find_exn [ "NAK"; "FRAG"; "COM" ]));
+  Alcotest.(check bool) "FRAG:NAK:COM well-formed" true
+    (Check.well_formed ~net:p1 (List.map Layer_spec.find_exn [ "FRAG"; "NAK"; "COM" ]))
+
+let test_empty_stack () =
+  match Check.derive ~net:p1 [] with
+  | Ok props -> Alcotest.check pset "empty stack passes net through" p1 props
+  | Error e -> Alcotest.failf "unexpected: %a" Check.pp_error e
+
+let test_com_requires_network () =
+  (* COM cannot run over nothing. *)
+  Alcotest.(check bool) "COM over empty" false
+    (Check.well_formed ~net:Property.Set.empty [ Layer_spec.com ])
+
+let test_all_rows_well_formed_somewhere () =
+  (* Every Table 3 row must be reachable: for each layer there exists a
+     stack in which its requirements are met. We verify by searching
+     for a stack that provides each layer's full requirement set. *)
+  List.iter
+    (fun (spec : Layer_spec.t) ->
+       match Search.search ~net:p1 ~required:spec.requires () with
+       | Some _ -> ()
+       | None -> Alcotest.failf "no stack can host layer %s" spec.name)
+    Layer_spec.table3
+
+let test_search_finds_section7_class () =
+  (* Searching for the Section 7 property set must produce a
+     well-formed stack providing it. *)
+  let required = Property.Set.of_numbers [ 6; 9; 15 ] in
+  match Search.search ~net:p1 ~required () with
+  | None -> Alcotest.fail "no stack for total order + virtual synchrony"
+  | Some r ->
+    Alcotest.(check bool) "provides required" true (Property.Set.subset required r.provides);
+    Alcotest.(check bool) "well-formed" true (Check.well_formed ~net:p1 r.layers)
+
+let test_search_minimality () =
+  (* The found stack's cost must not exceed the paper's canonical stack
+     for the same requirement. *)
+  let required = Property.Set.of_numbers [ 6; 9; 15 ] in
+  let canonical = List.map Layer_spec.find_exn [ "TOTAL"; "MBRSHIP"; "FRAG"; "NAK"; "COM" ] in
+  match Search.search ~net:p1 ~required () with
+  | None -> Alcotest.fail "no stack"
+  | Some r ->
+    Alcotest.(check bool) "cost <= canonical" true (r.cost <= Check.total_cost canonical)
+
+let test_search_impossible () =
+  (* Nothing can conjure totally ordered delivery out of thin air with
+     only transparent layers available. *)
+  let layers = Layer_spec.extras in
+  match Search.search ~layers ~net:p1 ~required:(Property.Set.of_numbers [ 6 ]) () with
+  | None -> ()
+  | Some r -> Alcotest.failf "impossible stack found: %s" (Search.spec_string r)
+
+let test_search_trivial () =
+  (* Requirements already met by the network need no layers. *)
+  match Search.search ~net:p1 ~required:p1 () with
+  | Some r -> Alcotest.(check int) "no layers" 0 (List.length r.layers)
+  | None -> Alcotest.fail "trivial search failed"
+
+let test_enumerate_contains_canonical () =
+  let required = Property.Set.of_numbers [ 6; 9 ] in
+  let stacks = Search.enumerate ~net:p1 ~required ~max_depth:5 () in
+  let canonical = [ "TOTAL"; "MBRSHIP"; "FRAG"; "NAK"; "COM" ] in
+  let names (l : Layer_spec.t list) = List.map (fun (s : Layer_spec.t) -> s.name) l in
+  Alcotest.(check bool) "canonical stack enumerated" true
+    (List.exists (fun s -> names s = canonical) stacks)
+
+let test_order_matters_verdicts () =
+  (* Pose the question above COM, i.e. over {P1,P10,P11}. *)
+  let net = Property.Set.of_numbers [ 1; 10; 11 ] in
+  let find = Layer_spec.find_exn in
+  (* NAK must sit below FRAG: only one order is well-formed. *)
+  (match Check.order_matters ~net ~upper:(find "FRAG") ~lower:(find "NAK") with
+   | Check.Only_first_works _ -> ()
+   | v -> Alcotest.failf "FRAG/NAK: %a" Check.pp_order_verdict v);
+  (match Check.order_matters ~net ~upper:(find "NAK") ~lower:(find "FRAG") with
+   | Check.Only_second_works _ -> ()
+   | v -> Alcotest.failf "NAK/FRAG: %a" Check.pp_order_verdict v);
+  (* Two transparent filters commute. *)
+  (match Check.order_matters ~net:p1 ~upper:(find "CHKSUM") ~lower:(find "SIGN") with
+   | Check.Order_equivalent _ -> ()
+   | v -> Alcotest.failf "CHKSUM/SIGN: %a" Check.pp_order_verdict v);
+  (* Nothing works without the COM adapter. *)
+  (match
+     Check.order_matters ~net:Property.Set.empty ~upper:(find "NAK") ~lower:(find "FRAG")
+   with
+   | Check.Neither_works -> ()
+   | v -> Alcotest.failf "over empty net: %a" Check.pp_order_verdict v)
+
+let test_property_numbers_roundtrip () =
+  List.iter
+    (fun p -> Alcotest.(check bool) "roundtrip" true (Property.of_number (Property.number p) = p))
+    Property.all;
+  Alcotest.(check int) "sixteen properties" 16 (List.length Property.all)
+
+let test_table3_has_fifteen_rows () =
+  Alcotest.(check int) "fifteen rows" 15 (List.length Layer_spec.table3)
+
+(* Property-based: derivation is monotone in the network property set —
+   a richer network never yields a poorer stack result. *)
+let prop_monotone =
+  QCheck.Test.make ~name:"derivation monotone in net properties" ~count:500
+    QCheck.(pair (list_of_size Gen.(0 -- 16) (int_range 1 16)) (list_of_size Gen.(0 -- 16) (int_range 1 16)))
+    (fun (a, b) ->
+       let sa = Property.Set.of_numbers a in
+       let sb = Property.Set.union sa (Property.Set.of_numbers b) in
+       let stack = [ Layer_spec.com; Layer_spec.nak; Layer_spec.frag ] in
+       match (Check.derive ~net:sa stack, Check.derive ~net:sb stack) with
+       | Ok ra, Ok rb -> Property.Set.subset ra rb
+       | Error _, (Ok _ | Error _) -> true  (* smaller net may fail earlier *)
+       | Ok _, Error _ -> false)
+
+(* Property-based: a search result is always well-formed and always
+   satisfies the requirement it was asked for. *)
+let prop_search_sound =
+  QCheck.Test.make ~name:"search results are sound" ~count:200
+    QCheck.(pair (list_of_size Gen.(0 -- 3) (int_range 1 16)) (list_of_size Gen.(0 -- 3) (int_range 1 16)))
+    (fun (net_n, req_n) ->
+       let net = Property.Set.of_numbers (1 :: net_n) in
+       let required = Property.Set.of_numbers req_n in
+       match Search.search ~net ~required () with
+       | None -> true
+       | Some r ->
+         Check.well_formed ~net r.layers && Property.Set.subset required r.provides)
+
+let () =
+  Alcotest.run "props"
+    [ ( "table4",
+        [ Alcotest.test_case "numbers roundtrip" `Quick test_property_numbers_roundtrip ] );
+      ( "table3",
+        [ Alcotest.test_case "fifteen rows" `Quick test_table3_has_fifteen_rows;
+          Alcotest.test_case "every row hostable" `Quick test_all_rows_well_formed_somewhere ] );
+      ( "derivation",
+        [ Alcotest.test_case "section 7 exact set" `Quick test_section7_derivation;
+          Alcotest.test_case "section 7 intermediate sets" `Quick test_section7_trace;
+          Alcotest.test_case "missing requirement reported" `Quick test_missing_requirement;
+          Alcotest.test_case "stacking order matters" `Quick test_order_matters;
+          Alcotest.test_case "empty stack" `Quick test_empty_stack;
+          Alcotest.test_case "COM needs a network" `Quick test_com_requires_network ] );
+      ( "search",
+        [ Alcotest.test_case "finds virtual synchrony + total order" `Quick test_search_finds_section7_class;
+          Alcotest.test_case "minimality vs canonical" `Quick test_search_minimality;
+          Alcotest.test_case "impossible requirement" `Quick test_search_impossible;
+          Alcotest.test_case "trivial requirement" `Quick test_search_trivial;
+          Alcotest.test_case "enumeration contains canonical" `Quick test_enumerate_contains_canonical;
+          Alcotest.test_case "stacking order verdicts" `Quick test_order_matters_verdicts ] );
+      ( "qcheck",
+        [ QCheck_alcotest.to_alcotest prop_monotone;
+          QCheck_alcotest.to_alcotest prop_search_sound ] ) ]

@@ -1,0 +1,323 @@
+(* Tests for the service layers rounding out Figure 1's protocol-type
+   table: LOG (total-crash recovery), CLOCKSYNC, DEADLINE (real-time),
+   ACCOUNT, and the RPC facility. *)
+
+open Horus
+
+let vs = "MBRSHIP:FRAG:NAK:COM"
+
+let spawn ?(spec = vs) ?(n = 2) ?(settle = 2.0) world =
+  let g = World.fresh_group_addr world in
+  let founder = Group.join (Endpoint.create world ~spec) g in
+  World.run_for world ~duration:0.2;
+  let rest =
+    List.init (n - 1) (fun _ ->
+        let m = Group.join ~contact:(Group.addr founder) (Endpoint.create world ~spec) g in
+        World.run_for world ~duration:0.5;
+        m)
+  in
+  World.run_for world ~duration:settle;
+  (g, founder :: rest)
+
+(* --- LOG: tolerance of total crash failures --- *)
+
+let test_log_total_crash_recovery () =
+  let world = World.create ~seed:7 () in
+  (* The log name is a per-process recovery identity: each process logs
+     under its own name and a restarted process reuses it. *)
+  let g = World.fresh_group_addr world in
+  let a = Group.join (Endpoint.create world ~spec:("LOG(name=proc-a):" ^ vs)) g in
+  World.run_for world ~duration:0.3;
+  let b =
+    Group.join ~contact:(Group.addr a)
+      (Endpoint.create world ~spec:("LOG(name=proc-b):" ^ vs)) g
+  in
+  World.run_for world ~duration:1.5;
+  let history = [ "credit 100"; "debit 30"; "credit 7" ] in
+  List.iter (Group.cast a) history;
+  World.run_for world ~duration:1.0;
+  Alcotest.(check (list string)) "b processed the history" history (Group.casts b);
+  (* Total failure: every member crashes. *)
+  Endpoint.crash (Group.endpoint a);
+  Endpoint.crash (Group.endpoint b);
+  World.run_for world ~duration:1.0;
+  (* Process a restarts under its old name and recovers the full
+     history from stable storage before any live traffic. *)
+  let phoenix = Group.join (Endpoint.create world ~spec:("LOG(name=proc-a):" ^ vs)) g in
+  World.run_for world ~duration:1.0;
+  Alcotest.(check (list string)) "history replayed after total crash" history
+    (Group.casts phoenix);
+  (* Replayed deliveries are marked so applications can tell them from
+     live traffic. *)
+  List.iter
+    (fun d ->
+       Alcotest.(check (option int)) "marked as replayed" (Some 1)
+         (Event.meta_find d.Group.meta "replayed"))
+    (Group.deliveries phoenix)
+
+let test_log_no_replay_when_disabled () =
+  let world = World.create ~seed:7 () in
+  let spec = "LOG(name=quiet,replay=false):" ^ vs in
+  let g, members = spawn ~spec ~n:1 world in
+  let a = List.hd members in
+  Group.cast a "recorded";
+  World.run_for world ~duration:1.0;
+  Endpoint.crash (Group.endpoint a);
+  let phoenix =
+    Group.join (Endpoint.create world ~spec:("LOG(name=quiet,replay=false):" ^ vs)) g
+  in
+  World.run_for world ~duration:1.0;
+  Alcotest.(check (list string)) "no replay" [] (Group.casts phoenix)
+
+(* --- CLOCKSYNC --- *)
+
+let parse_field ~key line =
+  match String.index_opt line '=' with
+  | _ ->
+    let klen = String.length key in
+    let rec find i =
+      if i + klen > String.length line then None
+      else if String.sub line i klen = key then begin
+        let j = ref (i + klen) in
+        while
+          !j < String.length line
+          && (match line.[!j] with '0' .. '9' | '.' | '-' | '+' -> true | _ -> false)
+        do
+          incr j
+        done;
+        float_of_string_opt (String.sub line (i + klen) (!j - i - klen))
+      end
+      else find (i + 1)
+    in
+    find 0
+
+let clock_offset gr =
+  match Group.focus gr "CLOCKSYNC" with
+  | None -> None
+  | Some inst ->
+    List.find_map (fun line -> parse_field ~key:"offset=" line) (inst.Horus_hcpi.Layer.dump ())
+
+let test_clocksync_converges () =
+  let world = World.create ~seed:9 () in
+  let g = World.fresh_group_addr world in
+  (* Coordinator's clock runs 0.5 s fast; the member's 0.3 s slow. *)
+  let a =
+    Group.join (Endpoint.create world ~spec:("CLOCKSYNC(skew=0.5):" ^ vs)) g
+  in
+  World.run_for world ~duration:0.3;
+  let b =
+    Group.join ~contact:(Group.addr a)
+      (Endpoint.create world ~spec:("CLOCKSYNC(skew=-0.3):" ^ vs)) g
+  in
+  World.run_for world ~duration:2.0;
+  match clock_offset b with
+  | Some off ->
+    (* b must correct by ~+0.8 s, within a round trip (~1 ms here). *)
+    Alcotest.(check bool) (Printf.sprintf "offset %.4f ~ 0.8" off) true
+      (Float.abs (off -. 0.8) < 0.005)
+  | None -> Alcotest.fail "no offset reported"
+
+let test_clocksync_stamps_deliveries () =
+  let world = World.create ~seed:9 () in
+  let g = World.fresh_group_addr world in
+  let a = Group.join (Endpoint.create world ~spec:("CLOCKSYNC(skew=0.2):" ^ vs)) g in
+  World.run_for world ~duration:0.3;
+  let b =
+    Group.join ~contact:(Group.addr a)
+      (Endpoint.create world ~spec:("CLOCKSYNC(skew=-0.2):" ^ vs)) g
+  in
+  World.run_for world ~duration:1.5;
+  Group.cast a "tick";
+  World.run_for world ~duration:0.5;
+  match (Group.deliveries a, Group.deliveries b) with
+  | [ da ], [ db ] ->
+    (match (Event.meta_find da.Group.meta "clock_ms", Event.meta_find db.Group.meta "clock_ms") with
+     | Some ta, Some tb ->
+       (* Both stamps are on the coordinator's clock, so they must be
+          within a few milliseconds despite 0.4 s of true skew. *)
+       Alcotest.(check bool)
+         (Printf.sprintf "synchronized stamps %d ~ %d" ta tb)
+         true
+         (abs (ta - tb) < 20)
+     | _ -> Alcotest.fail "missing clock stamps")
+  | _ -> Alcotest.fail "expected one delivery each"
+
+(* --- DEADLINE --- *)
+
+let test_deadline_fresh_pass () =
+  let world = World.create () in
+  let _g, members = spawn ~spec:("DEADLINE(budget=0.05):" ^ vs) ~n:2 world in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  Group.cast a "fresh";
+  World.run_for world ~duration:0.5;
+  Alcotest.(check (list string)) "fresh delivered" [ "fresh" ] (Group.casts b);
+  match Group.deliveries b with
+  | [ d ] ->
+    (match Event.meta_find d.Group.meta "age_us" with
+     | Some age -> Alcotest.(check bool) "age measured" true (age >= 0 && age < 50_000)
+     | None -> Alcotest.fail "no age tag")
+  | _ -> Alcotest.fail "one delivery expected"
+
+let test_deadline_stale_dropped () =
+  let world = World.create () in
+  let _g, members = spawn ~spec:("DEADLINE(budget=0.01):" ^ vs) ~n:2 world in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  (* Slow the link so the cast arrives 50 ms old against a 10 ms
+     budget. *)
+  Horus_sim.Net.set_link_latency (World.net world)
+    ~src:(Addr.endpoint_id (Group.addr a))
+    ~dst:(Addr.endpoint_id (Group.addr b))
+    (Some 0.05);
+  Group.cast a "stale";
+  World.run_for world ~duration:0.3;
+  Alcotest.(check (list string)) "stale dropped" [] (Group.casts b);
+  Alcotest.(check int) "reported as lost" 1 (Group.lost_messages b);
+  (* Loopback at the sender is immediate, so it passes. *)
+  Alcotest.(check (list string)) "sender's own copy fresh" [ "stale" ] (Group.casts a)
+
+(* --- ACCOUNT --- *)
+
+let test_account_ledger () =
+  let world = World.create () in
+  let _g, members = spawn ~spec:("ACCOUNT:" ^ vs) ~n:2 world in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  Group.cast a "xxxx";
+  Group.cast a "yyyyyyyy";
+  World.run_for world ~duration:0.5;
+  match Group.focus b "ACCOUNT" with
+  | None -> Alcotest.fail "no ACCOUNT layer"
+  | Some inst ->
+    let dump = inst.Horus_hcpi.Layer.dump () in
+    let from_a =
+      List.find_opt
+        (fun line ->
+           String.length line > 7
+           && String.sub line 0 7 = Printf.sprintf "from e%d" (Addr.endpoint_id (Group.addr a)))
+        dump
+    in
+    (match from_a with
+     | Some line ->
+       Alcotest.(check (option (float 0.01))) "two messages from a" (Some 2.0)
+         (parse_field ~key:"msgs=" line);
+       Alcotest.(check (option (float 0.01))) "twelve bytes from a" (Some 12.0)
+         (parse_field ~key:"bytes=" line)
+     | None -> Alcotest.failf "no ledger line for a in: %s" (String.concat " | " dump))
+
+(* --- RPC --- *)
+
+let test_rpc_roundtrip () =
+  let world = World.create () in
+  let _g, members = spawn ~n:2 world in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  let client = Rpc.attach a in
+  let _server =
+    Rpc.attach ~handler:(fun ~rank:_ payload -> "echo:" ^ payload) b
+  in
+  let result = ref None in
+  Rpc.call client ~server:(Group.addr b) "ping" (fun o -> result := Some o);
+  World.run_for world ~duration:0.5;
+  (match !result with
+   | Some (`Reply r) -> Alcotest.(check string) "echoed" "echo:ping" r
+   | Some `Timeout -> Alcotest.fail "timed out"
+   | None -> Alcotest.fail "no outcome")
+
+let test_rpc_concurrent_calls_correlate () =
+  let world = World.create () in
+  let _g, members = spawn ~n:2 world in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  let client = Rpc.attach a in
+  let _server = Rpc.attach ~handler:(fun ~rank:_ p -> "r-" ^ p) b in
+  let results = Array.make 10 "" in
+  for i = 0 to 9 do
+    Rpc.call client ~server:(Group.addr b) (string_of_int i) (fun o ->
+        match o with `Reply r -> results.(i) <- r | `Timeout -> results.(i) <- "timeout")
+  done;
+  World.run_for world ~duration:1.0;
+  Array.iteri
+    (fun i r -> Alcotest.(check string) "correlated" (Printf.sprintf "r-%d" i) r)
+    results
+
+let test_rpc_timeout_on_crashed_server () =
+  let world = World.create () in
+  let _g, members = spawn ~n:2 world in
+  let a, b = match members with [ a; b ] -> (a, b) | _ -> assert false in
+  let client = Rpc.attach a in
+  let _server = Rpc.attach ~handler:(fun ~rank:_ _ -> "never") b in
+  Endpoint.crash (Group.endpoint b);
+  let result = ref None in
+  Rpc.call ~timeout:0.3 client ~server:(Group.addr b) "hello?" (fun o -> result := Some o);
+  World.run_for world ~duration:1.0;
+  match !result with
+  | Some `Timeout -> ()
+  | Some (`Reply r) -> Alcotest.failf "dead server replied %S" r
+  | None -> Alcotest.fail "no outcome"
+
+(* --- State transfer --- *)
+
+let test_state_transfer_on_join () =
+  let world = World.create ~seed:71 () in
+  let g = World.fresh_group_addr world in
+  let make () =
+    let counter = ref 0 in
+    let group_holder = ref None in
+    let on_up (ev : Event.up) =
+      match ev with
+      | Event.U_cast (_, m, _) when Msg.to_string m = "bump" -> incr counter
+      | _ -> ()
+    in
+    (counter, group_holder, on_up)
+  in
+  let c_a, _, on_up_a = make () in
+  let a = Group.join ~on_up:on_up_a (Endpoint.create world ~spec:vs) g in
+  let _st_a =
+    State_transfer.attach
+      ~get:(fun () -> string_of_int !c_a)
+      ~set:(fun s -> c_a := int_of_string s)
+      ~on_up:on_up_a a
+  in
+  World.run_for world ~duration:0.5;
+  (* Build up state before anyone joins. *)
+  for _ = 1 to 7 do
+    Group.cast a "bump"
+  done;
+  World.run_for world ~duration:1.0;
+  Alcotest.(check int) "a's state built" 7 !c_a;
+  (* A fresh member joins; it must receive the snapshot automatically. *)
+  let c_b, _, on_up_b = make () in
+  let b = Group.join ~on_up:on_up_b ~contact:(Group.addr a) (Endpoint.create world ~spec:vs) g in
+  let st_b =
+    State_transfer.attach
+      ~get:(fun () -> string_of_int !c_b)
+      ~set:(fun s -> c_b := int_of_string s)
+      ~on_up:on_up_b b
+  in
+  World.run_for world ~duration:2.0;
+  Alcotest.(check int) "b received the snapshot" 7 !c_b;
+  Alcotest.(check (pair int int)) "one transfer received" (0, 1) (State_transfer.stats st_b);
+  (* Post-join traffic keeps both in sync. *)
+  Group.cast a "bump";
+  Group.cast b "bump";
+  World.run_for world ~duration:1.0;
+  Alcotest.(check int) "a at 9" 9 !c_a;
+  Alcotest.(check int) "b at 9" 9 !c_b
+
+let () =
+  Alcotest.run "services"
+    [ ( "log",
+        [ Alcotest.test_case "total crash recovery" `Quick test_log_total_crash_recovery;
+          Alcotest.test_case "replay disabled" `Quick test_log_no_replay_when_disabled ] );
+      ( "clocksync",
+        [ Alcotest.test_case "converges" `Quick test_clocksync_converges;
+          Alcotest.test_case "synchronized stamps" `Quick test_clocksync_stamps_deliveries ] );
+      ( "deadline",
+        [ Alcotest.test_case "fresh pass" `Quick test_deadline_fresh_pass;
+          Alcotest.test_case "stale dropped" `Quick test_deadline_stale_dropped ] );
+      ( "account",
+        [ Alcotest.test_case "ledger" `Quick test_account_ledger ] );
+      ( "state transfer",
+        [ Alcotest.test_case "snapshot on join" `Quick test_state_transfer_on_join ] );
+      ( "rpc",
+        [ Alcotest.test_case "roundtrip" `Quick test_rpc_roundtrip;
+          Alcotest.test_case "concurrent correlation" `Quick
+            test_rpc_concurrent_calls_correlate;
+          Alcotest.test_case "timeout on crash" `Quick test_rpc_timeout_on_crashed_server ] ) ]

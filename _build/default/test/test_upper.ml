@@ -1,0 +1,382 @@
+(* Tests for the layers above membership: TOTAL ordering, causal
+   ordering, stability (STABLE and PINWHEEL), safe delivery, and
+   automatic merging. *)
+
+open Horus
+
+let vs_stack = "MBRSHIP:FRAG:NAK:COM"
+let total_stack = "TOTAL:" ^ vs_stack
+
+let spawn ?(spec = total_stack) ?(n = 3) ?(settle = 2.0) world =
+  let g = World.fresh_group_addr world in
+  let founder = Group.join (Endpoint.create world ~spec) g in
+  World.run_for world ~duration:0.2;
+  let rest =
+    List.init (n - 1) (fun _ ->
+        let m = Group.join ~contact:(Group.addr founder) (Endpoint.create world ~spec) g in
+        World.run_for world ~duration:0.5;
+        m)
+  in
+  World.run_for world ~duration:settle;
+  founder :: rest
+
+(* --- TOTAL --- *)
+
+let test_total_single_sender () =
+  let world = World.create () in
+  let groups = spawn world in
+  let a = List.hd groups in
+  let msgs = List.init 15 (Printf.sprintf "t%02d") in
+  List.iter (Group.cast a) msgs;
+  World.run_for world ~duration:2.0;
+  List.iteri
+    (fun i gr ->
+       Alcotest.(check (list string)) (Printf.sprintf "member %d in order" i) msgs
+         (Group.casts gr))
+    groups
+
+let test_total_concurrent_senders_agree () =
+  (* Three members cast interleaved; every member must deliver the
+     exact same global sequence. *)
+  let world = World.create ~seed:5 () in
+  let groups = spawn ~n:3 world in
+  List.iteri
+    (fun i gr ->
+       for k = 0 to 9 do
+         World.after world ~delay:(0.003 *. float_of_int k) (fun () ->
+             Group.cast gr (Printf.sprintf "c%d-%d" i k))
+       done)
+    groups;
+  World.run_for world ~duration:3.0;
+  let sequences = List.map Group.casts groups in
+  (match sequences with
+   | first :: rest ->
+     Alcotest.(check int) "all 30 delivered" 30 (List.length first);
+     List.iteri
+       (fun i s ->
+          Alcotest.(check (list string)) (Printf.sprintf "member %d matches member 0" (i + 1))
+            first s)
+       rest
+   | [] -> ());
+  (* Per-origin FIFO embedded in the total order. *)
+  List.iter
+    (fun s ->
+       for i = 0 to 2 do
+         let mine = List.filter (fun p -> p.[1] = Char.chr (Char.code '0' + i)) s in
+         Alcotest.(check (list string)) "origin subsequence ordered"
+           (List.init 10 (Printf.sprintf "c%d-%d" i)) mine
+       done)
+    sequences
+
+let test_total_with_jitter_agrees () =
+  let config = { Horus_sim.Net.default_config with latency = 0.001; jitter = 0.004 } in
+  let world = World.create ~config ~seed:9 () in
+  let groups = spawn ~n:4 ~settle:3.0 world in
+  List.iteri
+    (fun i gr ->
+       for k = 0 to 7 do
+         World.after world ~delay:(0.002 *. float_of_int k) (fun () ->
+             Group.cast gr (Printf.sprintf "j%d-%d" i k))
+       done)
+    groups;
+  World.run_for world ~duration:4.0;
+  match List.map Group.casts groups with
+  | first :: rest ->
+    Alcotest.(check int) "all delivered" 32 (List.length first);
+    List.iteri
+      (fun i s -> Alcotest.(check (list string)) (Printf.sprintf "member %d" (i + 1)) first s)
+      rest
+  | [] -> ()
+
+let test_total_holder_crash () =
+  (* Crash the founder (initial token holder) while others want to
+     cast; the view change must hand the token to the lowest rank and
+     traffic must continue, with survivors agreeing. *)
+  let world = World.create ~seed:3 () in
+  let groups = spawn ~n:3 ~settle:3.0 world in
+  let a, b, c = match groups with [ a; b; c ] -> (a, b, c) | _ -> assert false in
+  Group.cast a "pre";
+  World.run_for world ~duration:1.0;
+  Endpoint.crash (Group.endpoint a);
+  World.after world ~delay:0.1 (fun () -> Group.cast b "post-b");
+  World.after world ~delay:0.15 (fun () -> Group.cast c "post-c");
+  World.run_for world ~duration:5.0;
+  Alcotest.(check (list string)) "b sequence" (Group.casts b) (Group.casts c);
+  Alcotest.(check bool) "pre delivered" true (List.mem "pre" (Group.casts b));
+  Alcotest.(check bool) "post-b delivered" true (List.mem "post-b" (Group.casts b));
+  Alcotest.(check bool) "post-c delivered" true (List.mem "post-c" (Group.casts b))
+
+let test_total_under_loss () =
+  let config = { Horus_sim.Net.default_config with drop_prob = 0.2 } in
+  let world = World.create ~config ~seed:17 () in
+  let groups = spawn ~n:3 ~settle:4.0 world in
+  List.iteri (fun i gr -> Group.cast gr (Printf.sprintf "l%d" i)) groups;
+  World.run_for world ~duration:10.0;
+  match List.map Group.casts groups with
+  | first :: rest ->
+    Alcotest.(check int) "all three delivered" 3 (List.length first);
+    List.iter (fun s -> Alcotest.(check (list string)) "identical order" first s) rest
+  | [] -> ()
+
+(* --- ORDER_CAUSAL --- *)
+
+let test_causal_question_reply () =
+  (* b replies causally after a's question; with network jitter the
+     reply can physically overtake the question toward c, but the
+     causal layer must never deliver it first. Swept over seeds. *)
+  List.iter
+    (fun seed ->
+       let config = { Horus_sim.Net.default_config with latency = 0.002; jitter = 0.01 } in
+       let world = World.create ~config ~seed () in
+       let spec = "ORDER_CAUSAL:" ^ vs_stack in
+       let groups = spawn ~spec ~n:3 ~settle:3.0 world in
+       let a, b, c = match groups with [ a; b; c ] -> (a, b, c) | _ -> assert false in
+       Group.set_on_up b (fun ev ->
+           match ev with
+           | Event.U_cast (_, m, _) when Msg.to_string m = "question" ->
+             Group.cast b "reply"
+           | _ -> ());
+       Group.cast a "question";
+       World.run_for world ~duration:3.0;
+       let at_c = Group.casts c in
+       Alcotest.(check (list string))
+         (Printf.sprintf "seed %d: question before reply at c" seed)
+         [ "question"; "reply" ] at_c)
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_causal_fifo_preserved () =
+  let world = World.create () in
+  let spec = "ORDER_CAUSAL:" ^ vs_stack in
+  let groups = spawn ~spec ~n:3 world in
+  let a = List.hd groups in
+  let msgs = List.init 10 (Printf.sprintf "f%d") in
+  List.iter (Group.cast a) msgs;
+  World.run_for world ~duration:2.0;
+  List.iter
+    (fun gr -> Alcotest.(check (list string)) "fifo kept" msgs (Group.casts gr))
+    groups
+
+(* --- STABLE / PINWHEEL --- *)
+
+let matrix_min (s : Event.stability) origin =
+  Array.fold_left Int.min max_int s.Event.acked.(origin)
+
+let test_stable_receipt_stability () =
+  let world = World.create () in
+  let spec = "STABLE:" ^ vs_stack in
+  let groups = spawn ~spec ~n:3 world in
+  let a = List.hd groups in
+  for _ = 1 to 5 do
+    Group.cast a "payload"
+  done;
+  World.run_for world ~duration:2.0;
+  (* a is rank 0; all three members must have acked its 5 casts. *)
+  List.iteri
+    (fun i gr ->
+       match Group.stability gr with
+       | Some s ->
+         Alcotest.(check int) (Printf.sprintf "member %d sees origin 0 stable at 5" i) 5
+           (matrix_min s 0)
+       | None -> Alcotest.failf "member %d got no stability report" i)
+    groups
+
+let test_stable_ids_in_meta () =
+  let world = World.create () in
+  let spec = "STABLE:" ^ vs_stack in
+  let groups = spawn ~spec ~n:2 world in
+  let a, b = match groups with [ a; b ] -> (a, b) | _ -> assert false in
+  Group.cast a "x";
+  World.run_for world ~duration:1.0;
+  match Group.deliveries b with
+  | [ d ] ->
+    Alcotest.(check bool) "stable_id present" true
+      (Event.meta_find d.Group.meta "stable_id" <> None)
+  | ds -> Alcotest.failf "expected 1 delivery, got %d" (List.length ds)
+
+let test_stable_app_level_ack () =
+  (* With auto_ack off, the matrix only advances when the application
+     acks — the end-to-end semantics of Section 9. *)
+  let world = World.create () in
+  let spec = "STABLE(auto_ack=false):" ^ vs_stack in
+  let groups = spawn ~spec ~n:2 world in
+  let a, b = match groups with [ a; b ] -> (a, b) | _ -> assert false in
+  Group.cast a "needs-processing";
+  World.run_for world ~duration:1.0;
+  (* b received but did not process: origin 0 cannot be stable. *)
+  (match Group.stability a with
+   | Some s -> Alcotest.(check int) "not stable before acks" 0 (matrix_min s 0)
+   | None -> ());
+  (* Both sides now process (ack) their copy. *)
+  List.iter
+    (fun gr ->
+       match Group.deliveries gr with
+       | [ d ] ->
+         (match Event.meta_find d.Group.meta "stable_id" with
+          | Some id -> Group.ack gr id
+          | None -> Alcotest.fail "no stable_id")
+       | _ -> Alcotest.fail "expected one delivery")
+    [ a; b ];
+  World.run_for world ~duration:1.0;
+  match Group.stability a with
+  | Some s -> Alcotest.(check int) "stable after acks" 1 (matrix_min s 0)
+  | None -> Alcotest.fail "no stability report"
+
+let test_pinwheel_converges () =
+  let world = World.create () in
+  let spec = "PINWHEEL:" ^ vs_stack in
+  let groups = spawn ~spec ~n:3 world in
+  let a = List.hd groups in
+  for _ = 1 to 4 do
+    Group.cast a "p"
+  done;
+  World.run_for world ~duration:3.0;
+  List.iteri
+    (fun i gr ->
+       match Group.stability gr with
+       | Some s ->
+         Alcotest.(check int) (Printf.sprintf "member %d converged" i) 4 (matrix_min s 0)
+       | None -> Alcotest.failf "member %d got no stability report" i)
+    groups
+
+let test_pinwheel_cheaper_than_stable () =
+  (* The rotating aggregator must put fewer packets on the wire than
+     all-to-all gossip for the same idle group. *)
+  let wire spec =
+    let world = World.create () in
+    let _groups = spawn ~spec ~n:6 ~settle:2.0 world in
+    let before = (Horus_sim.Net.stats (World.net world)).Horus_sim.Net.sent in
+    World.run_for world ~duration:5.0;
+    (Horus_sim.Net.stats (World.net world)).Horus_sim.Net.sent - before
+  in
+  (* Keep some acks flowing so STABLE keeps gossiping: fresh traffic. *)
+  let stable_cost = wire ("STABLE(gossip_period=0.05):" ^ vs_stack) in
+  let pinwheel_cost = wire ("PINWHEEL(period=0.05):" ^ vs_stack) in
+  Alcotest.(check bool)
+    (Printf.sprintf "pinwheel %d <= stable %d + slack" pinwheel_cost stable_cost)
+    true
+    (pinwheel_cost <= stable_cost * 2)
+
+(* --- ORDER_SAFE --- *)
+
+let test_safe_delivery_waits_for_stability () =
+  let world = World.create () in
+  let spec = "ORDER_SAFE:STABLE(auto_ack=false,gossip_period=0.05):" ^ vs_stack in
+  let groups = spawn ~spec ~n:3 world in
+  let a = List.hd groups in
+  Group.cast a "careful";
+  (* Before any gossip round completes, nothing may surface. *)
+  World.run_for world ~duration:0.002;
+  List.iteri
+    (fun i gr ->
+       Alcotest.(check (list string)) (Printf.sprintf "member %d: held initially" i) []
+         (Group.casts gr))
+    groups;
+  World.run_for world ~duration:2.0;
+  List.iteri
+    (fun i gr ->
+       Alcotest.(check (list string)) (Printf.sprintf "member %d: released when safe" i)
+         [ "careful" ] (Group.casts gr))
+    groups
+
+let test_safe_delivery_view_change_releases () =
+  let world = World.create () in
+  let spec = "ORDER_SAFE:STABLE(auto_ack=false,gossip_period=0.05):" ^ vs_stack in
+  let groups = spawn ~spec ~n:3 ~settle:3.0 world in
+  let a, b, c = match groups with [ a; b; c ] -> (a, b, c) | _ -> assert false in
+  Group.cast a "boundary";
+  World.run_for world ~duration:0.01;
+  (* Crash c before stability can be reached; the view change must
+     release the held message at the survivors. *)
+  Endpoint.crash (Group.endpoint c);
+  World.run_for world ~duration:5.0;
+  List.iter
+    (fun gr ->
+       Alcotest.(check (list string)) "released at view change" [ "boundary" ]
+         (Group.casts gr))
+    [ a; b ]
+
+(* --- MERGE (automatic) --- *)
+
+let test_merge_layer_auto_heals () =
+  let world = World.create ~seed:41 () in
+  let spec = "MERGE:" ^ vs_stack in
+  let groups = spawn ~spec ~n:4 ~settle:3.0 world in
+  let a, b, c, d = match groups with [ a; b; c; d ] -> (a, b, c, d) | _ -> assert false in
+  let n gr = Addr.endpoint_id (Group.addr gr) in
+  Horus_sim.Net.partition (World.net world) [ [ n a; n b ]; [ n c; n d ] ];
+  World.run_for world ~duration:4.0;
+  Alcotest.(check int) "side one split" 2
+    (match Group.view a with Some v -> View.size v | None -> 0);
+  Alcotest.(check int) "side two split" 2
+    (match Group.view c with Some v -> View.size v | None -> 0);
+  Horus_sim.Net.heal (World.net world);
+  (* No explicit merge call: the MERGE layer must discover and heal. *)
+  World.run_for world ~duration:6.0;
+  let sizes =
+    List.map (fun gr -> match Group.view gr with Some v -> View.size v | None -> 0) groups
+  in
+  Alcotest.(check (list int)) "all four reunited" [ 4; 4; 4; 4 ] sizes
+
+let test_merge_layer_three_way () =
+  (* Three singleton founders of the same group address converge
+     without any contact being named. *)
+  let world = World.create ~seed:43 () in
+  let spec = "MERGE:" ^ vs_stack in
+  let g = World.fresh_group_addr world in
+  let members = List.init 3 (fun _ -> Group.join (Endpoint.create world ~spec) g) in
+  World.run_for world ~duration:8.0;
+  let sizes =
+    List.map (fun gr -> match Group.view gr with Some v -> View.size v | None -> 0) members
+  in
+  Alcotest.(check (list int)) "all three converge" [ 3; 3; 3 ] sizes
+
+(* --- the paper's full stack --- *)
+
+let test_paper_stack_end_to_end () =
+  (* TOTAL:MBRSHIP:FRAG:NAK:COM over a lossy, garbling network with a
+     large message thrown in: the Section 7 stack earning its
+     properties. *)
+  let config = { Horus_sim.Net.default_config with drop_prob = 0.1; mtu = 1 lsl 16 } in
+  let world = World.create ~config ~seed:29 () in
+  let groups = spawn ~spec:"TOTAL:MBRSHIP:FRAG(frag_size=512):NAK:COM" ~n:3 ~settle:4.0 world in
+  let a = List.hd groups in
+  let big = String.init 5000 (fun i -> Char.chr (32 + (i mod 95))) in
+  Group.cast a big;
+  List.iteri (fun i gr -> Group.cast gr (Printf.sprintf "small-%d" i)) groups;
+  World.run_for world ~duration:10.0;
+  match List.map Group.casts groups with
+  | first :: rest ->
+    Alcotest.(check int) "four messages" 4 (List.length first);
+    Alcotest.(check bool) "big reassembled" true (List.mem big first);
+    List.iter
+      (fun s -> Alcotest.(check (list string)) "identical total order" first s)
+      rest
+  | [] -> ()
+
+let () =
+  Alcotest.run "upper"
+    [ ( "total",
+        [ Alcotest.test_case "single sender" `Quick test_total_single_sender;
+          Alcotest.test_case "concurrent senders agree" `Quick
+            test_total_concurrent_senders_agree;
+          Alcotest.test_case "jitter agreement" `Quick test_total_with_jitter_agrees;
+          Alcotest.test_case "holder crash" `Quick test_total_holder_crash;
+          Alcotest.test_case "under loss" `Quick test_total_under_loss ] );
+      ( "causal",
+        [ Alcotest.test_case "question before reply" `Quick test_causal_question_reply;
+          Alcotest.test_case "fifo preserved" `Quick test_causal_fifo_preserved ] );
+      ( "stability",
+        [ Alcotest.test_case "receipt stability" `Quick test_stable_receipt_stability;
+          Alcotest.test_case "ids in meta" `Quick test_stable_ids_in_meta;
+          Alcotest.test_case "app-level acks" `Quick test_stable_app_level_ack;
+          Alcotest.test_case "pinwheel converges" `Quick test_pinwheel_converges;
+          Alcotest.test_case "pinwheel economics" `Quick test_pinwheel_cheaper_than_stable ] );
+      ( "safe",
+        [ Alcotest.test_case "waits for stability" `Quick test_safe_delivery_waits_for_stability;
+          Alcotest.test_case "view change releases" `Quick
+            test_safe_delivery_view_change_releases ] );
+      ( "auto-merge",
+        [ Alcotest.test_case "heals partition" `Quick test_merge_layer_auto_heals;
+          Alcotest.test_case "three-way convergence" `Quick test_merge_layer_three_way ] );
+      ( "paper stack",
+        [ Alcotest.test_case "end to end" `Quick test_paper_stack_end_to_end ] ) ]

@@ -1,0 +1,179 @@
+(* Tests for the utility substrate: PRNG, heap, bitset, checksum. *)
+
+open Horus_util
+
+(* --- Prng --- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 42 and b = Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create 1 and b = Prng.create 2 in
+  Alcotest.(check bool) "different seeds differ" true (Prng.next_int64 a <> Prng.next_int64 b)
+
+let test_prng_int_range () =
+  let t = Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int t 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done
+
+let test_prng_float_range () =
+  let t = Prng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Prng.float t 2.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_prng_chance_extremes () =
+  let t = Prng.create 3 in
+  Alcotest.(check bool) "p=0 never" false (Prng.chance t 0.0);
+  Alcotest.(check bool) "p=1 always" true (Prng.chance t 1.0)
+
+let test_prng_copy_independent () =
+  let a = Prng.create 5 in
+  let _ = Prng.next_int64 a in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.next_int64 a) (Prng.next_int64 b)
+
+let test_prng_exponential_positive () =
+  let t = Prng.create 11 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "positive" true (Prng.exponential t ~mean:0.01 > 0.0)
+  done
+
+let test_prng_shuffle_permutation () =
+  let t = Prng.create 13 in
+  let arr = Array.init 50 (fun i -> i) in
+  Prng.shuffle_in_place t arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+(* --- Heap --- *)
+
+let test_heap_sorts () =
+  let h = Heap.create ~compare:Int.compare in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7 ];
+  let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] (drain [])
+
+let test_heap_empty () =
+  let h = Heap.create ~compare:Int.compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h);
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek h)
+
+let test_heap_peek_does_not_remove () =
+  let h = Heap.create ~compare:Int.compare in
+  Heap.push h 4;
+  Alcotest.(check (option int)) "peek" (Some 4) (Heap.peek h);
+  Alcotest.(check int) "still there" 1 (Heap.length h)
+
+let test_heap_duplicates () =
+  let h = Heap.create ~compare:Int.compare in
+  List.iter (Heap.push h) [ 2; 2; 1; 2 ];
+  let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  Alcotest.(check (list int)) "dups kept" [ 1; 2; 2; 2 ] (drain [])
+
+let prop_heap_sorts_random =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:300
+    QCheck.(list int)
+    (fun l ->
+       let h = Heap.create ~compare:Int.compare in
+       List.iter (Heap.push h) l;
+       let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+       drain [] = List.sort Int.compare l)
+
+(* --- Bitset --- *)
+
+let test_bitset_basics () =
+  let s = Bitset.of_list [ 0; 3; 7 ] in
+  Alcotest.(check bool) "mem 3" true (Bitset.mem s 3);
+  Alcotest.(check bool) "mem 1" false (Bitset.mem s 1);
+  Alcotest.(check int) "cardinal" 3 (Bitset.cardinal s);
+  Alcotest.(check (list int)) "to_list sorted" [ 0; 3; 7 ] (Bitset.to_list s)
+
+let test_bitset_ops () =
+  let a = Bitset.of_list [ 1; 2; 3 ] and b = Bitset.of_list [ 3; 4 ] in
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4 ] (Bitset.to_list (Bitset.union a b));
+  Alcotest.(check (list int)) "inter" [ 3 ] (Bitset.to_list (Bitset.inter a b));
+  Alcotest.(check (list int)) "diff" [ 1; 2 ] (Bitset.to_list (Bitset.diff a b));
+  Alcotest.(check bool) "subset yes" true (Bitset.subset (Bitset.of_list [ 1; 2 ]) a);
+  Alcotest.(check bool) "subset no" false (Bitset.subset b a)
+
+let test_bitset_remove () =
+  let s = Bitset.remove (Bitset.of_list [ 1; 2 ]) 1 in
+  Alcotest.(check (list int)) "removed" [ 2 ] (Bitset.to_list s);
+  Alcotest.(check (list int)) "remove absent is noop" [ 2 ] (Bitset.to_list (Bitset.remove s 5))
+
+let prop_bitset_roundtrip =
+  QCheck.Test.make ~name:"bitset of_list/to_list" ~count:300
+    QCheck.(list (int_range 0 61))
+    (fun l ->
+       let dedup = List.sort_uniq Int.compare l in
+       Bitset.to_list (Bitset.of_list l) = dedup)
+
+(* --- Crc --- *)
+
+let test_crc_deterministic () =
+  Alcotest.(check int64) "same input same hash" (Crc.checksum_string "hello world")
+    (Crc.checksum_string "hello world")
+
+let test_crc_sensitivity () =
+  Alcotest.(check bool) "one-bit change detected" true
+    (Crc.checksum_string "hello world" <> Crc.checksum_string "hello worle")
+
+let test_mac_key_dependent () =
+  let data = Bytes.of_string "payload" in
+  let m1 = Crc.mac ~key:"k1" data ~off:0 ~len:7 in
+  let m2 = Crc.mac ~key:"k2" data ~off:0 ~len:7 in
+  Alcotest.(check bool) "different keys differ" true (m1 <> m2)
+
+let test_crc_range () =
+  let b = Bytes.of_string "abcdef" in
+  Alcotest.(check int64) "subrange equals standalone"
+    (Crc.checksum_string "cde")
+    (Crc.checksum b ~off:2 ~len:3)
+
+let prop_crc_detects_byte_flips =
+  QCheck.Test.make ~name:"checksum detects single byte flips" ~count:300
+    QCheck.(pair (string_of_size Gen.(1 -- 64)) (pair small_nat small_nat))
+    (fun (s, (pos, delta)) ->
+       let pos = pos mod String.length s in
+       let delta = 1 + (delta mod 255) in
+       let b = Bytes.of_string s in
+       Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor delta));
+       Crc.checksum_string s <> Crc.checksum_string (Bytes.to_string b))
+
+let () =
+  Alcotest.run "util"
+    [ ( "prng",
+        [ Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+          Alcotest.test_case "int range" `Quick test_prng_int_range;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "chance extremes" `Quick test_prng_chance_extremes;
+          Alcotest.test_case "copy independent" `Quick test_prng_copy_independent;
+          Alcotest.test_case "exponential positive" `Quick test_prng_exponential_positive;
+          Alcotest.test_case "shuffle is permutation" `Quick test_prng_shuffle_permutation ] );
+      ( "heap",
+        [ Alcotest.test_case "sorts" `Quick test_heap_sorts;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "peek" `Quick test_heap_peek_does_not_remove;
+          Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
+          QCheck_alcotest.to_alcotest prop_heap_sorts_random ] );
+      ( "bitset",
+        [ Alcotest.test_case "basics" `Quick test_bitset_basics;
+          Alcotest.test_case "set operations" `Quick test_bitset_ops;
+          Alcotest.test_case "remove" `Quick test_bitset_remove;
+          QCheck_alcotest.to_alcotest prop_bitset_roundtrip ] );
+      ( "crc",
+        [ Alcotest.test_case "deterministic" `Quick test_crc_deterministic;
+          Alcotest.test_case "sensitivity" `Quick test_crc_sensitivity;
+          Alcotest.test_case "mac key dependent" `Quick test_mac_key_dependent;
+          Alcotest.test_case "subrange" `Quick test_crc_range;
+          QCheck_alcotest.to_alcotest prop_crc_detects_byte_flips ] ) ]

@@ -1,10 +1,25 @@
 (* Bechamel boilerplate: run a group of tests and print one line per
-   test with the OLS-estimated time per run. *)
+   test with the OLS-estimated time per run and the fit's r². *)
 
 open Bechamel
 open Toolkit
 
-let run_group ?(quota = 0.5) name tests =
+type row = {
+  name : string;
+  ns : float;         (* OLS time estimate per run, nanoseconds *)
+  r_square : float;   (* goodness of fit; nan when unavailable *)
+}
+
+(* CI smoke runs shrink the measurement quota ([--quick] in main.ml)
+   so the whole harness finishes in seconds. *)
+let default_quota = ref 0.5
+
+(* Below this r² the OLS fit explains too little of the variance for
+   the estimate to be trusted; flag it in the output. *)
+let noisy_r_square = 0.90
+
+let run_group ?quota name tests =
+  let quota = match quota with Some q -> q | None -> !default_quota in
   let test = Test.make_grouped ~name tests in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
@@ -19,20 +34,30 @@ let run_group ?(quota = 0.5) name tests =
            | Some (est :: _) -> est
            | Some [] | None -> nan
          in
-         (test_name, ns) :: acc)
+         let r_square =
+           match Analyze.OLS.r_square ols_result with
+           | Some r -> r
+           | None -> nan
+         in
+         { name = test_name; ns; r_square } :: acc)
       results []
-    |> List.sort compare
+    |> List.sort (fun a b -> String.compare a.name b.name)
   in
   Format.printf "== %s ==@." name;
   List.iter
-    (fun (test_name, ns) ->
+    (fun { name = test_name; ns; r_square } ->
        let pretty =
          if Float.is_nan ns then "n/a"
          else if ns >= 1e6 then Printf.sprintf "%10.3f ms" (ns /. 1e6)
          else if ns >= 1e3 then Printf.sprintf "%10.3f us" (ns /. 1e3)
          else Printf.sprintf "%10.1f ns" ns
        in
-       Format.printf "  %-48s %s/run@." test_name pretty)
+       let fit =
+         if Float.is_nan r_square then "r²=n/a"
+         else if r_square < noisy_r_square then Printf.sprintf "r²=%.3f NOISY" r_square
+         else Printf.sprintf "r²=%.3f" r_square
+       in
+       Format.printf "  %-48s %s/run  (%s)@." test_name pretty fit)
     rows;
   Format.printf "@.";
   rows

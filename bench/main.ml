@@ -10,43 +10,114 @@
    - simulated-protocol metrics (wire packets, bytes, simulated
      seconds), which are deterministic in the seed.
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe
+   Options:
+     --json FILE   also write a machine-readable BENCH snapshot
+                   (schema documented in EXPERIMENTS.md); simulated
+                   metrics in it are deterministic in the seed,
+                   wall-clock fields live under "host_specific"
+     --quick       CI smoke mode: tiny Bechamel quota, reduced group
+                   sizes, heavy experiments skipped
+     --only IDS    run only the named experiments (comma-separated,
+                   e.g. E1,E5,MBRSHIP) *)
 
 open Bechamel
 open Horus
+module J = Horus_obs.Json
+
+let quick = ref false
 
 let section id title = Format.printf "@.===== %s — %s =====@.@." id title
+
+(* --- machine-readable snapshot ------------------------------------ *)
+
+(* Sections accumulate as experiments run; written at exit when
+   [--json] was given. Wall-clock measurements go to [host_specific],
+   everything else to [simulated]. *)
+let host_specific : (string * J.t) list ref = ref []
+
+let simulated : (string * J.t) list ref = ref []
+
+let record_host key v = host_specific := !host_specific @ [ (key, v) ]
+
+let record_sim key v = simulated := !simulated @ [ (key, v) ]
+
+let json_of_rows rows =
+  J.List
+    (List.map
+       (fun { Bb.name; ns; r_square } ->
+          J.Obj
+            [ ("name", J.String name);
+              ("ns_per_run", J.Float ns);
+              ("r_square", J.Float r_square) ])
+       rows)
+
+let write_json path =
+  let doc =
+    J.Obj
+      [ ("schema", J.String "horus-bench/1");
+        ("paper", J.String "A Framework for Protocol Composition in Horus (PODC '95)");
+        ( "host_specific",
+          J.Obj
+            (( "note",
+               J.String
+                 "wall-clock values; host-specific, compare shapes only" )
+             :: !host_specific) );
+        ( "simulated",
+          J.Obj
+            (("note", J.String "deterministic in the seed") :: !simulated) );
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string ~indent:true doc);
+  close_out oc;
+  Format.printf "@.wrote %s@." path
 
 (* ------------------------------------------------------------------ *)
 (* E1 / Figure 1: run-time stack assembly                              *)
 (* ------------------------------------------------------------------ *)
 
+let e1_specs =
+  [ ("COM only", "COM");
+    ("NAK:COM", "NAK:COM");
+    ("section-7 stack (5 layers)", "TOTAL:MBRSHIP:FRAG:NAK:COM");
+    ("kitchen sink (9 layers)", "TOTAL:MBRSHIP:FRAG:COMPRESS:ENCRYPT:SIGN:NAK:CHKSUM:COM") ]
+
 let e1_stack_assembly () =
   section "E1" "Figure 1: protocol layers assemble at run time";
   Horus_layers.Init.register_all ();
   let engine = Horus_sim.Engine.create () in
-  let mk spec_string =
+  let mk ?metrics spec_string =
     let spec = Spec.parse spec_string in
     let resolved = Spec.resolve spec in
-    ignore
-      (Horus_hcpi.Stack.create ~engine ~endpoint:(Addr.endpoint 0) ~group:(Addr.group 0)
-         ~prng:(Horus_util.Prng.create 1)
-         ~transport:{ Horus_hcpi.Layer.xmit = (fun ~dst:_ _ -> ()); local_node = 0; mtu = 65536 }
-         ~rendezvous:Horus_hcpi.Layer.null_rendezvous
-         ~trace:(fun ~layer:_ ~category:_ _ -> ())
-         ~to_app:(fun _ -> ())
-         ~to_below:(fun _ -> ())
-         resolved)
+    Horus_hcpi.Stack.create ~engine ~endpoint:(Addr.endpoint 0) ~group:(Addr.group 0)
+      ~prng:(Horus_util.Prng.create 1)
+      ~transport:{ Horus_hcpi.Layer.xmit = (fun ~dst:_ _ -> ()); local_node = 0; mtu = 65536 }
+      ~rendezvous:Horus_hcpi.Layer.null_rendezvous ?metrics
+      ~trace:(fun ~layer:_ ~category:_ _ -> ())
+      ~to_app:(fun _ -> ())
+      ~to_below:(fun _ -> ())
+      resolved
   in
-  ignore
-    (Bb.run_group "stack assembly (parse + resolve + instantiate)"
-       [ Test.make ~name:"COM only" (Staged.stage (fun () -> mk "COM"));
-         Test.make ~name:"NAK:COM" (Staged.stage (fun () -> mk "NAK:COM"));
-         Test.make ~name:"section-7 stack (5 layers)"
-           (Staged.stage (fun () -> mk "TOTAL:MBRSHIP:FRAG:NAK:COM"));
-         Test.make ~name:"kitchen sink (9 layers)"
-           (Staged.stage (fun () ->
-                mk "TOTAL:MBRSHIP:FRAG:COMPRESS:ENCRYPT:SIGN:NAK:CHKSUM:COM")) ])
+  let rows =
+    Bb.run_group "stack assembly (parse + resolve + instantiate)"
+      (List.map
+         (fun (name, spec) ->
+            Test.make ~name (Staged.stage (fun () -> ignore (mk spec))))
+         e1_specs)
+  in
+  record_host "e1_assembly" (json_of_rows rows);
+  (* Deterministic companion: one dump downcall through each assembled
+     stack, with the per-layer crossing counters it generates. *)
+  record_sim "e1_crossings"
+    (J.Obj
+       (List.map
+          (fun (_, spec) ->
+             let metrics = Horus_obs.Metrics.create () in
+             let stack = mk ~metrics spec in
+             Horus_hcpi.Stack.down stack Horus_hcpi.Event.D_dump;
+             (spec, J.Obj [ ("metrics", Horus_obs.Metrics.to_json metrics) ]))
+          e1_specs))
 
 (* ------------------------------------------------------------------ *)
 (* E2 / Table 1: downcall dispatch through the event queue             *)
@@ -122,20 +193,38 @@ let e4_property_algebra () =
 let e5_flush_latency () =
   section "E5" "Figure 2: crash-to-new-view latency vs group size";
   Format.printf "(includes the ~0.25 s failure-detection timeout of the NAK status protocol)@.@.";
+  let sizes = if !quick then [ 2; 3; 4 ] else [ 2; 3; 4; 6; 8; 12; 16 ] in
+  let snapshot_n = 4 in
+  let latencies = ref [] in
   Format.printf "  %6s  %14s@." "n" "flush latency";
   List.iter
     (fun n ->
-       match Scenarios.flush_latency ~n () with
-       | Some dt -> Format.printf "  %6d  %11.3f s@." n dt
-       | None -> Format.printf "  %6d  %14s@." n "did not settle")
-    [ 2; 3; 4; 6; 8; 12; 16 ];
+       (* Snapshot the world metrics of one representative size so the
+          JSON carries E5's per-layer crossings and wire stats. *)
+       let on_world world =
+         if n = snapshot_n then
+           record_sim "e5_metrics"
+             (J.Obj
+                [ ("n", J.Int n);
+                  ("stack", J.String "MBRSHIP:FRAG:NAK:COM");
+                  ("metrics", World.metrics_json world) ])
+       in
+       match Scenarios.flush_latency ~on_world ~n () with
+       | Some dt ->
+         latencies := (Printf.sprintf "n%d" n, J.Float dt) :: !latencies;
+         Format.printf "  %6d  %11.3f s@." n dt
+       | None ->
+         latencies := (Printf.sprintf "n%d" n, J.Null) :: !latencies;
+         Format.printf "  %6d  %14s@." n "did not settle")
+    sizes;
+  record_sim "e5_flush_latency_s" (J.Obj (List.rev !latencies));
   Format.printf "@.  %6s  %14s@." "n" "join latency";
   List.iter
     (fun n ->
        match Scenarios.join_latency ~n () with
        | Some dt -> Format.printf "  %6d  %11.3f s@." n dt
        | None -> Format.printf "  %6d  %14s@." n "did not settle")
-    [ 2; 4; 8 ]
+    (if !quick then [ 2 ] else [ 2; 4; 8 ])
 
 (* ------------------------------------------------------------------ *)
 (* E7 / Section 7 + Section 10: pay only for what you use              *)
@@ -146,9 +235,18 @@ let e7_pay_for_what_you_use () =
   let n = 4 in
   Format.printf "4 members, 50 casts of 100 bytes from member 0; wire cost per cast:@.@.";
   Format.printf "  %-38s %12s %12s %10s@." "stack" "packets/msg" "bytes/msg" "complete";
+  let rows = ref [] in
   List.iter
     (fun (spec, membership) ->
        let c = Scenarios.traffic_cost ~spec ~n ~membership () in
+       rows :=
+         J.Obj
+           [ ("stack", J.String spec);
+             ("packets_per_msg", J.Float c.Scenarios.packets_per_msg);
+             ("bytes_per_msg", J.Float c.Scenarios.bytes_per_msg);
+             ("overhead_bytes_per_msg", J.Float c.Scenarios.overhead_bytes_per_msg);
+             ("delivered_everywhere", J.Bool c.Scenarios.delivered_everywhere) ]
+         :: !rows;
        Format.printf "  %-38s %12.2f %12.1f %10b@." spec c.Scenarios.packets_per_msg
          c.Scenarios.bytes_per_msg c.Scenarios.delivered_everywhere)
     [ ("COM", false);
@@ -158,6 +256,7 @@ let e7_pay_for_what_you_use () =
       ("TOTAL:MBRSHIP:FRAG:NAK:COM", true);
       ("ORDER_CAUSAL:MBRSHIP:FRAG:NAK:COM", true);
       ("BATCH(window=0.02):MBRSHIP:FRAG:NAK:COM", true) ];
+  record_sim "e7_traffic" (J.List (List.rev !rows));
   Format.printf
     "@.shape check: every added property costs packets/bytes; the bare stack@.\
      carries (n-1) packets per cast and nothing else. Most of the full@.\
@@ -459,21 +558,94 @@ let m1_models () =
     "@.shape check: the hardened models hold over every interleaving; removing@.\
 the Section 5 rule reproduces the straggler violation on demand.@."
 
+(* ------------------------------------------------------------------ *)
+(* MBRSHIP: a full membership scenario with its metrics snapshot       *)
+(* ------------------------------------------------------------------ *)
+
+(* The observability counterpart of E7's MBRSHIP row: run the stack
+   under traffic and export the complete world registry — per-layer
+   HCPI crossings, engine dispatch-delay histogram, wire stats — as
+   one deterministic JSON object. *)
+let e_mbrship_metrics () =
+  section "MBRSHIP" "membership scenario under traffic, full metrics registry";
+  let spec = "MBRSHIP:FRAG:NAK:COM" and n = 4 in
+  let snapshot = ref J.Null in
+  let c =
+    Scenarios.traffic_cost ~spec ~n ~membership:true
+      ~on_world:(fun world -> snapshot := World.metrics_json world)
+      ()
+  in
+  record_sim "mbrship"
+    (J.Obj
+       [ ("stack", J.String spec);
+         ("n", J.Int n);
+         ("packets_per_msg", J.Float c.Scenarios.packets_per_msg);
+         ("bytes_per_msg", J.Float c.Scenarios.bytes_per_msg);
+         ("delivered_everywhere", J.Bool c.Scenarios.delivered_everywhere);
+         ("metrics", !snapshot) ]);
+  (match !snapshot with
+   | J.Obj _ as m ->
+     let crossing key = Option.bind (J.path [ "counters"; key ] m) J.to_int in
+     Format.printf "  %-28s %10s@." "counter" "value";
+     List.iter
+       (fun layer ->
+          match crossing ("hcpi.down." ^ layer) with
+          | Some v -> Format.printf "  %-28s %10d@." ("hcpi.down." ^ layer) v
+          | None -> ())
+       [ "MBRSHIP"; "FRAG"; "NAK"; "COM" ];
+     (match Option.bind (J.path [ "counters"; "net.sent" ] m) J.to_int with
+      | Some v -> Format.printf "  %-28s %10d@." "net.sent" v
+      | None -> ())
+   | _ -> ());
+  Format.printf
+    "@.the same registry every layer, the engine and the network feed;@.\
+     with --json the full snapshot lands in the BENCH file.@."
+
+(* ------------------------------------------------------------------ *)
+(* driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* [true] marks experiments cheap enough for the CI smoke run
+   (--quick); the rest only run in a full pass. *)
+let experiments =
+  [ ("E1", true, e1_stack_assembly);
+    ("E2", true, e2_downcall_dispatch);
+    ("E4", true, e4_property_algebra);
+    ("E5", true, e5_flush_latency);
+    ("E7", true, e7_pay_for_what_you_use);
+    ("E7b", false, e_total_latency);
+    ("E8", false, e8_layer_crossing);
+    ("E9", false, e9_frag_overhead);
+    ("E10", true, e10_header_compaction);
+    ("E11", false, e11_stability);
+    ("E12", false, e12_membership_ablation);
+    ("E7c", false, e7c_throughput);
+    ("E13", false, e13_detection_ablation);
+    ("MBRSHIP", true, e_mbrship_metrics);
+    ("M1", false, m1_models) ]
+
 let () =
+  let json_path = ref None in
+  let only = ref None in
+  let args =
+    [ ("--json", Arg.String (fun f -> json_path := Some f),
+       "FILE  also write a machine-readable snapshot to FILE");
+      ("--quick", Arg.Set quick,
+       "  CI smoke mode: tiny quota, reduced sizes, heavy experiments skipped");
+      ("--only", Arg.String (fun s -> only := Some (String.split_on_char ',' s)),
+       "IDS  run only these comma-separated experiments (e.g. E1,E5,MBRSHIP)") ]
+  in
+  Arg.parse args
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "Horus experiment harness";
+  if !quick then Bb.default_quota := 0.05;
+  let selected (id, cheap, _) =
+    match !only with
+    | Some ids -> List.mem id ids
+    | None -> cheap || not !quick
+  in
   Format.printf "Horus protocol-composition framework: experiment harness@.";
   Format.printf "(paper: van Renesse et al., PODC '95; see DESIGN.md and EXPERIMENTS.md)@.";
-  e1_stack_assembly ();
-  e2_downcall_dispatch ();
-  e4_property_algebra ();
-  e5_flush_latency ();
-  e7_pay_for_what_you_use ();
-  e_total_latency ();
-  e8_layer_crossing ();
-  e9_frag_overhead ();
-  e10_header_compaction ();
-  e11_stability ();
-  e12_membership_ablation ();
-  e7c_throughput ();
-  e13_detection_ablation ();
-  m1_models ();
+  List.iter (fun ((_, _, run) as e) -> if selected e then run ()) experiments;
+  (match !json_path with Some path -> write_json path | None -> ());
   Format.printf "@.done.@."

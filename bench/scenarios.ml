@@ -47,7 +47,11 @@ let install_symmetric_views members =
     in
     List.iter (fun m -> Group.install_view m v) members
 
-let traffic_cost ?(msgs = 50) ?(size = 100) ?(duration = 2.0) ?(membership = true) ~spec ~n () =
+(* [on_world] (here and in [flush_latency]) runs after the workload
+   settles and before the world is dropped — the JSON bench mode uses
+   it to snapshot the world's metrics registry. *)
+let traffic_cost ?(msgs = 50) ?(size = 100) ?(duration = 2.0) ?(membership = true)
+    ?(on_world = fun (_ : World.t) -> ()) ~spec ~n () =
   let world, members = form_group ~spec ~n () in
   if not membership then install_symmetric_views members;
   let payload = String.make size 'x' in
@@ -63,6 +67,7 @@ let traffic_cost ?(msgs = 50) ?(size = 100) ?(duration = 2.0) ?(membership = tru
   let delivered_everywhere =
     List.for_all (fun m -> List.length (Group.casts m) = msgs) members
   in
+  on_world world;
   (* Raw payload cost if the network carried the payload once per
      remote destination with no headers at all. *)
   let raw = float_of_int (size * (n - 1)) in
@@ -75,7 +80,8 @@ let traffic_cost ?(msgs = 50) ?(size = 100) ?(duration = 2.0) ?(membership = tru
    member crash to the instant the last survivor installs the next
    view. Includes the failure-detection delay; [detect] reports the
    suspicion timeout so the table can show both. *)
-let flush_latency ?(seed = 3) ?(spec = "MBRSHIP:FRAG:NAK:COM") ~n () =
+let flush_latency ?(seed = 3) ?(spec = "MBRSHIP:FRAG:NAK:COM")
+    ?(on_world = fun (_ : World.t) -> ()) ~n () =
   let world, members = form_group ~seed ~spec ~n () in
   let victim = List.nth members (n - 1) in
   let installed = Array.make n nan in
@@ -89,6 +95,7 @@ let flush_latency ?(seed = 3) ?(spec = "MBRSHIP:FRAG:NAK:COM") ~n () =
   let t0 = World.now world in
   Endpoint.crash (Group.endpoint victim);
   World.run_for world ~duration:10.0;
+  on_world world;
   let survivors_done =
     List.filteri (fun i _ -> i < n - 1) (Array.to_list installed)
   in

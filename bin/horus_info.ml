@@ -189,9 +189,55 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Run a live group scenario and print what every member saw")
     Term.(const run $ spec_arg $ n_arg $ crash_arg $ seed_arg)
 
+(* Run a group scenario and dump the world's metrics registry — the
+   per-layer HCPI crossing counters, the engine's dispatch-delay
+   histogram, and the wire stats — as a table or as the same JSON shape
+   bench/main.exe --json embeds. *)
+let metrics_cmd =
+  let spec_arg =
+    Arg.(value & opt string "TOTAL:MBRSHIP:FRAG:NAK:COM"
+         & info [ "stack" ] ~doc:"Stack spec to run.")
+  in
+  let n_arg = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Group size.") in
+  let casts_arg =
+    Arg.(value & opt int 10 & info [ "casts" ] ~doc:"Casts from member 0.")
+  in
+  let crash_arg =
+    Arg.(value & flag & info [ "crash" ] ~doc:"Crash the youngest member mid-run.")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"World seed.") in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the registry as JSON instead of a table.")
+  in
+  let run spec n casts crash seed json =
+    let open Horus in
+    let world = World.create ~seed () in
+    let members = spawn_group world ~spec ~n in
+    let sender = List.hd members in
+    for k = 0 to casts - 1 do
+      World.after world ~delay:(0.01 *. float_of_int k) (fun () ->
+          Group.cast sender (Printf.sprintf "m%d" k))
+    done;
+    if crash then
+      World.after world ~delay:(0.01 *. float_of_int casts) (fun () ->
+          Endpoint.crash (Group.endpoint (List.nth members (n - 1))));
+    World.run_for world ~duration:3.0;
+    if json then print_string (Json.to_string ~indent:true (World.metrics_json world))
+    else begin
+      ignore (World.metrics_json world);  (* export the wire stats *)
+      Format.printf "%a" Metrics.pp (World.metrics world)
+    end
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Run a group scenario and dump the world metrics registry (deterministic in the seed)")
+    Term.(const run $ spec_arg $ n_arg $ casts_arg $ crash_arg $ seed_arg $ json_arg)
+
 let () =
   let doc = "Horus protocol-composition framework: catalogue and property algebra" in
   let info = Cmd.info "horus_info" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ layers_cmd; table3_cmd; table4_cmd; check_cmd; synth_cmd; order_cmd; simulate_cmd ]))
+       (Cmd.group info
+          [ layers_cmd; table3_cmd; table4_cmd; check_cmd; synth_cmd; order_cmd;
+            simulate_cmd; metrics_cmd ]))

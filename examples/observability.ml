@@ -1,6 +1,7 @@
 (* Observability tour: the focus/dump downcalls (Table 1), TRACE and
-   ACCOUNT layers, the world trace, and the promiscuous wiretap — how
-   you see what a running protocol stack is doing, at every level.
+   ACCOUNT layers, the world trace, the promiscuous wiretap, and the
+   metrics registry — how you see what a running protocol stack is
+   doing, at every level.
 
    Run with: dune exec examples/observability.exe *)
 
@@ -60,4 +61,19 @@ let () =
   |> List.iter (fun ((src, dst), (count, bytes)) ->
       Format.printf "  e%d -> e%d: %4d frames, %6d bytes@." src dst count bytes);
 
-  Format.printf "@.four vantage points, one running system.@."
+  (* Level 5: the metrics registry — every HCPI crossing, the engine's
+     dispatch-delay histogram and the wire stats as one machine-readable
+     snapshot (what bench/main.exe --json embeds per experiment). *)
+  Format.printf "@.=== metrics registry (per-layer crossings, selected) ===@.";
+  (match World.metrics_json world with
+   | Json.Obj _ as snapshot ->
+     List.iter
+       (fun key ->
+          match Option.bind (Json.path [ "counters"; key ] snapshot) Json.to_int with
+          | Some v -> Format.printf "  %-20s %6d@." key v
+          | None -> ())
+       [ "hcpi.down.TOTAL"; "hcpi.down.NAK"; "hcpi.up.NAK"; "hcpi.up.COM";
+         "net.sent"; "net.bytes_sent" ]
+   | _ -> ());
+
+  Format.printf "@.five vantage points, one running system.@."

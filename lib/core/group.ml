@@ -84,6 +84,7 @@ let join ?contact ?on_up ?(auto_flush_ok = true) ?(record = true) endpoint group
             ~transport:(Endpoint.transport endpoint ~gid)
             ~rendezvous:(World.rendezvous world)
             ~storage:(World.storage world)
+            ~metrics:(World.metrics world)
             ~trace:(fun ~layer ~category detail ->
                 World.(Horus_sim.Trace.record (trace world)) ~time:(World.now world)
                   ~category:(layer ^ "/" ^ category)

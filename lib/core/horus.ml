@@ -29,6 +29,8 @@ module Event = Horus_hcpi.Event
 module Spec = Horus_hcpi.Spec
 module Params = Horus_hcpi.Params
 module Registry = Horus_hcpi.Registry
+module Metrics = Horus_obs.Metrics
+module Json = Horus_obs.Json
 module Property = Horus_props.Property
 module Layer_spec = Horus_props.Layer_spec
 module Check = Horus_props.Check

@@ -1,0 +1,44 @@
+(** Horus: protocol composition for group communication.
+
+    Public umbrella module. Typical use:
+
+    {[
+      let world = Horus.World.create () in
+      let g = Horus.World.fresh_group_addr world in
+      let ep () = Horus.Endpoint.create world ~spec:"TOTAL:MBRSHIP:FRAG:NAK:COM" in
+      let a = Horus.Group.join (ep ()) g in
+      let b = Horus.Group.join ~contact:(Horus.Group.addr a) (ep ()) g in
+      Horus.World.run_for world ~duration:1.0;
+      Horus.Group.cast a "hello";
+      Horus.World.run_for world ~duration:1.0;
+      assert (Horus.Group.casts b = [ "hello" ])
+    ]} *)
+
+module World = World
+module Endpoint = Endpoint
+module Group = Group
+module Socket = Socket
+module Rpc = Rpc
+module State_transfer = State_transfer
+
+(** Re-exports so applications need only this library. *)
+
+module Addr = Horus_msg.Addr
+module Msg = Horus_msg.Msg
+module View = Horus_hcpi.View
+module Event = Horus_hcpi.Event
+module Spec = Horus_hcpi.Spec
+module Params = Horus_hcpi.Params
+module Registry = Horus_hcpi.Registry
+module Metrics = Horus_obs.Metrics
+module Json = Horus_obs.Json
+module Property = Horus_props.Property
+module Layer_spec = Horus_props.Layer_spec
+module Check = Horus_props.Check
+module Search = Horus_props.Search
+
+val spawn_group : ?settle:float -> World.t -> spec:string -> n:int -> Group.t list
+(** Spin up [n] endpoints with the same stack spec and join them all to
+    one fresh group (the first founds it; the rest join via the founder
+    as contact). Runs the world for [settle] simulated seconds and
+    returns the handles in join order. *)

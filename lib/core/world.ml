@@ -13,6 +13,7 @@ type t = {
   engine : Horus_sim.Engine.t;
   net : Horus_sim.Net.t;
   trace : Horus_sim.Trace.t;
+  metrics : Horus_obs.Metrics.t;
   prng : Horus_util.Prng.t;
   mutable next_eid : int;
   mutable next_gid : int;
@@ -22,10 +23,12 @@ type t = {
 
 let create ?(config = Horus_sim.Net.default_config) ?(seed = 1) () =
   Horus_layers.Init.register_all ();
-  let engine = Horus_sim.Engine.create () in
+  let metrics = Horus_obs.Metrics.create () in
+  let engine = Horus_sim.Engine.create ~metrics () in
   { engine;
     net = Horus_sim.Net.create ~config ~seed engine;
     trace = Horus_sim.Trace.create ();
+    metrics;
     prng = Horus_util.Prng.create (seed + 0x5eed);
     next_eid = 0;
     next_gid = 0;
@@ -37,6 +40,16 @@ let engine t = t.engine
 let net t = t.net
 
 let trace t = t.trace
+
+let metrics t = t.metrics
+
+(* One deterministic snapshot of everything the world measures: the
+   engine's dispatch histogram, every stack's per-layer crossing
+   counters, and the network's wire stats (exported here, at snapshot
+   time). *)
+let metrics_json t =
+  Horus_sim.Net.export_metrics t.net t.metrics;
+  Horus_obs.Metrics.to_json t.metrics
 
 (* The world's own deterministic generator, for workload generators
    that want randomness tied to the world seed. *)

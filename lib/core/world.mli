@@ -14,6 +14,17 @@ val engine : t -> Horus_sim.Engine.t
 val net : t -> Horus_sim.Net.t
 val trace : t -> Horus_sim.Trace.t
 
+val metrics : t -> Horus_obs.Metrics.t
+(** The world's metrics registry: per-layer HCPI crossing counters
+    (from every stack in the world), the engine's dispatch-delay
+    histogram, and — after {!metrics_json} — the network's wire
+    stats. *)
+
+val metrics_json : t -> Horus_obs.Json.t
+(** Deterministic snapshot of the registry (exports the network wire
+    stats first). Two same-seed runs of the same workload serialize to
+    byte-identical JSON. *)
+
 val prng : t -> Horus_util.Prng.t
 (** The world's deterministic generator, for seeded workloads. *)
 

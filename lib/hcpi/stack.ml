@@ -16,6 +16,18 @@ type item =
   | To_below of Event.down
   | Thunk of (unit -> unit)
 
+(* Per-layer crossing counters (Section 10's "indirect procedure call
+   each time a layer boundary is crossed", made first-class data).
+   Counters are registered by layer *name*, so all stacks sharing a
+   registry — every member of a world — accumulate into the same
+   per-layer totals. *)
+type obs = {
+  down_crossings : Horus_obs.Metrics.counter array;  (* hcpi.down.<LAYER> *)
+  up_crossings : Horus_obs.Metrics.counter array;    (* hcpi.up.<LAYER> *)
+  app_deliveries : Horus_obs.Metrics.counter;        (* hcpi.to_app *)
+  below_emissions : Horus_obs.Metrics.counter;       (* hcpi.to_below *)
+}
+
 type t = {
   mutable layers : Layer.instance array;  (* 0 = top *)
   names : string array;
@@ -23,6 +35,7 @@ type t = {
   mutable running : bool;
   mutable destroyed : bool;
   mutable processed : int;
+  obs : obs option;
   to_app : Event.up -> unit;
   to_below : Event.down -> unit;
 }
@@ -34,6 +47,15 @@ let default_to_below ev =
 
 let process t item =
   t.processed <- t.processed + 1;
+  (match t.obs with
+   | None -> ()
+   | Some o ->
+     (match item with
+      | Down (i, _) -> Horus_obs.Metrics.incr o.down_crossings.(i)
+      | Up (i, _) -> Horus_obs.Metrics.incr o.up_crossings.(i)
+      | To_app _ -> Horus_obs.Metrics.incr o.app_deliveries
+      | To_below _ -> Horus_obs.Metrics.incr o.below_emissions
+      | Thunk _ -> ()));
   match item with
   | Down (i, ev) -> t.layers.(i).Layer.handle_down ev
   | Up (i, ev) -> t.layers.(i).Layer.handle_up ev
@@ -65,17 +87,30 @@ let enqueue t item =
   end
 
 let create ~engine ~endpoint ~group ~prng ~transport ~rendezvous
-    ?(storage = Layer.null_storage) ?(skip_inert = false) ~trace ~to_app
+    ?(storage = Layer.null_storage) ?(skip_inert = false) ?metrics ~trace ~to_app
     ?(to_below = default_to_below) spec =
   let n = List.length spec in
   if n = 0 then invalid_arg "Stack.create: empty spec";
+  let names = Array.of_list (List.map (fun (name, _, _) -> name) spec) in
+  let obs =
+    Option.map
+      (fun m ->
+         { down_crossings =
+             Array.map (fun name -> Horus_obs.Metrics.counter m ("hcpi.down." ^ name)) names;
+           up_crossings =
+             Array.map (fun name -> Horus_obs.Metrics.counter m ("hcpi.up." ^ name)) names;
+           app_deliveries = Horus_obs.Metrics.counter m "hcpi.to_app";
+           below_emissions = Horus_obs.Metrics.counter m "hcpi.to_below" })
+      metrics
+  in
   let t =
     { layers = [||];
-      names = Array.of_list (List.map (fun (name, _, _) -> name) spec);
+      names;
       queue = Horus_util.Fifo.create ();
       running = false;
       destroyed = false;
       processed = 0;
+      obs;
       to_app;
       to_below }
   in

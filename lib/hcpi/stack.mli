@@ -16,6 +16,7 @@ val create :
   rendezvous:Layer.rendezvous ->
   ?storage:Layer.storage ->
   ?skip_inert:bool ->
+  ?metrics:Horus_obs.Metrics.t ->
   trace:(layer:string -> category:string -> string -> unit) ->
   to_app:(Event.up -> unit) ->
   ?to_below:(Event.down -> unit) ->
@@ -24,7 +25,11 @@ val create :
 (** [create ... spec] instantiates the layers of [spec] (top first).
     [to_app] receives upcalls leaving the top; [to_below] receives
     downcalls leaving the bottom (defaults to raising — a stack should
-    end in a bottom adapter such as COM). *)
+    end in a bottom adapter such as COM). With [metrics], every HCPI
+    crossing increments an [hcpi.down.<LAYER>] / [hcpi.up.<LAYER>]
+    counter (plus [hcpi.to_app] / [hcpi.to_below] for events leaving
+    the stack); counters are keyed by layer name, so all stacks over
+    one registry accumulate into the same per-layer totals. *)
 
 val depth : t -> int
 

@@ -1,0 +1,33 @@
+(** A tiny dependency-free JSON tree, emitter and parser.
+
+    The emitter is deterministic — a given tree always serializes to
+    the same bytes — so same-seed simulation runs produce byte-identical
+    metric snapshots. Non-finite floats serialize as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:bool -> t -> string
+(** Serialize. [indent] pretty-prints with two-space indentation (and a
+    trailing newline); the default is compact. *)
+
+val of_string : string -> (t, string) result
+(** Parse ordinary JSON. Numbers with a '.', 'e' or 'E' become [Float];
+    the rest become [Int] (falling back to [Float] on overflow). *)
+
+val member : string -> t -> t option
+(** Field of an object; [None] on anything else. *)
+
+val path : string list -> t -> t option
+(** Nested field lookup: [path ["a"; "b"] v] is [v.a.b]. *)
+
+val to_int : t -> int option
+
+val to_float : t -> float option
+(** [Int] values coerce to float. *)

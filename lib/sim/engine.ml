@@ -9,9 +9,20 @@ type handle = { mutable cancelled : bool }
 
 type event = {
   time : float;
+  scheduled : float;   (* [now] at the moment of scheduling *)
   seq : int;
   thunk : unit -> unit;
   handle : handle;
+}
+
+(* Instruments, present when the engine was created over a metrics
+   registry. The dispatch-delay histogram is in *simulated* seconds
+   (time between scheduling and execution), so it is deterministic in
+   the seed like every other simulated metric. *)
+type obs = {
+  dispatch_delay : Horus_obs.Metrics.histogram;
+  events_executed : Horus_obs.Metrics.counter;
+  events_cancelled : Horus_obs.Metrics.counter;
 }
 
 type t = {
@@ -19,14 +30,24 @@ type t = {
   mutable next_seq : int;
   mutable executed : int;
   queue : event Horus_util.Heap.t;
+  obs : obs option;
 }
 
 let compare_event a b =
   let c = Float.compare a.time b.time in
   if c <> 0 then c else Int.compare a.seq b.seq
 
-let create () =
-  { now = 0.0; next_seq = 0; executed = 0; queue = Horus_util.Heap.create ~compare:compare_event }
+let create ?metrics () =
+  let obs =
+    Option.map
+      (fun m ->
+         { dispatch_delay = Horus_obs.Metrics.histogram m "engine.dispatch_delay_s";
+           events_executed = Horus_obs.Metrics.counter m "engine.events_executed";
+           events_cancelled = Horus_obs.Metrics.counter m "engine.events_cancelled" })
+      metrics
+  in
+  { now = 0.0; next_seq = 0; executed = 0;
+    queue = Horus_util.Heap.create ~compare:compare_event; obs }
 
 let now t = t.now
 
@@ -37,7 +58,7 @@ let pending t = Horus_util.Heap.length t.queue
 let schedule_at t ~time thunk =
   if time < t.now then invalid_arg "Engine.schedule_at: time in the past";
   let handle = { cancelled = false } in
-  Horus_util.Heap.push t.queue { time; seq = t.next_seq; thunk; handle };
+  Horus_util.Heap.push t.queue { time; scheduled = t.now; seq = t.next_seq; thunk; handle };
   t.next_seq <- t.next_seq + 1;
   handle
 
@@ -55,8 +76,17 @@ let step t =
   | None -> false
   | Some ev ->
     t.now <- ev.time;
-    if not ev.handle.cancelled then begin
+    if ev.handle.cancelled then
+      (match t.obs with
+       | Some o -> Horus_obs.Metrics.incr o.events_cancelled
+       | None -> ())
+    else begin
       t.executed <- t.executed + 1;
+      (match t.obs with
+       | Some o ->
+         Horus_obs.Metrics.incr o.events_executed;
+         Horus_obs.Metrics.observe o.dispatch_delay (ev.time -. ev.scheduled)
+       | None -> ());
       ev.thunk ()
     end;
     true

@@ -12,7 +12,11 @@ exception Budget_exhausted of int
 (** Raised by {!run}/{!run_until} when the event budget is hit — a
     guard against runaway protocols. *)
 
-val create : unit -> t
+val create : ?metrics:Horus_obs.Metrics.t -> unit -> t
+(** With [metrics], the engine records an [engine.dispatch_delay_s]
+    histogram (simulated seconds between scheduling and execution of
+    each event — deterministic in the seed) plus
+    [engine.events_executed] / [engine.events_cancelled] counters. *)
 
 val now : t -> float
 (** Current simulated time. *)

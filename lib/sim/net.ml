@@ -70,6 +70,20 @@ let set_config t config = t.config <- config
 
 let stats t = t.stats
 
+(* Export the wire stats into a metrics registry, as monotone [net.*]
+   counters mirroring the [stats] record. Called at snapshot time
+   (e.g. by [World.metrics_json]) so the registry needs no hook in the
+   packet hot path. *)
+let export_metrics t m =
+  let c name v = Horus_obs.Metrics.(set_counter (counter m name) v) in
+  c "net.sent" t.stats.sent;
+  c "net.delivered" t.stats.delivered;
+  c "net.dropped" t.stats.dropped;
+  c "net.garbled" t.stats.garbled;
+  c "net.duplicated" t.stats.duplicated;
+  c "net.oversize" t.stats.oversize;
+  c "net.bytes_sent" t.stats.bytes_sent
+
 let attach t ~node handler =
   if Hashtbl.mem t.handlers node then invalid_arg "Net.attach: node already attached";
   Hashtbl.replace t.handlers node handler

@@ -34,6 +34,11 @@ val config : t -> config
 val set_config : t -> config -> unit
 val stats : t -> stats
 
+val export_metrics : t -> Horus_obs.Metrics.t -> unit
+(** Mirror the wire stats into [net.*] counters of the registry.
+    Snapshot-time export: call it just before serializing the
+    registry. *)
+
 val attach : t -> node:int -> (src:int -> Bytes.t -> unit) -> unit
 (** Register the receive handler for a node. *)
 

@@ -1,0 +1,33 @@
+#!/bin/sh
+# CI lint: every library module must publish an interface.
+#
+# Fails if any lib/**/*.ml lacks a matching .mli. The lib/model modules
+# are the known exceptions: they are exhaustive reference models whose
+# whole state spaces are deliberately public to the checker.
+set -u
+
+cd "$(dirname "$0")/.."
+
+allowlisted() {
+    case "$1" in
+        lib/model/*) return 0 ;;
+        *) return 1 ;;
+    esac
+}
+
+fail=0
+for ml in $(find lib -name '*.ml' | sort); do
+    if allowlisted "$ml"; then
+        continue
+    fi
+    if [ ! -f "${ml}i" ]; then
+        echo "missing interface: ${ml}i"
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "every lib module needs a .mli (lib/model excepted); see scripts/check_mli.sh"
+    exit 1
+fi
+echo "mli check: ok"

@@ -1,0 +1,206 @@
+(* Tests for the observability subsystem: counter/gauge/histogram
+   semantics, JSON emit/parse round-trips, the registry snapshot shape,
+   and the determinism guarantee the CI bench gate relies on — two
+   same-seed simulation runs produce byte-identical metrics JSON. *)
+
+open Horus_obs
+
+(* --- counters --- *)
+
+let test_counter_basics () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "x" in
+  Alcotest.(check int) "starts at zero" 0 (Metrics.count c);
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "incr + add" 5 (Metrics.count c);
+  Metrics.set_counter c 42;
+  Alcotest.(check int) "set" 42 (Metrics.count c);
+  Alcotest.(check string) "name" "x" (Metrics.counter_name c)
+
+let test_counter_idempotent_registration () =
+  let m = Metrics.create () in
+  let a = Metrics.counter m "shared" in
+  Metrics.incr a;
+  let b = Metrics.counter m "shared" in
+  Metrics.incr b;
+  Alcotest.(check int) "same underlying counter" 2 (Metrics.count a)
+
+let test_counter_negative_add_rejected () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "x" in
+  Alcotest.check_raises "counters only go up"
+    (Invalid_argument "Metrics.add: counters only go up") (fun () -> Metrics.add c (-1))
+
+let test_kind_mismatch_rejected () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "x");
+  (match Metrics.gauge m "x" with
+   | _ -> Alcotest.fail "expected Invalid_argument"
+   | exception Invalid_argument _ -> ())
+
+(* --- gauges --- *)
+
+let test_gauge_basics () =
+  let m = Metrics.create () in
+  let g = Metrics.gauge m "depth" in
+  Alcotest.(check (float 0.0)) "starts at zero" 0.0 (Metrics.gauge_value g);
+  Metrics.set g 2.5;
+  Alcotest.(check (float 0.0)) "set" 2.5 (Metrics.gauge_value g)
+
+(* --- histograms --- *)
+
+let test_histogram_bucketing () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram ~buckets:[| 1.0; 10.0; 100.0 |] m "lat" in
+  List.iter (Metrics.observe h) [ 0.5; 1.0; 5.0; 99.0; 1000.0 ];
+  Alcotest.(check int) "count" 5 (Metrics.observations h);
+  Alcotest.(check (float 1e-9)) "sum" 1105.5 (Metrics.sum h);
+  (* Bounds are inclusive upper limits; the last slot is +Inf. *)
+  Alcotest.(check (array int)) "buckets" [| 2; 1; 1; 1 |] (Metrics.bucket_counts h)
+
+let test_histogram_bad_bounds_rejected () =
+  let m = Metrics.create () in
+  (match Metrics.histogram ~buckets:[| 2.0; 1.0 |] m "bad" with
+   | _ -> Alcotest.fail "expected Invalid_argument"
+   | exception Invalid_argument _ -> ())
+
+let test_reset () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "c" in
+  let h = Metrics.histogram m "h" in
+  Metrics.add c 7;
+  Metrics.observe h 0.5;
+  Metrics.reset m;
+  Alcotest.(check int) "counter zeroed" 0 (Metrics.count c);
+  Alcotest.(check int) "histogram zeroed" 0 (Metrics.observations h);
+  Alcotest.(check (float 0.0)) "sum zeroed" 0.0 (Metrics.sum h)
+
+(* --- JSON emitter / parser --- *)
+
+let test_json_escaping () =
+  let s = Json.to_string (Json.String "a\"b\\c\nd\te\001f") in
+  Alcotest.(check string) "escaped" "\"a\\\"b\\\\c\\nd\\te\\u0001f\"" s;
+  match Json.of_string s with
+  | Ok (Json.String back) ->
+    Alcotest.(check string) "round-trips" "a\"b\\c\nd\te\001f" back
+  | _ -> Alcotest.fail "re-parse failed"
+
+let test_json_roundtrip_tree () =
+  let v =
+    Json.Obj
+      [ ("ints", Json.List [ Json.Int 0; Json.Int (-3); Json.Int 123456789 ]);
+        ("floats", Json.List [ Json.Float 0.5; Json.Float 3.0; Json.Float 1.25e-7 ]);
+        ("flags", Json.List [ Json.Bool true; Json.Bool false; Json.Null ]);
+        ("nested", Json.Obj [ ("empty_list", Json.List []); ("empty_obj", Json.Obj []) ]) ]
+  in
+  (* Compact and indented forms parse back to the same tree. *)
+  (match Json.of_string (Json.to_string v) with
+   | Ok back -> Alcotest.(check bool) "compact round-trip" true (back = v)
+   | Error e -> Alcotest.fail e);
+  match Json.of_string (Json.to_string ~indent:true v) with
+  | Ok back -> Alcotest.(check bool) "indented round-trip" true (back = v)
+  | Error e -> Alcotest.fail e
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+       match Json.of_string s with
+       | Ok _ -> Alcotest.fail ("accepted: " ^ s)
+       | Error _ -> ())
+    [ ""; "{"; "[1,"; "{\"a\" 1}"; "tru"; "1 2" ]
+
+let test_registry_snapshot_shape () =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "hcpi.down.NAK") 3;
+  Metrics.set (Metrics.gauge m "queue.depth") 4.0;
+  Metrics.observe (Metrics.histogram m "lat") 0.02;
+  let snapshot = Metrics.to_json m in
+  (* The snapshot must re-parse, and each instrument must be findable
+     under its section. *)
+  (match Json.of_string (Json.to_string ~indent:true snapshot) with
+   | Ok back -> Alcotest.(check bool) "snapshot re-parses identically" true (back = snapshot)
+   | Error e -> Alcotest.fail e);
+  Alcotest.(check (option int)) "counter" (Some 3)
+    (Option.bind (Json.path [ "counters"; "hcpi.down.NAK" ] snapshot) Json.to_int);
+  Alcotest.(check (option int)) "integral gauge prints as int" (Some 4)
+    (Option.bind (Json.path [ "gauges"; "queue.depth" ] snapshot) Json.to_int);
+  Alcotest.(check (option int)) "histogram count" (Some 1)
+    (Option.bind (Json.path [ "histograms"; "lat"; "count" ] snapshot) Json.to_int)
+
+(* --- the world-level determinism guarantee --- *)
+
+let run_scenario seed =
+  let open Horus in
+  (* A lossy, jittery network so the PRNG actually steers the run:
+     same seed must still snapshot byte-identically, different seeds
+     must not. *)
+  let config =
+    { Horus_sim.Net.default_config with jitter = 0.0005; drop_prob = 0.05 }
+  in
+  let world = World.create ~config ~seed () in
+  let members = spawn_group world ~spec:"MBRSHIP:FRAG:NAK:COM" ~n:3 in
+  let sender = List.hd members in
+  for k = 0 to 9 do
+    World.after world ~delay:(0.01 *. float_of_int k) (fun () ->
+        Group.cast sender (Printf.sprintf "m%d" k))
+  done;
+  World.run_for world ~duration:2.0;
+  Json.to_string ~indent:true (World.metrics_json world)
+
+let test_same_seed_runs_byte_identical () =
+  let a = run_scenario 7 and b = run_scenario 7 in
+  Alcotest.(check string) "byte-identical metrics JSON" a b
+
+let test_different_seed_runs_differ () =
+  (* Different seeds shift wire-level timing, so at least the engine
+     dispatch histogram must move. *)
+  Alcotest.(check bool) "seed changes metrics" false (run_scenario 7 = run_scenario 8)
+
+let test_world_metrics_cover_all_sources () =
+  let open Horus in
+  let world = World.create ~seed:3 () in
+  let members = spawn_group world ~spec:"MBRSHIP:FRAG:NAK:COM" ~n:3 in
+  Group.cast (List.hd members) "hello";
+  World.run_for world ~duration:1.0;
+  let snapshot = World.metrics_json world in
+  let counter key = Option.bind (Json.path [ "counters"; key ] snapshot) Json.to_int in
+  List.iter
+    (fun key ->
+       match counter key with
+       | Some v -> Alcotest.(check bool) (key ^ " > 0") true (v > 0)
+       | None -> Alcotest.fail ("missing counter " ^ key))
+    [ "hcpi.down.MBRSHIP"; "hcpi.down.FRAG"; "hcpi.down.NAK"; "hcpi.down.COM";
+      "hcpi.up.COM"; "hcpi.to_app"; "net.sent"; "net.delivered"; "net.bytes_sent";
+      "engine.events_executed" ];
+  match Option.bind (Json.path [ "histograms"; "engine.dispatch_delay_s"; "count" ] snapshot) Json.to_int with
+  | Some v -> Alcotest.(check bool) "dispatch histogram populated" true (v > 0)
+  | None -> Alcotest.fail "missing engine.dispatch_delay_s"
+
+let () =
+  Alcotest.run "obs"
+    [ ( "metrics",
+        [ Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "idempotent registration" `Quick
+            test_counter_idempotent_registration;
+          Alcotest.test_case "negative add rejected" `Quick
+            test_counter_negative_add_rejected;
+          Alcotest.test_case "kind mismatch rejected" `Quick test_kind_mismatch_rejected;
+          Alcotest.test_case "gauge basics" `Quick test_gauge_basics;
+          Alcotest.test_case "histogram bucketing" `Quick test_histogram_bucketing;
+          Alcotest.test_case "bad bounds rejected" `Quick
+            test_histogram_bad_bounds_rejected;
+          Alcotest.test_case "reset" `Quick test_reset ] );
+      ( "json",
+        [ Alcotest.test_case "string escaping" `Quick test_json_escaping;
+          Alcotest.test_case "tree round-trip" `Quick test_json_roundtrip_tree;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+          Alcotest.test_case "registry snapshot shape" `Quick
+            test_registry_snapshot_shape ] );
+      ( "world",
+        [ Alcotest.test_case "same seed byte-identical" `Quick
+            test_same_seed_runs_byte_identical;
+          Alcotest.test_case "different seed differs" `Quick
+            test_different_seed_runs_differ;
+          Alcotest.test_case "all sources covered" `Quick
+            test_world_metrics_cover_all_sources ] ) ]

@@ -233,6 +233,165 @@ let metrics_cmd =
        ~doc:"Run a group scenario and dump the world metrics registry (deterministic in the seed)")
     Term.(const run $ spec_arg $ n_arg $ casts_arg $ crash_arg $ seed_arg $ json_arg)
 
+(* Replay a repro file (see lib/check): run the recorded scenario
+   twice, check the two runs are byte-identical, report violations, and
+   compare the outcome with the one the file recorded. Exit 0 iff the
+   replay is deterministic and matches the recorded expectation. *)
+let replay_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE" ~doc:"Repro file (horus-repro/1 JSON).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Dump the full run result as JSON.")
+  in
+  let run file json =
+    let module C = Horus_check in
+    match C.Repro.load file with
+    | Error e ->
+      Format.eprintf "replay: cannot load %s: %s@." file e;
+      exit 2
+    | Ok sc ->
+      let r1 = C.Runner.run sc in
+      let r2 = C.Runner.run sc in
+      let s1 = C.Runner.to_string r1 and s2 = C.Runner.to_string r2 in
+      if json then print_string s1
+      else begin
+        Format.printf "scenario: %a@." C.Scenario.pp sc;
+        Format.printf "choice points: %d@." r1.C.Runner.r_choice_points;
+        (match r1.C.Runner.r_violations with
+         | [] -> Format.printf "no invariant violations@."
+         | vs ->
+           List.iter (fun v -> Format.printf "VIOLATION %a@." C.Invariant.pp_violation v) vs)
+      end;
+      if s1 <> s2 then begin
+        Format.eprintf "replay: NONDETERMINISTIC — two runs of %s differ@." file;
+        exit 1
+      end;
+      let failed = C.Runner.failed r1 in
+      if failed <> sc.C.Scenario.expect_violation then begin
+        Format.eprintf "replay: outcome mismatch — file expects %s, run %s@."
+          (if sc.C.Scenario.expect_violation then "a violation" else "no violation")
+          (if failed then "violated the invariants" else "was clean");
+        exit 1
+      end
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Replay a repro file deterministically and check the recorded outcome")
+    Term.(const run $ file_arg $ json_arg)
+
+(* Systematic schedule exploration from the command line — the same
+   engine the test suite uses, sized by flags so CI can run it at a
+   small depth. Exit 1 when a violation is found. *)
+let explore_cmd =
+  let spec_arg =
+    Arg.(value & opt string "MBRSHIP:FRAG:NAK:COM"
+         & info [ "stack" ] ~doc:"Stack spec to explore.")
+  in
+  let n_arg = Arg.(value & opt int 3 & info [ "n" ] ~doc:"Group size.") in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"World seed.") in
+  let casts_arg =
+    Arg.(value & opt int 2 & info [ "casts" ] ~doc:"Casts per casting member.")
+  in
+  let caster_arg =
+    Arg.(value & opt (some int) None
+         & info [ "caster" ] ~doc:"Restrict traffic to this member (default: everyone).")
+  in
+  let crash_arg =
+    Arg.(value & opt (some int) None
+         & info [ "crash" ] ~doc:"Member index to crash mid-traffic.")
+  in
+  let crash_at_arg =
+    Arg.(value & opt float 0.05
+         & info [ "crash-at" ] ~doc:"Crash instant, seconds after traffic start.")
+  in
+  let suspect_arg =
+    Arg.(value & opt (some (pair int int)) None
+         & info [ "suspect" ] ~docv:"BY,WHOM"
+             ~doc:"Explicit suspicion injected just after the crash instant.")
+  in
+  let link_arg =
+    Arg.(value & opt_all (t3 int int float) []
+         & info [ "link" ] ~docv:"SRC,DST,LAT"
+             ~doc:"Per-link latency override in seconds (repeatable).")
+  in
+  let depth_arg =
+    Arg.(value & opt int 6 & info [ "depth" ] ~doc:"DFS branching depth bound.")
+  in
+  let max_runs_arg =
+    Arg.(value & opt int 200 & info [ "max-runs" ] ~doc:"Run budget.")
+  in
+  let walks_arg =
+    Arg.(value & opt int 0 & info [ "walks" ] ~doc:"Random walks after the DFS.")
+  in
+  let horizon_arg =
+    Arg.(value & opt float 0.002
+         & info [ "horizon" ] ~doc:"Chooser window in seconds.")
+  in
+  let width_arg =
+    Arg.(value & opt int 3 & info [ "width" ] ~doc:"Max candidates per choice point.")
+  in
+  let from_arg =
+    Arg.(value & opt float 0.0
+         & info [ "from" ]
+             ~doc:"Activate the chooser this many seconds after traffic start.")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~doc:"Directory to write a repro file into on failure.")
+  in
+  let run spec n seed casts caster crash crash_at suspect links depth max_runs walks
+      horizon width from save =
+    let module C = Horus_check in
+    let ops =
+      List.concat
+        (List.init n (fun i ->
+             if caster <> None && caster <> Some i then []
+             else
+               List.init casts (fun k ->
+                   { C.Scenario.op_member = i; op_at = 0.02 +. (0.04 *. float_of_int k) })))
+    in
+    let faults =
+      (match crash with
+       | None -> []
+       | Some m -> [ { C.Scenario.f_at = crash_at; f_fault = C.Scenario.Crash m } ])
+      @ (match suspect with
+         | None -> []
+         | Some (a, b) ->
+           [ { C.Scenario.f_at = crash_at +. 0.0002; f_fault = C.Scenario.Suspect (a, b) } ])
+    in
+    let sc =
+      C.Scenario.make ~name:(Printf.sprintf "explore-seed%d" seed) ~seed ~links ~ops
+        ~faults ~run_for:8.0 ~spec ~n ()
+    in
+    let config =
+      { C.Explore.depth; max_runs; random_walks = walks; horizon; width;
+        from_time = from; walk_seed = seed }
+    in
+    let out = C.Explore.explore ~config sc in
+    Format.printf "runs %d, distinct outcomes %d%s@." out.C.Explore.stats.C.Explore.runs
+      out.C.Explore.stats.C.Explore.distinct
+      (if out.C.Explore.stats.C.Explore.truncated then " (truncated by budget)" else "");
+    match out.C.Explore.found with
+    | None -> Format.printf "no invariant violation found@."
+    | Some (bad, r) ->
+      Format.printf "VIOLATION found: %a@." C.Scenario.pp bad;
+      List.iter
+        (fun v -> Format.printf "  %a@." C.Invariant.pp_violation v)
+        r.C.Runner.r_violations;
+      (match C.Repro.save ?dir:save { bad with C.Scenario.expect_violation = true } with
+       | Some path -> Format.printf "repro written to %s@." path
+       | None -> ());
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Systematically explore dispatch schedules of a live stack (exit 1 on violation)")
+    Term.(const run $ spec_arg $ n_arg $ seed_arg $ casts_arg $ caster_arg $ crash_arg
+          $ crash_at_arg $ suspect_arg $ link_arg $ depth_arg $ max_runs_arg $ walks_arg
+          $ horizon_arg $ width_arg $ from_arg $ save_arg)
+
 let () =
   let doc = "Horus protocol-composition framework: catalogue and property algebra" in
   let info = Cmd.info "horus_info" ~doc in
@@ -240,4 +399,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ layers_cmd; table3_cmd; table4_cmd; check_cmd; synth_cmd; order_cmd;
-            simulate_cmd; metrics_cmd ]))
+            simulate_cmd; metrics_cmd; replay_cmd; explore_cmd ]))

@@ -1,0 +1,271 @@
+(* The virtual-synchrony invariant library.
+
+   One vocabulary of observations and one set of predicates shared by
+   the systematic explorer (Explore), the randomized fuzzer
+   (test/test_fuzz.ml), the repro replayer and the unit tests — so
+   that "the property held" means the same thing everywhere. The
+   properties are the dynamic counterparts of the paper's P-properties
+   (Table 4): view agreement and consistency (P15), per-origin FIFO
+   and gap-freedom (P3/P4/P12), delivery-in-view and identical
+   delivery cuts (P9 virtual synchrony), and total order (P6) where
+   the stack claims it.
+
+   Predicates return violations instead of raising, so callers decide
+   what a failure means (an Alcotest failure, a counterexample to
+   shrink, an explorer hit). *)
+
+type obs = {
+  o_member : int;
+  o_eid : int;
+  o_crashed : bool;
+  o_left : bool;
+  o_exited : bool;
+  o_casts : (string * int) list;            (* oldest first: payload, epoch *)
+  o_views : ((int * int) * int list) list;  (* oldest first: (ltime, coord eid), member eids *)
+  o_final : (int * int list) option;        (* ltime, member eids *)
+}
+
+type violation = {
+  v_property : string;
+  v_detail : string;
+}
+
+let violation v_property fmt = Printf.ksprintf (fun v_detail -> { v_property; v_detail }) fmt
+
+let pp_violation fmt v = Format.fprintf fmt "%s: %s" v.v_property v.v_detail
+
+(* Survivors: members the scenario left running. Their obligations are
+   the strong ones (completeness, agreement); everyone else is held
+   only to prefix properties. *)
+let survivors obs = List.filter (fun o -> not (o.o_crashed || o.o_left || o.o_exited)) obs
+
+(* Payloads are "<tag><origin>-<k>"; parse the origin and rank. *)
+let parse_payload ~tag p =
+  let len = String.length p in
+  if len < 4 || p.[0] <> tag then None
+  else
+    match String.index_opt p '-' with
+    | None -> None
+    | Some dash ->
+      (match
+         ( int_of_string_opt (String.sub p 1 (dash - 1)),
+           int_of_string_opt (String.sub p (dash + 1) (len - dash - 1)) )
+       with
+       | Some origin, Some k -> Some (origin, k)
+       | _ -> None)
+
+let payload ~tag ~origin ~k = Printf.sprintf "%c%d-%03d" tag origin k
+
+let stream_of ~tag ~origin o =
+  List.filter_map
+    (fun (p, _) ->
+       match parse_payload ~tag p with
+       | Some (og, k) when og = origin -> Some k
+       | _ -> None)
+    o.o_casts
+
+(* P15: two members that install a view with the same id agree on its
+   membership. *)
+let view_agreement obs =
+  let tbl = Hashtbl.create 64 in
+  List.concat_map
+    (fun o ->
+       List.filter_map
+         (fun (id, ms) ->
+            match Hashtbl.find_opt tbl id with
+            | None ->
+              Hashtbl.replace tbl id (o.o_member, ms);
+              None
+            | Some (_, ms') when ms = ms' -> None
+            | Some (who, ms') ->
+              Some
+                (violation "view-agreement"
+                   "view (%d,%d): member %d installed [%s] but member %d installed [%s]"
+                   (fst id) (snd id) who
+                   (String.concat "," (List.map string_of_int ms'))
+                   o.o_member
+                   (String.concat "," (List.map string_of_int ms))))
+         o.o_views)
+    obs
+
+(* Survivors end in one shared view that contains them all. *)
+let final_view_agreement obs =
+  match survivors obs with
+  | [] -> []
+  | first :: rest ->
+    let disagreements =
+      List.filter_map
+        (fun o ->
+           if o.o_final = first.o_final then None
+           else
+             Some
+               (violation "final-view" "members %d and %d disagree on the final view"
+                  first.o_member o.o_member))
+        rest
+    in
+    let missing =
+      match first.o_final with
+      | None -> [ violation "final-view" "survivor %d has no view" first.o_member ]
+      | Some (_, ms) ->
+        List.filter_map
+          (fun o ->
+             if List.mem o.o_eid ms then None
+             else
+               Some
+                 (violation "final-view" "survivor %d (eid %d) missing from the final view"
+                    o.o_member o.o_eid))
+          (first :: rest)
+    in
+    disagreements @ missing
+
+(* P3/P4/P12 (gap-freedom): at every member, the deliveries from each
+   origin form an in-order, gap-free prefix of that origin's stream. *)
+let per_origin_fifo ~tag obs =
+  List.concat_map
+    (fun o ->
+       let origins =
+         List.sort_uniq compare
+           (List.filter_map (fun (p, _) -> Option.map fst (parse_payload ~tag p)) o.o_casts)
+       in
+       List.filter_map
+         (fun origin ->
+            let seen = stream_of ~tag ~origin o in
+            let expected = List.init (List.length seen) (fun i -> i) in
+            if seen = expected then None
+            else
+              Some
+                (violation "per-origin-fifo"
+                   "member %d, origin %d: delivered [%s], not a gap-free prefix" o.o_member
+                   origin
+                   (String.concat "," (List.map string_of_int seen))))
+         origins)
+    obs
+
+(* Nothing from a live origin is lost: every survivor delivered every
+   cast a surviving member issued. [sent] maps member index to how
+   many casts it issued. *)
+let survivor_completeness ~tag ~sent obs =
+  let surv = survivors obs in
+  List.concat_map
+    (fun o ->
+       List.filter_map
+         (fun origin ->
+            let want = sent origin.o_member in
+            if want = 0 then None
+            else
+              let got = List.length (stream_of ~tag ~origin:origin.o_member o) in
+              if got = want then None
+              else
+                Some
+                  (violation "survivor-completeness"
+                     "member %d delivered %d/%d casts of surviving origin %d" o.o_member got
+                     want origin.o_member))
+         surv)
+    surv
+
+(* P9 virtual synchrony: survivors delivered identical (payload,
+   epoch) multisets — the same messages, in the same views. *)
+let virtual_synchrony obs =
+  match survivors obs with
+  | [] -> []
+  | first :: rest ->
+    let canon o = List.sort compare o.o_casts in
+    let c0 = canon first in
+    List.filter_map
+      (fun o ->
+         if canon o = c0 then None
+         else
+           let diff a b = List.filter (fun x -> not (List.mem x b)) a in
+           let only0 = diff c0 (canon o) and only1 = diff (canon o) c0 in
+           Some
+             (violation "virtual-synchrony"
+                "members %d and %d delivered different cuts (only at %d: [%s]; only at %d: [%s])"
+                first.o_member o.o_member first.o_member
+                (String.concat ","
+                   (List.map (fun (p, e) -> Printf.sprintf "%s@%d" p e) only0))
+                o.o_member
+                (String.concat ","
+                   (List.map (fun (p, e) -> Printf.sprintf "%s@%d" p e) only1))))
+      rest
+
+(* Deliveries happen in views that contain their origin: if the member
+   recorded the view with the delivery's epoch, the origin must be in
+   it. *)
+let delivery_in_view ~tag obs =
+  let eid_of = Hashtbl.create 16 in
+  List.iter (fun o -> Hashtbl.replace eid_of o.o_member o.o_eid) obs;
+  List.concat_map
+    (fun o ->
+       List.filter_map
+         (fun (p, epoch) ->
+            match parse_payload ~tag p with
+            | None -> None
+            | Some (origin, _) ->
+              (match Hashtbl.find_opt eid_of origin with
+               | None -> None
+               | Some origin_eid ->
+                 (match
+                    List.find_opt (fun ((ltime, _), _) -> ltime = epoch) o.o_views
+                  with
+                  | Some (_, ms) when not (List.mem origin_eid ms) ->
+                    Some
+                      (violation "delivery-in-view"
+                         "member %d delivered %s in epoch %d, whose view excludes origin %d"
+                         o.o_member p epoch origin)
+                  | _ -> None)))
+         o.o_casts)
+    obs
+
+(* P6: survivors see one shared delivery sequence. *)
+let total_order obs =
+  match survivors obs with
+  | [] -> []
+  | first :: rest ->
+    let seq o = List.map fst o.o_casts in
+    let s0 = seq first in
+    List.filter_map
+      (fun o ->
+         if seq o = s0 then None
+         else
+           Some
+             (violation "total-order" "members %d and %d delivered in different orders"
+                first.o_member o.o_member))
+      rest
+
+(* Self-delivery: a surviving member delivered its own casts. (A
+   special case of completeness, but a much sharper error message.) *)
+let self_delivery ~tag ~sent obs =
+  List.filter_map
+    (fun o ->
+       let want = sent o.o_member in
+       if want = 0 then None
+       else
+         let got = List.length (stream_of ~tag ~origin:o.o_member o) in
+         if got = want then None
+         else
+           Some
+             (violation "self-delivery" "member %d delivered only %d/%d of its own casts"
+                o.o_member got want))
+    (survivors obs)
+
+(* The standard virtual-synchrony bundle, the properties the
+   MBRSHIP-over-reliable-FIFO stacks promise. [total] adds P6 when the
+   stack claims total order. *)
+let standard ?(total = false) ~tag ~sent obs =
+  view_agreement obs
+  @ final_view_agreement obs
+  @ per_origin_fifo ~tag obs
+  @ delivery_in_view ~tag obs
+  @ self_delivery ~tag ~sent obs
+  @ survivor_completeness ~tag ~sent obs
+  @ virtual_synchrony obs
+  @ (if total then total_order obs else [])
+
+let to_json vs =
+  Horus_obs.Json.List
+    (List.map
+       (fun v ->
+          Horus_obs.Json.Obj
+            [ ("property", Horus_obs.Json.String v.v_property);
+              ("detail", Horus_obs.Json.String v.v_detail) ])
+       vs)

@@ -1,0 +1,78 @@
+(** The shared virtual-synchrony invariant library.
+
+    One vocabulary of per-member observations ({!obs}) and one set of
+    predicates used identically by the systematic explorer
+    ({!Explore}), the randomized fuzzer ([test/test_fuzz.ml]), the
+    repro replayer and the unit tests. Predicates return violation
+    lists instead of raising, so each caller decides what a failure
+    means. *)
+
+type obs = {
+  o_member : int;       (** scenario member index *)
+  o_eid : int;          (** endpoint id, as it appears in views *)
+  o_crashed : bool;
+  o_left : bool;
+  o_exited : bool;      (** stack reported exit *)
+  o_casts : (string * int) list;
+      (** cast deliveries, oldest first: payload and epoch (view
+          ltime) at delivery *)
+  o_views : ((int * int) * int list) list;
+      (** views installed, oldest first: (ltime, coordinator eid) and
+          member eids *)
+  o_final : (int * int list) option;  (** last view: ltime, member eids *)
+}
+
+type violation = {
+  v_property : string;  (** short property name, e.g. ["virtual-synchrony"] *)
+  v_detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val survivors : obs list -> obs list
+(** Members not crashed, left, or exited. *)
+
+val parse_payload : tag:char -> string -> (int * int) option
+(** Parse ["<tag><origin>-<k>"] into [(origin, k)]. *)
+
+val payload : tag:char -> origin:int -> k:int -> string
+(** The canonical payload for origin's k-th cast (0-based). *)
+
+(** {1 Predicates}
+
+    [tag] selects which payloads belong to the checked stream;
+    [sent member] is how many casts that member issued. *)
+
+val view_agreement : obs list -> violation list
+(** P15: same view id implies same membership, across all members. *)
+
+val final_view_agreement : obs list -> violation list
+(** Survivors share one final view containing all of them. *)
+
+val per_origin_fifo : tag:char -> obs list -> violation list
+(** P3/P4/P12: each member's deliveries from each origin are an
+    in-order, gap-free prefix [0, 1, ..., m]. *)
+
+val survivor_completeness : tag:char -> sent:(int -> int) -> obs list -> violation list
+(** Every survivor delivered every cast issued by a surviving member. *)
+
+val self_delivery : tag:char -> sent:(int -> int) -> obs list -> violation list
+(** Each survivor delivered all of its own casts. *)
+
+val virtual_synchrony : obs list -> violation list
+(** P9: survivors delivered identical (payload, epoch) multisets — the
+    same messages in the same views. *)
+
+val delivery_in_view : tag:char -> obs list -> violation list
+(** A delivery's epoch names a view that contains its origin. *)
+
+val total_order : obs list -> violation list
+(** P6: survivors share one delivery sequence. *)
+
+val standard : ?total:bool -> tag:char -> sent:(int -> int) -> obs list -> violation list
+(** The bundle the MBRSHIP-over-reliable-FIFO stacks promise: view
+    agreement, final agreement, FIFO gap-freedom, delivery-in-view,
+    self-delivery, survivor completeness and virtual synchrony;
+    [total] adds {!total_order}. *)
+
+val to_json : violation list -> Horus_obs.Json.t

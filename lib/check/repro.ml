@@ -1,0 +1,56 @@
+(* Repro files: scenarios on disk.
+
+   A repro file is a Scenario serialized as "horus-repro/1" JSON. The
+   fuzzer writes one when a shrunk counterexample survives, `horus_info
+   replay` re-executes one, and the test suite auto-loads everything
+   under test/repros/ so a bug, once caught, stays caught. *)
+
+let env_dir_var = "HORUS_REPRO_DIR"
+
+let env_dir () =
+  match Sys.getenv_opt env_dir_var with
+  | Some d when d <> "" -> Some d
+  | _ -> None
+
+let sanitize name =
+  String.map
+    (fun c ->
+       match c with
+       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+       | _ -> '-')
+    (if name = "" then "scenario" else name)
+
+let save ?dir (sc : Scenario.t) =
+  match (dir, env_dir ()) with
+  | None, None -> None
+  | Some d, _ | None, Some d ->
+    (try
+       if not (Sys.file_exists d) then Unix.mkdir d 0o755;
+       let path = Filename.concat d (sanitize sc.Scenario.name ^ ".json") in
+       let oc = open_out path in
+       output_string oc (Scenario.to_string sc);
+       output_char oc '\n';
+       close_out oc;
+       Some path
+     with Sys_error _ | Unix.Unix_error _ -> None)
+
+let load path =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | exception Sys_error e -> Error e
+  | s -> Scenario.of_string s
+
+let load_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort compare
+    |> List.map (fun f ->
+        let path = Filename.concat dir f in
+        (path, load path))

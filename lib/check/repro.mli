@@ -1,0 +1,17 @@
+(** Repro files: scenarios serialized to disk as "horus-repro/1" JSON,
+    written by the fuzzer on failure, replayed by [horus_info replay],
+    and auto-loaded from [test/repros/] by the test suite. *)
+
+val env_dir_var : string
+(** ["HORUS_REPRO_DIR"] — where {!save} writes when no [dir] is given. *)
+
+val save : ?dir:string -> Scenario.t -> string option
+(** Write [<dir>/<name>.json] (creating [dir] if needed); [dir]
+    defaults to [$HORUS_REPRO_DIR]. [None] if no directory is
+    configured or the write failed — saving a repro is best-effort and
+    must never mask the original test failure. *)
+
+val load : string -> (Scenario.t, string) result
+val load_dir : string -> (string * (Scenario.t, string) result) list
+(** All [*.json] under a directory, sorted by filename. Missing
+    directory is an empty list. *)

@@ -1,0 +1,236 @@
+(* Execute a Scenario against the production stack in a fresh world.
+
+   One scenario, one world: staggered joins, a settle period, then the
+   traffic and fault schedules relative to a common origin t0, with
+   the Engine chooser installed when the scenario carries a dispatch
+   schedule. The run is a pure function of the scenario, so the
+   explorer, the shrinker, the replayer and the test suite all go
+   through here. *)
+
+open Horus
+
+let tag = 'o'
+
+type result = {
+  r_scenario : Scenario.t;
+  r_obs : Invariant.obs list;
+  r_violations : Invariant.violation list;
+  r_choice_points : int;   (* choice points hit (>= 2 candidates) *)
+  r_arities : int list;    (* arity of each choice point, oldest first *)
+  r_taken : int list;      (* decision made at each choice point *)
+}
+
+let sent_of scenario member =
+  List.length (List.filter (fun o -> o.Scenario.op_member = member) scenario.Scenario.ops)
+
+(* Per-member recorder, attached after settle (so recorded views are
+   the ones traffic runs in). *)
+type recorder = {
+  mutable rec_casts : (string * int) list;          (* newest first *)
+  mutable rec_views : ((int * int) * int list) list; (* newest first *)
+}
+
+let attach gr =
+  let r = { rec_casts = []; rec_views = [] } in
+  Group.set_on_up gr (fun ev ->
+      match ev with
+      | Event.U_cast (_, m, _) ->
+        let epoch = match Group.view gr with Some v -> View.ltime v | None -> -1 in
+        r.rec_casts <- (Msg.to_string m, epoch) :: r.rec_casts
+      | Event.U_view v ->
+        r.rec_views <-
+          ( (View.ltime v, Addr.endpoint_id (View.coordinator v)),
+            List.map Addr.endpoint_id (View.members v) )
+          :: r.rec_views
+      | _ -> ());
+  r
+
+let spec_is_total spec =
+  List.exists (fun l -> l.Horus_hcpi.Spec.name = "TOTAL") (Horus_hcpi.Spec.parse spec)
+
+let run ?(skip_inert = false) (sc : Scenario.t) =
+  let world =
+    World.create ~config:(Scenario.net_config sc.Scenario.net) ~seed:sc.Scenario.seed ()
+  in
+  let g = World.fresh_group_addr world in
+  let founder = Group.join ~skip_inert (Endpoint.create world ~spec:sc.Scenario.spec) g in
+  World.run_for world ~duration:sc.Scenario.join_spacing;
+  let rest =
+    List.init (sc.Scenario.n - 1) (fun _ ->
+        let m =
+          Group.join ~skip_inert ~contact:(Group.addr founder)
+            (Endpoint.create world ~spec:sc.Scenario.spec)
+            g
+        in
+        World.run_for world ~duration:sc.Scenario.join_spacing;
+        m)
+  in
+  let members = Array.of_list (founder :: rest) in
+  World.run_for world ~duration:sc.Scenario.settle;
+  let recorders = Array.map attach members in
+  (* Everything below is relative to t0, the traffic origin. *)
+  let t0 = World.now world in
+  (* Per-link latency overrides (the Figure 2 ingredient: a crashed
+     member's copies slowed towards some members, not others). *)
+  let node m = Addr.endpoint_id (Group.addr members.(m)) in
+  List.iter
+    (fun (s, d, lat) ->
+       Horus_sim.Net.set_link_latency (World.net world) ~src:(node s) ~dst:(node d)
+         (Some lat))
+    sc.Scenario.links;
+  (* Traffic: member i's k-th op (by time, ties by list order) casts
+     the canonical payload, so shrinking ops never forges gaps. *)
+  let per_member = Array.make sc.Scenario.n [] in
+  List.iter
+    (fun o ->
+       per_member.(o.Scenario.op_member) <-
+         o.Scenario.op_at :: per_member.(o.Scenario.op_member))
+    sc.Scenario.ops;
+  Array.iteri
+    (fun i ats ->
+       List.iteri
+         (fun k at ->
+            World.at world ~time:(t0 +. at) (fun () ->
+                Group.cast members.(i) (Invariant.payload ~tag ~origin:i ~k)))
+         (List.sort Float.compare (List.rev ats)))
+    per_member;
+  (* Faults. *)
+  List.iter
+    (fun f ->
+       World.at world ~time:(t0 +. f.Scenario.f_at) (fun () ->
+           match f.Scenario.f_fault with
+           | Scenario.Crash m -> Endpoint.crash (Group.endpoint members.(m))
+           | Scenario.Leave m -> Group.leave members.(m)
+           | Scenario.Suspect (a, b) ->
+             Group.suspect members.(a) [ Group.addr members.(b) ]
+           | Scenario.Partition groups ->
+             let nodes =
+               List.map
+                 (List.map (fun m -> Addr.endpoint_id (Group.addr members.(m))))
+                 groups
+             in
+             Horus_sim.Net.partition (World.net world) nodes
+           | Scenario.Heal -> Horus_sim.Net.heal (World.net world)))
+    sc.Scenario.faults;
+  (* Dispatch schedule: replay the choice prefix, then default-0 (or a
+     seeded walk). Record every choice point's arity and decision so
+     explorer runs convert into concrete, replayable prefixes. *)
+  let arities = ref [] and taken = ref [] and remaining = ref [] and walk = ref None in
+  (match sc.Scenario.sched with
+   | None -> ()
+   | Some s ->
+     remaining := s.Scenario.s_choices;
+     walk := Option.map Horus_util.Prng.create s.Scenario.s_walk;
+     Horus_sim.Engine.set_chooser ~horizon:s.Scenario.s_horizon ~width:s.Scenario.s_width
+       ~from:(t0 +. s.Scenario.s_from) (World.engine world)
+       (fun ~now:_ cands ->
+          let arity = Array.length cands in
+          let choice =
+            match !remaining with
+            | c :: rest ->
+              remaining := rest;
+              if c >= 0 && c < arity then c else 0
+            | [] ->
+              (match !walk with
+               | Some prng -> Horus_util.Prng.int prng arity
+               | None -> 0)
+          in
+          arities := arity :: !arities;
+          taken := choice :: !taken;
+          choice));
+  World.run_for world ~duration:sc.Scenario.run_for;
+  Horus_sim.Engine.clear_chooser (World.engine world);
+  let crashed = Scenario.crashed_members sc and left = Scenario.left_members sc in
+  let obs =
+    List.init sc.Scenario.n (fun i ->
+        let gr = members.(i) and r = recorders.(i) in
+        { Invariant.o_member = i;
+          o_eid = Addr.endpoint_id (Group.addr gr);
+          o_crashed = List.mem i crashed;
+          o_left = List.mem i left;
+          o_exited = Group.exited gr;
+          o_casts = List.rev r.rec_casts;
+          o_views = List.rev r.rec_views;
+          o_final =
+            (match Group.view gr with
+             | Some v -> Some (View.ltime v, List.map Addr.endpoint_id (View.members v))
+             | None -> None) })
+  in
+  let violations =
+    Invariant.standard
+      ~total:(spec_is_total sc.Scenario.spec)
+      ~tag ~sent:(sent_of sc) obs
+  in
+  { r_scenario = sc;
+    r_obs = obs;
+    r_violations = violations;
+    r_choice_points = List.length !arities;
+    r_arities = List.rev !arities;
+    r_taken = List.rev !taken }
+
+let failed r = r.r_violations <> []
+
+(* A deterministic JSON image of the run: scenario, per-member
+   observations, violations. Two runs of the same scenario serialize
+   byte-identically — the replay command's determinism check. *)
+let obs_json o =
+  let module J = Horus_obs.Json in
+    J.Obj
+      [ ("member", J.Int o.Invariant.o_member);
+        ("eid", J.Int o.Invariant.o_eid);
+        ("crashed", J.Bool o.Invariant.o_crashed);
+        ("left", J.Bool o.Invariant.o_left);
+        ("exited", J.Bool o.Invariant.o_exited);
+        ( "casts",
+          J.List
+            (List.map
+               (fun (p, e) -> J.Obj [ ("payload", J.String p); ("epoch", J.Int e) ])
+               o.Invariant.o_casts) );
+        ( "views",
+          J.List
+            (List.map
+               (fun ((ltime, coord), ms) ->
+                  J.Obj
+                    [ ("ltime", J.Int ltime);
+                      ("coord", J.Int coord);
+                      ("members", J.List (List.map (fun m -> J.Int m) ms)) ])
+               o.Invariant.o_views) );
+        ( "final",
+          match o.Invariant.o_final with
+          | None -> J.Null
+          | Some (ltime, ms) ->
+            J.Obj
+              [ ("ltime", J.Int ltime);
+                ("members", J.List (List.map (fun m -> J.Int m) ms)) ] ) ]
+
+(* The behaviour the run exhibited, independent of how the schedule
+   was specified (choices vs walk): what every member observed, and
+   which invariants broke. This is what the explorer fingerprints. *)
+let outcome_json r =
+  let module J = Horus_obs.Json in
+  J.Obj
+    [ ("violations", Invariant.to_json r.r_violations);
+      ("obs", J.List (List.map obs_json r.r_obs)) ]
+
+let to_json r =
+  let module J = Horus_obs.Json in
+  J.Obj
+    [ ("scenario", Scenario.to_json r.r_scenario);
+      ("choice_points", J.Int r.r_choice_points);
+      ("arities", J.List (List.map (fun a -> J.Int a) r.r_arities));
+      ("taken", J.List (List.map (fun c -> J.Int c) r.r_taken));
+      ("violations", Invariant.to_json r.r_violations);
+      ("obs", J.List (List.map obs_json r.r_obs)) ]
+
+let to_string r = Horus_obs.Json.to_string ~indent:true (to_json r)
+
+(* FNV-1a over the canonical outcome JSON: a cheap fingerprint for the
+   explorer's distinct-outcome statistics. *)
+let fingerprint r =
+  let s = Horus_obs.Json.to_string ~indent:false (outcome_json r) in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+       h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h

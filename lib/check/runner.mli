@@ -1,0 +1,40 @@
+(** Execute a {!Scenario} in a fresh world and check the shared
+    invariants. Deterministic: the same scenario always produces the
+    same {!result}, down to {!to_string} bytes. *)
+
+val tag : char
+(** Payload tag for runner-issued casts (['o'], as in
+    ["o<member>-<k>"]). *)
+
+type result = {
+  r_scenario : Scenario.t;
+  r_obs : Invariant.obs list;         (** one per member, by index *)
+  r_violations : Invariant.violation list;
+  r_choice_points : int;              (** chooser decisions taken *)
+  r_arities : int list;               (** arity per choice point, oldest first *)
+  r_taken : int list;                 (** decision per choice point, oldest first *)
+}
+
+val run : ?skip_inert:bool -> Scenario.t -> result
+(** Joins [n] members (spaced by [join_spacing]), settles, then plays
+    the op and fault schedules relative to the traffic origin, with
+    the Engine chooser installed when [sched] is present. Violations
+    are {!Invariant.standard} (plus total order iff the spec contains
+    TOTAL). *)
+
+val failed : result -> bool
+
+val sent_of : Scenario.t -> int -> int
+(** How many casts the scenario's schedule issues from a member. *)
+
+val outcome_json : result -> Horus_obs.Json.t
+(** Observations + violations only — independent of how the dispatch
+    schedule was specified. This is what {!fingerprint} hashes. *)
+
+val to_json : result -> Horus_obs.Json.t
+val to_string : result -> string
+(** Indented, deterministic JSON of the whole run (scenario,
+    observations, violations, chooser trace). *)
+
+val fingerprint : result -> int64
+(** FNV-1a of the canonical JSON — an outcome fingerprint. *)

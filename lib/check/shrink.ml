@@ -1,0 +1,130 @@
+(* Greedy counterexample minimization (delta debugging to a local
+   minimum).
+
+   Given a failing scenario and an arbitrary [fails] predicate, try
+   structure-removing edits one at a time — drop a fault, drop a
+   traffic op, drop a member (reindexing the survivors), quiet a
+   network knob, truncate or drop the dispatch schedule — keeping an
+   edit whenever the smaller scenario still fails, and loop to a
+   fixpoint. [fails] is a predicate, not a fixed schedule: callers
+   that found the bug by exploration pass "a small exploration still
+   finds a violation", which keeps shrinking sound even though choice
+   points shift as structure is removed. *)
+
+type stats = {
+  attempts : int;   (* candidate scenarios tried *)
+  accepted : int;   (* edits kept *)
+}
+
+(* Remove member [m]: drop its ops and the faults that mention it
+   (partitions lose just the one member; a group emptied by that is
+   dropped), then shift higher indices down. *)
+let drop_member (sc : Scenario.t) m =
+  if sc.Scenario.n <= 1 then None
+  else
+    let shift i = if i > m then i - 1 else i in
+    let ops =
+      List.filter_map
+        (fun o ->
+           if o.Scenario.op_member = m then None
+           else Some { o with Scenario.op_member = shift o.Scenario.op_member })
+        sc.Scenario.ops
+    in
+    let faults =
+      List.filter_map
+        (fun f ->
+           match f.Scenario.f_fault with
+           | Scenario.Crash x when x = m -> None
+           | Scenario.Crash x -> Some { f with Scenario.f_fault = Scenario.Crash (shift x) }
+           | Scenario.Leave x when x = m -> None
+           | Scenario.Leave x -> Some { f with Scenario.f_fault = Scenario.Leave (shift x) }
+           | Scenario.Suspect (a, b) when a = m || b = m -> None
+           | Scenario.Suspect (a, b) ->
+             Some { f with Scenario.f_fault = Scenario.Suspect (shift a, shift b) }
+           | Scenario.Partition groups ->
+             let groups =
+               List.filter_map
+                 (fun grp ->
+                    match List.filter_map (fun x -> if x = m then None else Some (shift x)) grp
+                    with
+                    | [] -> None
+                    | grp -> Some grp)
+                 groups
+             in
+             if List.length groups < 2 then None
+             else Some { f with Scenario.f_fault = Scenario.Partition groups }
+           | Scenario.Heal -> Some f)
+        sc.Scenario.faults
+    in
+    let links =
+      List.filter_map
+        (fun (s, d, lat) ->
+           if s = m || d = m then None else Some (shift s, shift d, lat))
+        sc.Scenario.links
+    in
+    Some { sc with Scenario.n = sc.Scenario.n - 1; ops; faults; links }
+
+let nth_removed l i = List.filteri (fun j _ -> j <> i) l
+
+(* All single-step reductions of a scenario, most aggressive first. *)
+let candidates (sc : Scenario.t) =
+  let members = List.init sc.Scenario.n (fun m -> drop_member sc (sc.Scenario.n - 1 - m)) in
+  let faults =
+    List.init (List.length sc.Scenario.faults) (fun i ->
+        Some { sc with Scenario.faults = nth_removed sc.Scenario.faults i })
+  in
+  let ops =
+    List.init (List.length sc.Scenario.ops) (fun i ->
+        Some { sc with Scenario.ops = nth_removed sc.Scenario.ops i })
+  in
+  let links =
+    List.init (List.length sc.Scenario.links) (fun i ->
+        Some { sc with Scenario.links = nth_removed sc.Scenario.links i })
+  in
+  let net =
+    let quiet (sc : Scenario.t) f = { sc with Scenario.net = f sc.Scenario.net } in
+    List.filter_map
+      (fun (dirty, clean) -> if dirty sc.Scenario.net then Some (Some (quiet sc clean)) else None)
+      [ ( (fun n -> n.Scenario.drop > 0.),
+          fun n -> { n with Scenario.drop = 0. } );
+        ( (fun n -> n.Scenario.duplicate > 0.),
+          fun n -> { n with Scenario.duplicate = 0. } );
+        ( (fun n -> n.Scenario.garble > 0.),
+          fun n -> { n with Scenario.garble = 0. } );
+        ( (fun n -> n.Scenario.jitter > 0.),
+          fun n -> { n with Scenario.jitter = 0. } ) ]
+  in
+  let sched =
+    match sc.Scenario.sched with
+    | None -> []
+    | Some s ->
+      let with_choices cs =
+        Some { sc with Scenario.sched = Some { s with Scenario.s_choices = cs } }
+      in
+      let len = List.length s.Scenario.s_choices in
+      Some { sc with Scenario.sched = None }
+      :: (if len > 0 then
+            [ with_choices [];
+              with_choices (List.filteri (fun i _ -> i < len / 2) s.Scenario.s_choices);
+              with_choices (List.filteri (fun i _ -> i < len - 1) s.Scenario.s_choices) ]
+          else [])
+  in
+  List.filter_map Fun.id (members @ faults @ ops @ links @ net @ sched)
+
+let shrink ~fails (sc : Scenario.t) =
+  let attempts = ref 0 and accepted = ref 0 in
+  let rec fixpoint sc =
+    let rec try_candidates = function
+      | [] -> None
+      | cand :: rest ->
+        incr attempts;
+        if fails cand then Some cand else try_candidates rest
+    in
+    match try_candidates (candidates sc) with
+    | Some smaller ->
+      incr accepted;
+      fixpoint smaller
+    | None -> sc
+  in
+  let out = fixpoint sc in
+  (out, { attempts = !attempts; accepted = !accepted })

@@ -1,0 +1,20 @@
+(** Greedy counterexample minimization.
+
+    One-at-a-time structure removal — members (with reindexing),
+    faults, traffic ops, network noise knobs, dispatch-schedule
+    truncation — looped to a fixpoint: the result is a local minimum
+    under [fails]. The predicate is arbitrary; pass "a small
+    exploration still finds a violation" when choice points may shift
+    as structure is removed. *)
+
+type stats = {
+  attempts : int;  (** candidate scenarios evaluated *)
+  accepted : int;  (** reductions kept *)
+}
+
+val candidates : Scenario.t -> Scenario.t list
+(** All single-step reductions, exposed for testing. *)
+
+val shrink : fails:(Scenario.t -> bool) -> Scenario.t -> Scenario.t * stats
+(** Requires [fails sc] to hold on entry (otherwise returns [sc]
+    unchanged with zero accepted). *)

@@ -70,7 +70,8 @@ let record_up t (ev : Event.up) =
   | Event.U_flush _ when t.auto_flush_ok -> Stack.down t.stack Event.D_flush_ok
   | _ -> ()
 
-let join ?contact ?on_up ?(auto_flush_ok = true) ?(record = true) endpoint group =
+let join ?contact ?on_up ?(auto_flush_ok = true) ?(record = true) ?(skip_inert = false)
+    endpoint group =
   let world = Endpoint.world endpoint in
   let gid = Addr.group_id group in
   let rec t =
@@ -84,6 +85,7 @@ let join ?contact ?on_up ?(auto_flush_ok = true) ?(record = true) endpoint group
             ~transport:(Endpoint.transport endpoint ~gid)
             ~rendezvous:(World.rendezvous world)
             ~storage:(World.storage world)
+            ~skip_inert
             ~metrics:(World.metrics world)
             ~trace:(fun ~layer ~category detail ->
                 World.(Horus_sim.Trace.record (trace world)) ~time:(World.now world)

@@ -20,13 +20,17 @@ val join :
   ?on_up:(Event.up -> unit) ->
   ?auto_flush_ok:bool ->
   ?record:bool ->
+  ?skip_inert:bool ->
   Endpoint.t -> Addr.group -> t
 (** Instantiate the endpoint's stack for [group] and issue the join
     downcall. [None] contact founds a singleton group; [Some c] merges
     with the group [c] belongs to. [auto_flush_ok] (default true)
     answers FLUSH upcalls with the flush_ok downcall automatically.
     [record] (default true) keeps the delivery/event logs below; turn
-    it off for long-running benchmarks. *)
+    it off for long-running benchmarks. [skip_inert] (default false)
+    enables the Section 10 layer-skipping optimization, bypassing
+    inert layers at emission time — observable behaviour must not
+    change (test/test_conformance.ml asserts the equivalence). *)
 
 (** {1 Table 1 downcalls} *)
 

@@ -85,6 +85,13 @@ type phase =
 type state = {
   env : Layer.env;
   forward_unstable : bool;
+  ignore_stragglers : bool;
+      (* Section 5's "ignore messages from supposedly failed members"
+         rule. Disabling it (ignore_stragglers=false) deliberately
+         reintroduces the straggler race that lib/model/flush_model.ml
+         and the lib/check explorer both catch — kept as a switch so
+         the systematic tests can demonstrate the counterexample on
+         the production stack. *)
   primary_partition : bool;
       (* Section 9: Isis-style progress restriction — only a partition
          holding a strict majority of the previous view may install the
@@ -104,6 +111,12 @@ type state = {
   log : Delivery_log.t;                         (* per-view delivery + unstable store *)
   acked : (int * int, int) Hashtbl.t;           (* (origin, peer) -> peer's delivered *)
   mutable suspects : ESet.t;
+  mutable failed_set : ESet.t;
+      (* endpoints a view install removed: the Section 5 ignore rule's
+         post-view half. A straggler cast from one of these would
+         surface at whichever members it happens to reach, in a view
+         its origin is not part of — so data from them is dropped
+         until a later install (a merge) re-admits them. *)
   pending_casts : Msg.t Queue.t;                (* casts issued while blocked *)
   mutable round_counter : int;
   mutable merge_wait : merge_wait option;       (* outgoing merge in progress *)
@@ -208,6 +221,17 @@ let handle_stab t ~src m =
 (* --- view adoption --- *)
 
 let adopt_view t v =
+  (* Members this install removes are "supposedly failed" (Section 5):
+     their in-flight casts must not surface in the new view (whatever
+     was received pre-reply travelled in the flush replies already).
+     An install that re-admits an endpoint (a merge) clears it. *)
+  (match t.view with
+   | Some prev ->
+     List.iter
+       (fun m -> if not (View.mem v m) then t.failed_set <- ESet.add m t.failed_set)
+       (View.members prev)
+   | None -> ());
+  t.failed_set <- ESet.filter (fun m -> not (View.mem v m)) t.failed_set;
   t.view <- Some v;
   t.next_seq <- 0;
   Delivery_log.reset t.log;
@@ -815,11 +839,16 @@ let handle_up t (ev : Event.up) =
             lost: whoever received it pre-reply put it in the reply, and
             the coordinator forwards it to everyone.) *)
          let from_failed_post_reply =
-           match t.phase with
-           | Flushing fl ->
-             fl.fl_replied
-             && List.exists (fun e -> Addr.endpoint_id e = origin) fl.fl_failed
-           | Idle | Normal | Exited -> false
+           t.ignore_stragglers
+           && (match t.phase with
+               | Flushing fl ->
+                 fl.fl_replied
+                 && List.exists (fun e -> Addr.endpoint_id e = origin) fl.fl_failed
+               | Normal ->
+                 (* Post-view half of the same rule: the origin was
+                    removed as failed by a view we installed. *)
+                 ESet.exists (fun e -> Addr.endpoint_id e = origin) t.failed_set
+               | Idle | Exited -> false)
          in
          if from_failed_post_reply then
            t.env.Layer.trace ~category:"ignored" "straggler from failed member"
@@ -847,6 +876,7 @@ let make ~name ~forward_unstable_default params env =
     { env;
       forward_unstable =
         Params.get_bool params "forward_unstable" ~default:forward_unstable_default;
+      ignore_stragglers = Params.get_bool params "ignore_stragglers" ~default:true;
       primary_partition = Params.get_bool params "primary_partition" ~default:false;
       auto_merge = Params.get_bool params "auto_merge" ~default:true;
       stab_period = Params.get_float params "stab_period" ~default:0.1;
@@ -858,6 +888,7 @@ let make ~name ~forward_unstable_default params env =
       log = Delivery_log.create ();
       acked = Hashtbl.create 16;
       suspects = ESet.empty;
+      failed_set = ESet.empty;
       pending_casts = Queue.create ();
       round_counter = 0;
       merge_wait = None;

@@ -6,10 +6,13 @@
     Parameters: [forward_unstable] (default true; the BMS variant
     defaults false), [auto_merge] (default true; with false, merge
     requests surface as MERGE_REQUEST upcalls), [stab_period],
-    [merge_retry], and [primary_partition] (default false) — the
+    [merge_retry], [primary_partition] (default false) — the
     Isis-style restriction of Section 9 under which only a strict
     majority of the previous view installs the next view and minority
-    members halt. *)
+    members halt — and [ignore_stragglers] (default true): the
+    Section 5 ignore rule; disabling it reintroduces the straggler
+    race so the systematic tests (lib/check, lib/model) can
+    demonstrate the counterexample on the production stack. *)
 
 val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor
 (** The full MBRSHIP layer (P8, P9, P15). *)

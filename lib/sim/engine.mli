@@ -41,6 +41,33 @@ val cancelled : handle -> bool
 val step : t -> bool
 (** Execute the next event; [false] when the queue is empty. *)
 
+(** {2 Schedule adversary}
+
+    Systematic testing hooks (see [lib/check]): a chooser lets an
+    adversary pick which of several near-simultaneous events fires
+    next, modelling the real nondeterminism of timer and network
+    timing while keeping every choice sequence replayable. Without a
+    chooser the engine behaves exactly as before. *)
+
+type candidate = {
+  c_time : float;  (** scheduled firing time of the candidate *)
+  c_seq : int;     (** its scheduling sequence number (stable id) *)
+}
+
+val set_chooser :
+  ?horizon:float -> ?width:int -> ?from:float ->
+  t -> (now:float -> candidate array -> int) -> unit
+(** [set_chooser t f] routes dispatch through [f]: whenever at least
+    two live events fall within [horizon] (default 2 ms) of the
+    earliest pending event — at most [width] (default 4) of them, and
+    only once the earliest event's time reaches [from] — [f] picks the
+    index to fire next; the rest are re-queued. Out-of-range indices
+    fall back to 0 (the earliest). Executing a deferred event never
+    moves time backwards, and {!schedule_at} clamps (rather than
+    rejects) absolute times the reordering has overtaken. *)
+
+val clear_chooser : t -> unit
+
 val run : ?max_events:int -> t -> unit
 (** Run until quiescence. *)
 

@@ -1,12 +1,20 @@
-(* Catalogue conformance: for every layer in Table 3, ask the synthesis
-   engine for a minimal stack that can host it (over a bare {P1}
-   network), then *instantiate and run* that stack in a live 3-member
-   world: the group must form, a multicast must reach everyone, and —
-   when the stack provides virtual synchrony — survive a crash.
+(* Catalogue conformance, in two sweeps.
 
-   This bridges the paper's two halves: the property algebra (Section
-   6) and the runtime (Sections 3-5). A row in Table 3 that could not
-   actually run would fail here. *)
+   Table 3 sweep: for every layer in Table 3, ask the synthesis engine
+   for a minimal stack that can host it (over a bare {P1} network),
+   then *instantiate and run* that stack in a live 3-member world: the
+   group must form, a multicast must reach everyone, and — when the
+   stack provides virtual synchrony — survive a crash. This bridges
+   the paper's two halves: the property algebra (Section 6) and the
+   runtime (Sections 3-5). A row in Table 3 that could not actually
+   run would fail here.
+
+   Registry sweep: every layer registered in the HCPI registry (the
+   full lib/layers catalogue, including the auxiliary layers outside
+   Table 3) must (a) have a property spec in the catalogue, (b) run in
+   its synthesized hosting stack, and (c) behave identically with the
+   Section 10 inert-layer-skipping optimization on and off —
+   skip_inert changes emission paths, never observable behaviour. *)
 
 open Horus
 module Layer_spec = Horus_props.Layer_spec
@@ -16,7 +24,9 @@ module P = Horus_props.Property
 let p1 = P.Set.of_numbers [ 1 ]
 
 (* The stack that hosts [layer]: the layer itself on top of the
-   cheapest provider of its requirements. *)
+   cheapest provider of its requirements, with COM appended when the
+   layer needs nothing from below (every stack bottoms out in the
+   network adapter). *)
 let hosting_stack (layer : Layer_spec.t) =
   match Search.search ~net:p1 ~required:layer.Layer_spec.requires () with
   | None -> None
@@ -24,6 +34,7 @@ let hosting_stack (layer : Layer_spec.t) =
     let names =
       layer.Layer_spec.name :: List.map (fun (s : Layer_spec.t) -> s.Layer_spec.name) r.Search.layers
     in
+    let names = if List.mem "COM" names then names else names @ [ "COM" ] in
     Some (String.concat ":" names)
 
 let has_membership spec_string =
@@ -38,6 +49,46 @@ let provides_vs (layer : Layer_spec.t) spec_string =
   | Ok props -> P.Set.mem props P.P9_virtually_synchronous && ignore layer = ()
   | Error _ -> false
 
+(* Run [spec] in a fresh 3-member world: form the group, cast once,
+   optionally crash the youngest member, and return what there is to
+   observe — per-member deliveries and final views. *)
+let run_stack ?(skip_inert = false) ?(crash = false) ~payload spec =
+  let world = World.create ~seed:61 () in
+  let g = World.fresh_group_addr world in
+  let founder = Group.join ~skip_inert (Endpoint.create world ~spec) g in
+  World.run_for world ~duration:0.3;
+  let rest =
+    List.init 2 (fun _ ->
+        let m =
+          Group.join ~skip_inert ~contact:(Group.addr founder) (Endpoint.create world ~spec) g
+        in
+        World.run_for world ~duration:0.5;
+        m)
+  in
+  let members = founder :: rest in
+  if not (has_membership spec) then begin
+    (* No membership layer: install the destination sets by hand. *)
+    let v =
+      View.create ~group:g ~ltime:0
+        ~members:(List.sort Addr.compare_endpoint (List.map Group.addr members))
+    in
+    List.iter (fun m -> Group.install_view m v) members
+  end;
+  World.run_for world ~duration:3.0;
+  Group.cast founder payload;
+  World.run_for world ~duration:3.0;
+  if crash then begin
+    Endpoint.crash (Group.endpoint (List.nth members 2));
+    World.run_for world ~duration:4.0
+  end;
+  List.map
+    (fun gr ->
+       ( Group.casts gr,
+         match Group.view gr with
+         | Some v -> Some (View.ltime v, List.map Addr.endpoint_id (View.members v))
+         | None -> None ))
+    members
+
 let run_conformance (layer : Layer_spec.t) () =
   match hosting_stack layer with
   | None -> Alcotest.failf "no hosting stack for %s" layer.Layer_spec.name
@@ -49,50 +100,62 @@ let run_conformance (layer : Layer_spec.t) () =
       (match Horus_props.Check.derive_names ~net:p1 (Spec.names (Spec.parse spec)) with
        | Ok _ -> true
        | Error _ -> false);
-    let world = World.create ~seed:61 () in
-    let g = World.fresh_group_addr world in
-    let founder = Group.join (Endpoint.create world ~spec) g in
-    World.run_for world ~duration:0.3;
-    let rest =
-      List.init 2 (fun _ ->
-          let m = Group.join ~contact:(Group.addr founder) (Endpoint.create world ~spec) g in
-          World.run_for world ~duration:0.5;
-          m)
-    in
-    let members = founder :: rest in
-    if not (has_membership spec) then begin
-      (* No membership layer: install the destination sets by hand. *)
-      let v =
-        View.create ~group:g ~ltime:0
-          ~members:(List.sort Addr.compare_endpoint (List.map Group.addr members))
-      in
-      List.iter (fun m -> Group.install_view m v) members
-    end;
-    World.run_for world ~duration:3.0;
-    Group.cast founder "conformance";
-    World.run_for world ~duration:3.0;
+    let obs = run_stack ~crash:(provides_vs layer spec) ~payload:"conformance" spec in
     List.iteri
-      (fun i gr ->
+      (fun i (casts, _) ->
+         (* The crashed member (when there is a crash) still delivered
+            before crashing — the cast precedes the crash. *)
          Alcotest.(check (list string))
            (Printf.sprintf "%s: member %d delivered" spec i)
-           [ "conformance" ] (Group.casts gr))
-      members;
-    (* Stacks providing virtual synchrony must also survive a crash. *)
-    if provides_vs layer spec then begin
-      Endpoint.crash (Group.endpoint (List.nth members 2));
-      World.run_for world ~duration:4.0;
-      let survivors = [ founder; List.nth members 1 ] in
-      List.iter
-        (fun gr ->
-           Alcotest.(check int)
-             (Printf.sprintf "%s: reconfigured to 2" spec)
-             2
-             (match Group.view gr with Some v -> View.size v | None -> 0))
-        survivors
-    end
+           [ "conformance" ] casts)
+      obs;
+    (* Stacks providing virtual synchrony must also survive the crash:
+       both survivors reconfigure to a 2-member view. *)
+    if provides_vs layer spec then
+      List.iteri
+        (fun i (_, final) ->
+           if i < 2 then
+             Alcotest.(check int)
+               (Printf.sprintf "%s: member %d reconfigured to 2" spec i)
+               2
+               (match final with Some (_, ms) -> List.length ms | None -> 0))
+        obs
+
+(* Registry sweep: catalogue coverage plus skip_inert equivalence. *)
+let run_registry_conformance (entry : Horus_hcpi.Registry.entry) () =
+  match Layer_spec.find entry.Horus_hcpi.Registry.name with
+  | None ->
+    Alcotest.failf "registered layer %s has no property spec in the catalogue"
+      entry.Horus_hcpi.Registry.name
+  | Some layer ->
+    (match hosting_stack layer with
+     | None -> Alcotest.failf "no hosting stack for %s" layer.Layer_spec.name
+     | Some spec ->
+       let crash = has_membership spec in
+       let payload = "conf-" ^ layer.Layer_spec.name in
+       let plain = run_stack ~skip_inert:false ~crash ~payload spec in
+       let skipped = run_stack ~skip_inert:true ~crash ~payload spec in
+       (* Not vacuous: the cast reached every member... *)
+       List.iteri
+         (fun i (casts, _) ->
+            Alcotest.(check (list string))
+              (Printf.sprintf "%s: member %d delivered" spec i)
+              [ payload ] casts)
+         plain;
+       (* ...and the optimized run is observation-identical. *)
+       List.iteri
+         (fun i ((casts, final), (casts', final')) ->
+            Alcotest.(check (list string))
+              (Printf.sprintf "%s: member %d same deliveries with skip_inert" spec i)
+              casts casts';
+            Alcotest.(check bool)
+              (Printf.sprintf "%s: member %d same final view with skip_inert" spec i)
+              true (final = final'))
+         (List.combine plain skipped))
 
 let () =
-  let cases =
+  Horus_layers.Init.register_all ();
+  let table3_cases =
     List.map
       (fun (layer : Layer_spec.t) ->
          Alcotest.test_case
@@ -100,4 +163,14 @@ let () =
            `Quick (run_conformance layer))
       Layer_spec.table3
   in
-  Alcotest.run "conformance" [ ("table3", cases) ]
+  let registry_cases =
+    List.map
+      (fun (entry : Horus_hcpi.Registry.entry) ->
+         Alcotest.test_case
+           (Printf.sprintf "%s: runs, and skip_inert is equivalent"
+              entry.Horus_hcpi.Registry.name)
+           `Quick (run_registry_conformance entry))
+      (Horus_hcpi.Registry.all ())
+  in
+  Alcotest.run "conformance"
+    [ ("table3", table3_cases); ("registry", registry_cases) ]

@@ -602,6 +602,60 @@ let e_mbrship_metrics () =
      with --json the full snapshot lands in the BENCH file.@."
 
 (* ------------------------------------------------------------------ *)
+(* T1: the transport narrow waist — same stack, three wires            *)
+(* ------------------------------------------------------------------ *)
+
+(* Two members of the section-7 stack casting a paced stream; the only
+   variable is the attachment under COM: the simulated net, the
+   in-process loopback backend (real transport path — frame codec,
+   peer book, backend stats — in virtual time), or real UDP sockets on
+   127.0.0.1 pumped by the wall-clock driver. Throughput is wall-clock
+   everywhere (all protocol work is executed for real); latency is
+   measured on whichever clock drives the mode. *)
+let t1_transport () =
+  section "T1" "transport: cast throughput and one-way latency (sim vs loopback vs UDP)";
+  let casts = if !quick then 200 else 1000 in
+  let rows = ref [] in
+  Format.printf "  2 members, %d casts of 64 B at 0.5 ms spacing (UDP is pace-capped):@.@."
+    casts;
+  Format.printf "  %-10s %18s %16s %9s %10s@." "transport" "casts/s (wall)" "latency"
+    "clock" "complete";
+  List.iter
+    (fun (name, mode) ->
+       match Scenarios.transport_pair ~mode ~casts () with
+       | r ->
+         rows :=
+           J.Obj
+             [ ("transport", J.String name);
+               ("throughput_casts_per_s", J.Float r.Scenarios.t_throughput);
+               ("one_way_latency_s", J.Float r.Scenarios.t_latency_s);
+               ("latency_clock", J.String r.Scenarios.t_clock);
+               ("complete", J.Bool r.Scenarios.t_complete);
+               ("bad_frames", J.Int r.Scenarios.t_bad_frames) ]
+           :: !rows;
+         Format.printf "  %-10s %14.0f /s %13.3f ms %9s %10b@." name
+           r.Scenarios.t_throughput
+           (r.Scenarios.t_latency_s *. 1000.0)
+           r.Scenarios.t_clock r.Scenarios.t_complete
+       | exception e ->
+         (* A sandbox without UDP sockets shouldn't sink the whole
+            bench: record the failure and move on. *)
+         rows :=
+           J.Obj [ ("transport", J.String name); ("error", J.String (Printexc.to_string e)) ]
+           :: !rows;
+         Format.printf "  %-10s failed: %s@." name (Printexc.to_string e))
+    [ ("sim", `Sim); ("loopback", `Loopback); ("udp", `Udp) ];
+  record_host "t1_transport"
+    (J.Obj
+       [ ("casts", J.Int casts);
+         ("pace_interval_s", J.Float 0.0005);
+         ("runs", J.List (List.rev !rows)) ]);
+  Format.printf
+    "@.shape check: loopback tracks sim (same virtual clock, extra codec work);@.\
+     UDP adds real kernel crossings — its latency is wall-clock and dominated@.\
+     by the driver's select wake-up, not by the protocol stack.@."
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -622,6 +676,7 @@ let experiments =
     ("E7c", false, e7c_throughput);
     ("E13", false, e13_detection_ablation);
     ("MBRSHIP", true, e_mbrship_metrics);
+    ("T1", true, t1_transport);
     ("M1", false, m1_models) ]
 
 let () =

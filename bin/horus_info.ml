@@ -6,6 +6,8 @@
      horus_info table4            - Table 4: the sixteen properties
      horus_info check SPEC        - well-formedness + derived properties
      horus_info synth P6,P9,...   - minimal stack for a requirement set
+     horus_info node ...          - one member of a real UDP deployment
+     horus_info ping ...          - transport-level reachability check
 
    Run with: dune exec bin/horus_info.exe -- <command> [args] *)
 
@@ -209,10 +211,42 @@ let metrics_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the registry as JSON instead of a table.")
   in
-  let run spec n casts crash seed json =
+  let transport_arg =
+    Arg.(value & opt string "sim"
+         & info [ "transport" ]
+             ~doc:"Attachment to run over: 'sim' (the simulated network) or 'loopback' \
+                   (real transport path — frame codec, peer book, backend stats — \
+                   in-process; adds a transport.* section).")
+  in
+  let run spec n casts crash seed json transport =
     let open Horus in
     let world = World.create ~seed () in
-    let members = spawn_group world ~spec ~n in
+    let members =
+      match transport with
+      | "sim" -> spawn_group world ~spec ~n
+      | "loopback" ->
+        let hub = Transport.Loopback.hub (World.engine world) in
+        let link = Transport_link.create world in
+        let peers = Transport.Peers.create () in
+        for r = 0 to n - 1 do
+          Transport.Peers.add peers ~rank:r ~addr:(Printf.sprintf "mem:%d" r)
+        done;
+        let ep r =
+          Transport_link.endpoint link
+            ~backend:(Transport.Loopback.create ~addr:(Printf.sprintf "mem:%d" r) hub)
+            ~peers ~rank:r ~spec
+        in
+        let g = World.fresh_group_addr world in
+        let founder = Group.join (ep 0) g in
+        let rest =
+          List.init (n - 1) (fun i -> Group.join ~contact:(Group.addr founder) (ep (i + 1)) g)
+        in
+        World.run_for world ~duration:2.0;
+        founder :: rest
+      | other ->
+        Format.eprintf "metrics: unknown transport %S (sim|loopback)@." other;
+        exit 2
+    in
     let sender = List.hd members in
     for k = 0 to casts - 1 do
       World.after world ~delay:(0.01 *. float_of_int k) (fun () ->
@@ -231,7 +265,8 @@ let metrics_cmd =
   Cmd.v
     (Cmd.info "metrics"
        ~doc:"Run a group scenario and dump the world metrics registry (deterministic in the seed)")
-    Term.(const run $ spec_arg $ n_arg $ casts_arg $ crash_arg $ seed_arg $ json_arg)
+    Term.(const run $ spec_arg $ n_arg $ casts_arg $ crash_arg $ seed_arg $ json_arg
+          $ transport_arg)
 
 (* Replay a repro file (see lib/check): run the recorded scenario
    twice, check the two runs are byte-identical, report violations, and
@@ -392,6 +427,247 @@ let explore_cmd =
           $ crash_at_arg $ suspect_arg $ link_arg $ depth_arg $ max_runs_arg $ walks_arg
           $ horizon_arg $ width_arg $ from_arg $ save_arg)
 
+(* One member of a real multi-OS-process deployment over UDP: bind the
+   rank's address from the shared peer book, join the group (rank 0
+   founds it, the rest join via rank 0 as contact — MBRSHIP's merge
+   retries absorb staggered process startup), cast a paced stream, and
+   pump everything with the wall-clock driver until every member's
+   casts arrived or the budget runs out. Emits a JSON report (final
+   view, delivery sequence, local invariant verdicts, transport stats)
+   that scripts/udp_smoke.sh cross-checks across processes. *)
+let node_cmd =
+  let rank_arg =
+    Arg.(required & opt (some int) None
+         & info [ "rank" ] ~doc:"This process's rank in the peer book.")
+  in
+  let peers_arg =
+    Arg.(required & opt (some string) None
+         & info [ "peers" ] ~docv:"BOOK"
+             ~doc:"Peer book shared by all processes, e.g. \
+                   0=127.0.0.1:7001,1=127.0.0.1:7002.")
+  in
+  let spec_arg =
+    Arg.(value & opt string "TOTAL:MBRSHIP:FRAG:NAK:COM"
+         & info [ "stack" ] ~doc:"Stack spec.")
+  in
+  let casts_arg =
+    Arg.(value & opt int 1000 & info [ "casts" ] ~doc:"Casts issued by this member.")
+  in
+  let interval_arg =
+    Arg.(value & opt float 0.002 & info [ "interval" ] ~doc:"Seconds between casts.")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 60.0 & info [ "timeout" ] ~doc:"Wall-clock budget in seconds.")
+  in
+  let run rank peers_s spec casts interval timeout =
+    let open Horus in
+    let module I = Horus_check.Invariant in
+    let module J = Json in
+    let peers =
+      match Transport.Peers.parse peers_s with
+      | Ok p -> p
+      | Error e ->
+        Format.eprintf "node: %s@." e;
+        exit 2
+    in
+    let bind =
+      match Transport.Peers.find peers ~rank with
+      | Some a -> a
+      | None ->
+        Format.eprintf "node: rank %d not in peer book@." rank;
+        exit 2
+    in
+    let n = Transport.Peers.size peers in
+    let world = World.create () in
+    let backend = Transport.Udp.create ~bind () in
+    let link = Transport_link.create world in
+    let ep = Transport_link.endpoint link ~backend ~peers ~rank ~spec in
+    let g = World.fresh_group_addr world in  (* gid 0 in every process *)
+    let driver = Transport.Driver.create (World.engine world) [ backend ] in
+    let contact = if rank = 0 then None else Some (Addr.endpoint 0) in
+    let gr = Group.join ?contact ~record:false ep g in
+    (* Runner-style observations: delivery stream with epochs, views. *)
+    let rec_casts = ref [] and rec_views = ref [] and n_casts = ref 0 in
+    Group.set_on_up gr (fun ev ->
+        match ev with
+        | Event.U_cast (_, m, _) ->
+          let epoch = match Group.view gr with Some v -> View.ltime v | None -> -1 in
+          rec_casts := (Msg.to_string m, epoch) :: !rec_casts;
+          incr n_casts
+        | Event.U_view v ->
+          rec_views :=
+            ( (View.ltime v, Addr.endpoint_id (View.coordinator v)),
+              List.map Addr.endpoint_id (View.members v) )
+            :: !rec_views
+        | _ -> ());
+    let full_view () =
+      match Group.view gr with Some v -> View.size v = n | None -> false
+    in
+    let formed = Transport.Driver.run_until ~timeout:(timeout /. 2.0) driver full_view in
+    if formed then
+      for k = 0 to casts - 1 do
+        World.after world ~delay:(interval *. float_of_int (k + 1)) (fun () ->
+            Group.cast gr (I.payload ~tag:'o' ~origin:rank ~k))
+      done;
+    let expect = n * casts in
+    let complete =
+      formed && Transport.Driver.run_until ~timeout driver (fun () -> !n_casts >= expect)
+    in
+    (* Grace period: let peers finish receiving our tail. *)
+    Transport.Driver.run_for driver ~duration:0.5;
+    let obs =
+      { I.o_member = rank;
+        o_eid = rank;
+        o_crashed = false;
+        o_left = false;
+        o_exited = Group.exited gr;
+        o_casts = List.rev !rec_casts;
+        o_views = List.rev !rec_views;
+        o_final =
+          (match Group.view gr with
+           | Some v -> Some (View.ltime v, List.map Addr.endpoint_id (View.members v))
+           | None -> None) }
+    in
+    (* Single-process verdicts; cross-process agreement is the smoke
+       script's job (it has both reports). *)
+    let violations =
+      I.per_origin_fifo ~tag:'o' [ obs ]
+      @ I.delivery_in_view ~tag:'o' [ obs ]
+      @ (if complete then I.self_delivery ~tag:'o' ~sent:(fun _ -> casts) [ obs ] else [])
+    in
+    let st = backend.Transport.Backend.stats in
+    let out =
+      J.Obj
+        [ ("rank", J.Int rank);
+          ("n", J.Int n);
+          ("local_addr", J.String backend.Transport.Backend.local_addr);
+          ("formed", J.Bool formed);
+          ("complete", J.Bool complete);
+          ("delivered", J.Int !n_casts);
+          ("expected", J.Int expect);
+          ( "final_view",
+            match Group.view gr with
+            | Some v ->
+              J.Obj
+                [ ("ltime", J.Int (View.ltime v));
+                  ( "members",
+                    J.List
+                      (List.map
+                         (fun e -> J.Int (Addr.endpoint_id e))
+                         (View.members v)) ) ]
+            | None -> J.Null );
+          ("casts", J.List (List.rev_map (fun (p, _) -> J.String p) !rec_casts));
+          ("violations", I.to_json violations);
+          ( "transport",
+            J.Obj
+              [ ("sent", J.Int st.Transport.Backend.sent);
+                ("delivered", J.Int st.Transport.Backend.delivered);
+                ("bad_frame", J.Int st.Transport.Backend.bad_frame);
+                ("dropped", J.Int st.Transport.Backend.dropped);
+                ("send_errors", J.Int st.Transport.Backend.send_errors);
+                ("bytes_sent", J.Int st.Transport.Backend.bytes_sent);
+                ("bytes_received", J.Int st.Transport.Backend.bytes_received) ] ) ]
+    in
+    print_string (J.to_string ~indent:true out);
+    backend.Transport.Backend.close ();
+    if formed && complete && violations = [] then exit 0 else exit 1
+  in
+  Cmd.v
+    (Cmd.info "node"
+       ~doc:"Run one member of a real multi-process UDP deployment (JSON report on stdout)")
+    Term.(const run $ rank_arg $ peers_arg $ spec_arg $ casts_arg $ interval_arg
+          $ timeout_arg)
+
+(* Transport-level reachability: frames over UDP, no protocol stack.
+   One side echoes ([--listen]); the other sends numbered pings and
+   measures round-trip times. *)
+let ping_cmd =
+  let bind_arg =
+    Arg.(value & opt string "127.0.0.1:0"
+         & info [ "bind" ] ~doc:"Local HOST:PORT (port 0 picks an ephemeral port).")
+  in
+  let listen_arg =
+    Arg.(value & flag & info [ "listen" ] ~doc:"Echo frames back instead of pinging.")
+  in
+  let to_arg =
+    Arg.(value & opt (some string) None
+         & info [ "to" ] ~docv:"ADDR" ~doc:"Peer to ping (HOST:PORT).")
+  in
+  let count_arg = Arg.(value & opt int 5 & info [ "count" ] ~doc:"Pings to send.") in
+  let timeout_arg =
+    Arg.(value & opt float 30.0
+         & info [ "timeout" ]
+             ~doc:"Wall budget in seconds (listen duration; split across pings).")
+  in
+  let run bind listen to_ count timeout =
+    let open Horus in
+    let backend = Transport.Udp.create ~bind () in
+    let driver = Transport.Driver.create (Horus_sim.Engine.create ()) [ backend ] in
+    let group = Addr.group 0xEC80 in  (* diagnostic frames, outside any real gid *)
+    if listen then begin
+      Format.printf "listening on %s@." backend.Transport.Backend.local_addr;
+      backend.Transport.Backend.set_rx (fun ~src:from frame ->
+          match Transport.Frame.decode frame with
+          | Ok (_, payload) ->
+            backend.Transport.Backend.send ~dest:from
+              (Transport.Frame.encode ~src:(Addr.endpoint 1) ~group payload)
+          | Error e ->
+            Format.eprintf "bad frame from %s: %s@." from
+              (Transport.Frame.error_to_string e));
+      Transport.Driver.run_for driver ~duration:timeout
+    end
+    else begin
+      let dest =
+        match to_ with
+        | Some a -> a
+        | None ->
+          Format.eprintf "ping: --to required (or use --listen)@.";
+          exit 2
+      in
+      let got = ref None in
+      backend.Transport.Backend.set_rx (fun ~src:_ frame ->
+          match Transport.Frame.decode frame with
+          | Ok (_, payload) -> got := Some (Bytes.to_string payload)
+          | Error _ -> ());
+      let rtts = ref [] in
+      let lost = ref 0 in
+      for i = 1 to count do
+        let payload = Printf.sprintf "ping-%d" i in
+        got := None;
+        let t0 = Unix.gettimeofday () in
+        backend.Transport.Backend.send ~dest
+          (Transport.Frame.encode ~src:(Addr.endpoint 0) ~group
+             (Bytes.of_string payload));
+        if
+          Transport.Driver.run_until ~timeout:(timeout /. float_of_int count) driver
+            (fun () -> !got = Some payload)
+        then begin
+          let rtt = (Unix.gettimeofday () -. t0) *. 1000.0 in
+          rtts := rtt :: !rtts;
+          Format.printf "reply from %s: seq=%d time=%.3f ms@." dest i rtt
+        end
+        else begin
+          incr lost;
+          Format.printf "timeout: seq=%d@." i
+        end
+      done;
+      (match !rtts with
+       | [] -> ()
+       | l ->
+         let mn = List.fold_left min infinity l
+         and mx = List.fold_left max 0.0 l
+         and avg = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+         Format.printf "%d/%d replies, rtt min/avg/max = %.3f/%.3f/%.3f ms@."
+           (List.length l) count mn avg mx);
+      backend.Transport.Backend.close ();
+      if !lost > 0 then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "ping"
+       ~doc:"Transport-level reachability check: echo or ping framed UDP datagrams")
+    Term.(const run $ bind_arg $ listen_arg $ to_arg $ count_arg $ timeout_arg)
+
 let () =
   let doc = "Horus protocol-composition framework: catalogue and property algebra" in
   let info = Cmd.info "horus_info" ~doc in
@@ -399,4 +675,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ layers_cmd; table3_cmd; table4_cmd; check_cmd; synth_cmd; order_cmd;
-            simulate_cmd; metrics_cmd; replay_cmd; explore_cmd ]))
+            simulate_cmd; metrics_cmd; replay_cmd; explore_cmd; node_cmd; ping_cmd ]))

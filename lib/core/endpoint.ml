@@ -4,15 +4,29 @@
    joining a group instantiates a fresh stack over the endpoint (the
    per-group layer state of the paper's group objects). Packets carry a
    group-id frame so one endpoint can serve many groups — the "base
-   endpoint" on which multiple stacks stand. *)
+   endpoint" on which multiple stacks stand.
+
+   The attachment is pluggable: by default the endpoint attaches to the
+   world's simulated network, but a deployment hands in an [attach]
+   function (see Transport_link) that binds the same stacks to a real
+   transport backend instead. The stacks cannot tell the difference —
+   both roads end at the same xmit/deliver pair. *)
 
 open Horus_msg
+
+type attachment = {
+  a_kind : string;  (* "sim", "udp", "loopback" — for diagnostics *)
+  a_mtu : int;
+  a_xmit : gid:int -> dst:Addr.endpoint -> Bytes.t -> unit;
+  a_crash : unit -> unit;
+}
 
 type t = {
   world : World.t;
   addr : Addr.endpoint;
   spec : Horus_hcpi.Spec.t;
   routes : (int, src:int -> Msg.t -> unit) Hashtbl.t;  (* gid -> stack ingress *)
+  mutable attachment : attachment;
   mutable crashed : bool;
   mutable on_crash : (unit -> unit) list;  (* group handles register cleanup *)
 }
@@ -24,25 +38,52 @@ let frame_gid gid payload =
   Bytes.blit payload 0 b 4 n;
   b
 
-let create world ~spec =
-  let addr = World.fresh_endpoint_addr world in
+(* Incoming packets from whatever attachment — route on group id. *)
+let deliver t ~gid ~src m =
+  if not t.crashed then
+    match Hashtbl.find_opt t.routes gid with
+    | Some route -> route ~src m
+    | None -> ()
+
+let sim_attachment t =
+  let net = World.net t.world in
+  let node = Addr.endpoint_id t.addr in
+  Horus_sim.Net.attach net ~node (fun ~src payload ->
+      if Bytes.length payload >= 4 then begin
+        let gid = Int32.to_int (Bytes.get_int32_be payload 0) in
+        let body = Bytes.sub payload 4 (Bytes.length payload - 4) in
+        deliver t ~gid ~src (Msg.of_bytes body)
+      end);
+  { a_kind = "sim";
+    a_mtu = (Horus_sim.Net.config net).Horus_sim.Net.mtu;
+    a_xmit =
+      (fun ~gid ~dst payload ->
+         Horus_sim.Net.send net ~src:node ~dst:(Addr.endpoint_id dst)
+           (frame_gid gid payload));
+    a_crash = (fun () -> Horus_sim.Net.crash net ~node) }
+
+let create ?addr ?attach world ~spec =
+  let addr =
+    match addr with
+    | Some a -> World.claim_endpoint_addr world a
+    | None -> World.fresh_endpoint_addr world
+  in
   let t =
     { world;
       addr;
       spec = Horus_hcpi.Spec.parse spec;
       routes = Hashtbl.create 4;
+      attachment =
+        (* placeholder until the real attachment is built below; never
+           observable because [create] replaces it before returning *)
+        { a_kind = "none";
+          a_mtu = 0;
+          a_xmit = (fun ~gid:_ ~dst:_ _ -> ());
+          a_crash = (fun () -> ()) };
       crashed = false;
       on_crash = [] }
   in
-  Horus_sim.Net.attach (World.net world) ~node:(Addr.endpoint_id addr) (fun ~src payload ->
-      if Bytes.length payload >= 4 then begin
-        let gid = Int32.to_int (Bytes.get_int32_be payload 0) in
-        match Hashtbl.find_opt t.routes gid with
-        | Some route ->
-          let body = Bytes.sub payload 4 (Bytes.length payload - 4) in
-          route ~src (Msg.of_bytes body)
-        | None -> ()
-      end);
+  t.attachment <- (match attach with None -> sim_attachment t | Some f -> f t);
   t
 
 let world t = t.world
@@ -52,6 +93,8 @@ let addr t = t.addr
 let node t = Addr.endpoint_id t.addr
 
 let spec t = t.spec
+
+let kind t = t.attachment.a_kind
 
 let is_crashed t = t.crashed
 
@@ -67,21 +110,17 @@ let add_crash_hook t f = t.on_crash <- f :: t.on_crash
 (* The per-group transport handed to the stack's bottom layer: frames
    outgoing packets with the group id. *)
 let transport t ~gid : Horus_hcpi.Layer.transport =
-  let net = World.net t.world in
-  { Horus_hcpi.Layer.xmit =
-      (fun ~dst payload ->
-         Horus_sim.Net.send net ~src:(node t) ~dst:(Addr.endpoint_id dst)
-           (frame_gid gid payload));
+  { Horus_hcpi.Layer.xmit = (fun ~dst payload -> t.attachment.a_xmit ~gid ~dst payload);
     local_node = node t;
-    mtu = (Horus_sim.Net.config net).Horus_sim.Net.mtu }
+    mtu = t.attachment.a_mtu }
 
-(* Crash the endpoint: the network stops carrying its traffic and all
+(* Crash the endpoint: the attachment stops carrying its traffic and all
    its stacks halt silently (a crashed process does not observe its own
    crash). *)
 let crash t =
   if not t.crashed then begin
     t.crashed <- true;
-    Horus_sim.Net.crash (World.net t.world) ~node:(node t);
+    t.attachment.a_crash ();
     List.iter (fun f -> f ()) t.on_crash;
     t.on_crash <- []
   end

@@ -1,25 +1,51 @@
 (** A communication endpoint: a network attachment plus a protocol
     stack spec. Joining a group (see {!Group}) instantiates a fresh
-    stack over the endpoint. *)
+    stack over the endpoint.
+
+    The attachment is pluggable: by default the endpoint rides the
+    world's simulated network; a deployment passes [attach] (built by
+    {!Transport_link}) to bind the same stacks to a real transport
+    backend instead. *)
 
 open Horus_msg
 
 type t
 
-val create : World.t -> spec:string -> t
-(** [create world ~spec] allocates an address, attaches to the network,
-    and parses [spec] (e.g. ["TOTAL:MBRSHIP:FRAG:NAK:COM"]). Raises
-    {!Horus_hcpi.Spec.Parse_error} on a bad spec. *)
+type attachment = {
+  a_kind : string;  (** ["sim"], ["udp"], ["loopback"] — diagnostics *)
+  a_mtu : int;
+  a_xmit : gid:int -> dst:Addr.endpoint -> Bytes.t -> unit;
+  a_crash : unit -> unit;
+}
+(** How packets leave the endpoint and what happens when it crashes.
+    Incoming packets come back through {!deliver}. *)
+
+val create : ?addr:Addr.endpoint -> ?attach:(t -> attachment) -> World.t -> spec:string -> t
+(** [create world ~spec] allocates an address, attaches to the world's
+    simulated network, and parses [spec] (e.g.
+    ["TOTAL:MBRSHIP:FRAG:NAK:COM"]). [addr] pins the endpoint address
+    instead of allocating one — deployments use this so every process
+    agrees on ranks. [attach] replaces the simulated-network attachment.
+    Raises {!Horus_hcpi.Spec.Parse_error} on a bad spec. *)
 
 val world : t -> World.t
 val addr : t -> Addr.endpoint
 val node : t -> int
 val spec : t -> Horus_hcpi.Spec.t
+
+val kind : t -> string
+(** The attachment kind. *)
+
 val is_crashed : t -> bool
 
 val crash : t -> unit
-(** Crash the endpoint: network traffic stops and all its stacks halt
-    silently. *)
+(** Crash the endpoint: its attachment stops carrying traffic and all
+    its stacks halt silently. *)
+
+val deliver : t -> gid:int -> src:int -> Msg.t -> unit
+(** Inject an incoming packet, routed to the stack joined to group
+    [gid] (dropped if none, or if the endpoint has crashed).
+    Attachments call this from their receive path. *)
 
 (**/**)
 

@@ -20,8 +20,10 @@ module Group = Group
 module Socket = Socket
 module Rpc = Rpc
 module State_transfer = State_transfer
+module Transport_link = Transport_link
 
 (* Re-exports so applications need only this library. *)
+module Transport = Horus_transport
 module Addr = Horus_msg.Addr
 module Msg = Horus_msg.Msg
 module View = Horus_hcpi.View

@@ -21,7 +21,14 @@ module Socket = Socket
 module Rpc = Rpc
 module State_transfer = State_transfer
 
+module Transport_link = Transport_link
+(** Binds endpoints to real transport backends (UDP, loopback). *)
+
 (** Re-exports so applications need only this library. *)
+
+module Transport = Horus_transport
+(** The transport narrow waist: Backend, Frame, Peers, Udp, Loopback,
+    Driver. *)
 
 module Addr = Horus_msg.Addr
 module Msg = Horus_msg.Msg

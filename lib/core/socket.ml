@@ -1,7 +1,18 @@
 (* UNIX-socket facade (Sections 2 and 11): the top-most module that
    deviates from the HCPI standard to match a user's expectations.
    sendto maps to a multicast to the group; recvfrom returns the next
-   incoming message. *)
+   incoming message.
+
+   Simulated vs. real time. The facade itself never blocks — incoming
+   messages queue as stacks deliver them, and delivery only happens
+   when something runs the event engine. Under simulation that is
+   World.run_until/run_for: virtual time, deterministic, recvfrom
+   polls between runs. Under a real deployment a wall-clock
+   Transport.Driver pumps the same engine against the sockets, and
+   recvfrom_timeout is the blocking receive a UNIX programmer expects:
+   it steps the driver (select on the backends' fds, fire due timers)
+   until a message arrives or the wall-clock deadline passes. Same
+   stacks, same queue; only who advances time differs. *)
 
 open Horus_msg
 
@@ -27,6 +38,15 @@ let sendto t payload = Group.cast t.group payload
 (* Non-blocking: [None] when no message is waiting (a real socket would
    block; in a simulation, run the world instead). *)
 let recvfrom t = if Queue.is_empty t.pending then None else Some (Queue.pop t.pending)
+
+(* Blocking receive for deployments: steps the wall-clock driver until
+   a message is queued or [timeout] wall seconds pass. *)
+let recvfrom_timeout t ~driver ~timeout =
+  if
+    Horus_transport.Driver.run_until ~timeout driver (fun () ->
+        not (Queue.is_empty t.pending))
+  then Some (Queue.pop t.pending)
+  else None
 
 let pending t = Queue.length t.pending
 

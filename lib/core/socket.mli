@@ -10,7 +10,14 @@ val group : t -> Group.t
 val sendto : t -> string -> unit
 
 val recvfrom : t -> (int * string) option
-(** Next (source rank, payload); [None] when nothing is waiting. *)
+(** Next (source rank, payload); [None] when nothing is waiting.
+    Never blocks: under simulation, run the world to make progress. *)
+
+val recvfrom_timeout :
+  t -> driver:Horus_transport.Driver.t -> timeout:float -> (int * string) option
+(** Blocking receive for deployments: steps the wall-clock [driver]
+    (socket readiness + due timers) until a message is queued or
+    [timeout] wall seconds pass. *)
 
 val pending : t -> int
 val close : t -> unit

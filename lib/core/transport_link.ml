@@ -1,0 +1,61 @@
+(* Binds endpoints to real transport backends: the glue between
+   lib/core's world/endpoint model and lib/transport's narrow waist.
+
+   One link per world. Each [attach] wires one endpoint to one backend:
+   outgoing packets are framed (Frame codec: src endpoint, group
+   address, CRC) and sent to the destination rank's address from the
+   shared peer book; incoming datagrams are decoded and routed into the
+   endpoint, with garbled or truncated frames counted and dropped at
+   the door. The link registers one metrics exporter with the world, so
+   snapshots grow a [transport.*] section summing every backend it
+   manages. *)
+
+open Horus_msg
+module T = Horus_transport
+
+type t = {
+  world : World.t;
+  prefix : string;
+  mutable backends : T.Backend.t list;
+}
+
+let create ?(prefix = "transport") world =
+  let t = { world; prefix; backends = [] } in
+  World.add_metrics_exporter world (fun m ->
+      T.Backend.export_metrics_sum ~prefix:t.prefix (List.rev t.backends) m);
+  t
+
+let world t = t.world
+
+let backends t = List.rev t.backends
+
+let attach t ~backend ~peers endpoint : Endpoint.attachment =
+  t.backends <- backend :: t.backends;
+  let stats = backend.T.Backend.stats in
+  backend.T.Backend.set_rx (fun ~src:_ frame ->
+      (* Trust the authenticated-by-CRC header's src over the socket
+         address: the peer book names ranks, the kernel names ports. *)
+      match T.Frame.decode frame with
+      | Ok (hdr, payload) ->
+        Endpoint.deliver endpoint
+          ~gid:(Addr.group_id hdr.T.Frame.h_group)
+          ~src:(Addr.endpoint_id hdr.T.Frame.h_src)
+          (Msg.of_bytes payload)
+      | Error _ -> stats.T.Backend.bad_frame <- stats.T.Backend.bad_frame + 1);
+  { Endpoint.a_kind = backend.T.Backend.kind;
+    a_mtu = backend.T.Backend.mtu - T.Frame.overhead;
+    a_xmit =
+      (fun ~gid ~dst payload ->
+         match T.Peers.find peers ~rank:(Addr.endpoint_id dst) with
+         | Some dest ->
+           backend.T.Backend.send ~dest
+             (T.Frame.encode ~src:(Endpoint.addr endpoint) ~group:(Addr.group gid)
+                payload)
+         | None -> stats.T.Backend.dropped <- stats.T.Backend.dropped + 1);
+    a_crash = (fun () -> backend.T.Backend.close ()) }
+
+(* The deployment one-liner: an endpoint pinned at [rank], bound to
+   [backend], addressing peers through [peers]. *)
+let endpoint t ~backend ~peers ~rank ~spec =
+  Endpoint.create ~addr:(Addr.endpoint rank)
+    ~attach:(attach t ~backend ~peers) t.world ~spec

@@ -1,0 +1,37 @@
+(** Binds endpoints to real transport backends ({!Horus_transport}):
+    outgoing packets are framed (src endpoint, group address, CRC) and
+    addressed through a shared {!Horus_transport.Peers} book; incoming
+    datagrams are decoded and routed into the endpoint, with bad frames
+    counted and dropped. One link per world; it registers a metrics
+    exporter so snapshots gain a [transport.*] section summing every
+    backend it manages. *)
+
+type t
+
+val create : ?prefix:string -> World.t -> t
+(** [prefix] (default ["transport"]) names the metrics section. *)
+
+val world : t -> World.t
+
+val backends : t -> Horus_transport.Backend.t list
+(** In attach order. *)
+
+val attach :
+  t ->
+  backend:Horus_transport.Backend.t ->
+  peers:Horus_transport.Peers.t ->
+  Endpoint.t ->
+  Endpoint.attachment
+(** Pass as {!Endpoint.create}'s [attach]; takes ownership of the
+    backend's rx callback (and closes the backend if the endpoint
+    crashes). *)
+
+val endpoint :
+  t ->
+  backend:Horus_transport.Backend.t ->
+  peers:Horus_transport.Peers.t ->
+  rank:int ->
+  spec:string ->
+  Endpoint.t
+(** The deployment one-liner: an endpoint pinned at address [rank] and
+    bound to [backend]. *)

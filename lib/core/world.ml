@@ -19,6 +19,7 @@ type t = {
   mutable next_gid : int;
   coordinators : (int, Addr.endpoint list ref) Hashtbl.t;  (* gid -> announced *)
   disk : (string, string list ref) Hashtbl.t;  (* stable storage, survives crashes *)
+  mutable exporters : (Horus_obs.Metrics.t -> unit) list;  (* run at snapshot time *)
 }
 
 let create ?(config = Horus_sim.Net.default_config) ?(seed = 1) () =
@@ -33,7 +34,8 @@ let create ?(config = Horus_sim.Net.default_config) ?(seed = 1) () =
     next_eid = 0;
     next_gid = 0;
     coordinators = Hashtbl.create 8;
-    disk = Hashtbl.create 8 }
+    disk = Hashtbl.create 8;
+    exporters = [] }
 
 let engine t = t.engine
 
@@ -43,12 +45,17 @@ let trace t = t.trace
 
 let metrics t = t.metrics
 
+(* Subsystems that keep stats outside the registry (the net, transport
+   backends) register an exporter; each snapshot mirrors them in. *)
+let add_metrics_exporter t f = t.exporters <- f :: t.exporters
+
 (* One deterministic snapshot of everything the world measures: the
    engine's dispatch histogram, every stack's per-layer crossing
-   counters, and the network's wire stats (exported here, at snapshot
-   time). *)
+   counters, the network's wire stats, and any registered exporters
+   (all mirrored in here, at snapshot time). *)
 let metrics_json t =
   Horus_sim.Net.export_metrics t.net t.metrics;
+  List.iter (fun f -> f t.metrics) (List.rev t.exporters);
   Horus_obs.Metrics.to_json t.metrics
 
 (* The world's own deterministic generator, for workload generators
@@ -61,6 +68,13 @@ let fresh_endpoint_addr t =
   let eid = t.next_eid in
   t.next_eid <- t.next_eid + 1;
   Addr.endpoint eid
+
+(* Deployments pin endpoint addresses (every process must agree on
+   ranks); keep the fresh allocator clear of anything pinned. *)
+let claim_endpoint_addr t a =
+  let eid = Addr.endpoint_id a in
+  if eid >= t.next_eid then t.next_eid <- eid + 1;
+  a
 
 let fresh_group_addr t =
   let gid = t.next_gid in

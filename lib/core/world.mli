@@ -22,8 +22,13 @@ val metrics : t -> Horus_obs.Metrics.t
 
 val metrics_json : t -> Horus_obs.Json.t
 (** Deterministic snapshot of the registry (exports the network wire
-    stats first). Two same-seed runs of the same workload serialize to
-    byte-identical JSON. *)
+    stats and any registered exporters first). Two same-seed runs of
+    the same workload serialize to byte-identical JSON. *)
+
+val add_metrics_exporter : t -> (Horus_obs.Metrics.t -> unit) -> unit
+(** Register a function run at every {!metrics_json} snapshot, for
+    subsystems (transport backends, the net) that keep their stats
+    outside the registry. Run in registration order. *)
 
 val prng : t -> Horus_util.Prng.t
 (** The world's deterministic generator, for seeded workloads. *)
@@ -32,6 +37,11 @@ val now : t -> float
 
 val fresh_endpoint_addr : t -> Addr.endpoint
 val fresh_group_addr : t -> Addr.group
+
+val claim_endpoint_addr : t -> Addr.endpoint -> Addr.endpoint
+(** Pin an endpoint address chosen by the caller (deployments use
+    ranks agreed across processes); bumps the fresh allocator past
+    it. *)
 
 val rendezvous : t -> Layer.rendezvous
 (** Coordinators of live partitions, per group; crashed announcers are

@@ -81,6 +81,12 @@ let executed t = t.executed
 
 let pending t = Horus_util.Heap.length t.queue
 
+(* Firing time of the earliest queued event (cancelled events included —
+   an early wake-up is harmless). Real-time drivers (lib/transport's
+   Driver) use this to size their select timeout. *)
+let next_time t =
+  Option.map (fun ev -> ev.time) (Horus_util.Heap.peek t.queue)
+
 let schedule_at t ~time thunk =
   (* Under a chooser, executing a deferred event advances [now] past
      events still in the queue; absolute times computed before the

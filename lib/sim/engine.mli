@@ -27,6 +27,11 @@ val executed : t -> int
 val pending : t -> int
 (** Number of events still queued. *)
 
+val next_time : t -> float option
+(** Firing time of the earliest queued event, [None] when the queue is
+    empty. Cancelled events are included (an early wake-up is
+    harmless); real-time drivers use this to size their sleep. *)
+
 val schedule_at : t -> time:float -> (unit -> unit) -> handle
 (** Schedule a thunk at an absolute time (must not be in the past). *)
 

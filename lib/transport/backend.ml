@@ -1,0 +1,56 @@
+(* The narrow waist of the transport subsystem (the hourglass model):
+   every way of moving a datagram — real UDP sockets, the in-process
+   loopback, and whatever comes later (TCP bundles, shared memory,
+   DPDK) — is squeezed through this one record so the entire Horus
+   stack above it is backend-agnostic.
+
+   A backend is deliberately dumber than the simulator's Net: it moves
+   opaque byte blobs between string-keyed addresses, best-effort, with
+   no ordering or delivery promises (property P1 and nothing else).
+   Framing, addressing of endpoints, and loss repair all live above
+   (Frame, Peers, and the protocol stack respectively). *)
+
+type stats = {
+  mutable sent : int;          (* datagrams handed to the backend *)
+  mutable delivered : int;     (* datagrams handed to the rx callback *)
+  mutable bad_frame : int;     (* rx datagrams rejected by the frame codec *)
+  mutable dropped : int;       (* no route / no rx callback / closed peer *)
+  mutable send_errors : int;   (* OS-level send failures *)
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+}
+
+let fresh_stats () =
+  { sent = 0; delivered = 0; bad_frame = 0; dropped = 0; send_errors = 0;
+    bytes_sent = 0; bytes_received = 0 }
+
+type rx = src:string -> Bytes.t -> unit
+
+type t = {
+  kind : string;           (* "udp", "loopback", ... *)
+  local_addr : string;     (* this backend's own address, in its scheme *)
+  mtu : int;               (* largest datagram the backend will carry *)
+  send : dest:string -> Bytes.t -> unit;
+  set_rx : rx -> unit;     (* install the receive callback (one at a time) *)
+  fd : Unix.file_descr option;  (* readiness handle for select-based drivers *)
+  poll : unit -> int;      (* drain ready datagrams into rx; count drained *)
+  close : unit -> unit;
+  stats : stats;
+}
+
+(* Mirror the stats of a set of backends into a metrics registry as
+   monotone counters (summed across the set), the same way Net exports
+   its wire stats: called at snapshot time, so the registry needs no
+   hook in the datagram hot path. *)
+let export_metrics_sum ?(prefix = "transport") backends m =
+  let total f = List.fold_left (fun acc b -> acc + f b.stats) 0 backends in
+  let c name v = Horus_obs.Metrics.(set_counter (counter m (prefix ^ "." ^ name)) v) in
+  c "sent" (total (fun s -> s.sent));
+  c "delivered" (total (fun s -> s.delivered));
+  c "bad_frame" (total (fun s -> s.bad_frame));
+  c "dropped" (total (fun s -> s.dropped));
+  c "send_errors" (total (fun s -> s.send_errors));
+  c "bytes_sent" (total (fun s -> s.bytes_sent));
+  c "bytes_received" (total (fun s -> s.bytes_received))
+
+let export_metrics ?prefix t m = export_metrics_sum ?prefix [ t ] m

@@ -1,0 +1,47 @@
+(** The narrow waist of the transport subsystem: a pluggable datagram
+    backend. Moves opaque byte blobs between string-keyed addresses,
+    best-effort (property P1 and nothing else). Implementations:
+    {!Udp} (real sockets) and {!Loopback} (in-process, deterministic).
+    Framing and endpoint addressing live above, in {!Frame} and
+    {!Peers}. *)
+
+type stats = {
+  mutable sent : int;          (** datagrams handed to the backend *)
+  mutable delivered : int;     (** datagrams handed to the rx callback *)
+  mutable bad_frame : int;     (** rx datagrams rejected by the frame codec *)
+  mutable dropped : int;       (** no route / no rx callback / closed peer *)
+  mutable send_errors : int;   (** OS-level send failures *)
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+}
+
+val fresh_stats : unit -> stats
+
+type rx = src:string -> Bytes.t -> unit
+(** Receive callback; [src] is the sender's address in the backend's
+    own scheme (a UDP [host:port], a loopback [mem:N]). *)
+
+type t = {
+  kind : string;           (** "udp", "loopback", ... *)
+  local_addr : string;     (** this backend's own address *)
+  mtu : int;               (** largest datagram the backend will carry *)
+  send : dest:string -> Bytes.t -> unit;
+  set_rx : rx -> unit;     (** install the receive callback (one at a time) *)
+  fd : Unix.file_descr option;
+      (** readiness handle for select-based drivers; [None] for
+          in-process backends whose delivery rides the event engine *)
+  poll : unit -> int;      (** drain ready datagrams into rx; count drained *)
+  close : unit -> unit;
+  stats : stats;
+}
+
+val export_metrics : ?prefix:string -> t -> Horus_obs.Metrics.t -> unit
+(** Mirror the backend's stats into a registry as monotone
+    [<prefix>.sent], [<prefix>.delivered], [<prefix>.bad_frame],
+    [<prefix>.dropped], [<prefix>.send_errors], [<prefix>.bytes_sent],
+    [<prefix>.bytes_received] counters ([prefix] defaults to
+    ["transport"]). Called at snapshot time, like [Net.export_metrics]. *)
+
+val export_metrics_sum : ?prefix:string -> t list -> Horus_obs.Metrics.t -> unit
+(** Same, summing the stats of several backends (a world hosting many
+    endpoints). *)

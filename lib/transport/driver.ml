@@ -1,0 +1,93 @@
+(* Wall-clock driver: pumps an event engine against real time and real
+   sockets.
+
+   The simulator and the deployment share one scheduling model — the
+   engine's timed event queue. Under simulation, tests run the queue
+   in virtual time. Under deployment, this driver anchors engine time
+   to [Unix.gettimeofday] at creation ([target] below is the engine
+   time that "now" corresponds to) and alternately
+
+     - drains every backend's socket ([poll]), which feeds received
+       datagrams into the stacks, and
+     - runs all engine events that have come due ([Engine.run_until]),
+       which fires the stacks' retransmit/heartbeat timers.
+
+   Between rounds it sleeps in [Unix.select] on the backends' file
+   descriptors, waking on the first datagram or the next timer,
+   whichever comes first — so the process is idle when the network is.
+   Backends without an fd (loopback) are covered by [max_tick], a cap
+   on any single sleep. *)
+
+type t = {
+  engine : Horus_sim.Engine.t;
+  backends : Backend.t list;
+  fds : Unix.file_descr list;
+  t0_wall : float;
+  t0_engine : float;
+  max_tick : float;
+}
+
+let create ?(max_tick = 0.05) engine backends =
+  if max_tick <= 0.0 then invalid_arg "Driver.create: max_tick must be positive";
+  { engine;
+    backends;
+    fds = List.filter_map (fun (b : Backend.t) -> b.Backend.fd) backends;
+    t0_wall = Unix.gettimeofday ();
+    t0_engine = Horus_sim.Engine.now engine;
+    max_tick }
+
+(* Engine time corresponding to this wall-clock instant. *)
+let target t = t.t0_engine +. (Unix.gettimeofday () -. t.t0_wall)
+
+let now = target
+
+let pump t =
+  let received =
+    List.fold_left (fun n (b : Backend.t) -> n + b.Backend.poll ()) 0 t.backends
+  in
+  let before = Horus_sim.Engine.executed t.engine in
+  let due = target t in
+  if due > Horus_sim.Engine.now t.engine then
+    Horus_sim.Engine.run_until t.engine ~time:due;
+  received + (Horus_sim.Engine.executed t.engine - before)
+
+let step ?max_wait t =
+  let worked = pump t in
+  if worked > 0 then worked
+  else begin
+    (* Nothing due: sleep until the next timer, the sleep cap, or the
+       caller's bound — or until a socket becomes readable. *)
+    let until_timer =
+      match Horus_sim.Engine.next_time t.engine with
+      | Some tm -> tm -. target t
+      | None -> t.max_tick
+    in
+    let wait = min t.max_tick (max 0.0 until_timer) in
+    let wait = match max_wait with Some w -> min wait (max 0.0 w) | None -> wait in
+    (if wait > 0.0 then
+       match Unix.select t.fds [] [] wait with
+       | _ -> ()
+       | exception Unix.Unix_error (EINTR, _, _) -> ());
+    pump t
+  end
+
+let run_until ?(timeout = 30.0) t pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec loop () =
+    if pred () then true
+    else begin
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0.0 then pred ()
+      else begin
+        ignore (step ~max_wait:left t);
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let run_for t ~duration =
+  let stop = Unix.gettimeofday () +. duration in
+  while Unix.gettimeofday () < stop do
+    ignore (step ~max_wait:(stop -. Unix.gettimeofday ()) t)
+  done

@@ -1,0 +1,31 @@
+(** Wall-clock driver: runs an event engine against real time.
+
+    Anchors engine time to [Unix.gettimeofday] at creation, then
+    alternates draining the backends' sockets and firing engine events
+    that have come due, sleeping in [Unix.select] on the backends'
+    file descriptors in between. One process, one driver; the same
+    stacks and timers that run under the simulator run unmodified. *)
+
+type t
+
+val create : ?max_tick:float -> Horus_sim.Engine.t -> Backend.t list -> t
+(** [max_tick] (default 0.05 s) caps any single sleep, bounding the
+    poll latency of fd-less backends such as loopback. *)
+
+val now : t -> float
+(** Engine time corresponding to the current wall-clock instant. *)
+
+val pump : t -> int
+(** Drain every backend and run all engine events now due; returns the
+    number of datagrams received plus events fired (0 = idle). *)
+
+val step : ?max_wait:float -> t -> int
+(** {!pump}; if idle, sleep until the next timer, a readable socket,
+    [max_wait] or [max_tick] — whichever is first — then pump again. *)
+
+val run_until : ?timeout:float -> t -> (unit -> bool) -> bool
+(** Step until the predicate holds or [timeout] (default 30 s) wall
+    seconds elapse; returns the predicate's final value. *)
+
+val run_for : t -> duration:float -> unit
+(** Step for [duration] wall seconds. *)

@@ -1,0 +1,93 @@
+(* Versioned wire frame for real-network datagrams.
+
+   The simulator delivers typed byte blobs between trusted nodes; a
+   real network delivers whatever arrived on the port. Every datagram a
+   transport backend carries is therefore wrapped in a self-describing
+   envelope that (a) identifies the protocol and its version, (b) names
+   the sending endpoint and the destination group — via the shared
+   Horus_msg.Wire address codecs, so the frame speaks the same address
+   format as every layer header above it — and (c) carries an explicit
+   payload length plus a CRC-32 over everything, so truncated, padded
+   or garbled packets are rejected at the door instead of confusing a
+   protocol layer.
+
+   Layout (big-endian, CRC over all bytes before it):
+
+     +-------+---------+---------+---------+---------+---------+-------+
+     | magic | version | src eid | grp gid | paylen  | payload | crc32 |
+     |  u16  |   u8    |   u32   |   u32   |   u32   | paylen  |  u32  |
+     +-------+---------+---------+---------+---------+---------+-------+ *)
+
+open Horus_msg
+
+let magic = 0x4844 (* "HD": a Horus datagram *)
+
+let version = 1
+
+let header_bytes = 2 + 1 + 4 + 4 + 4
+
+let overhead = header_bytes + 4 (* + trailing CRC *)
+
+type header = { h_src : Addr.endpoint; h_group : Addr.group }
+
+type error =
+  | Too_short of int              (* total bytes received *)
+  | Bad_magic of int
+  | Bad_version of int
+  | Bad_crc of { expected : int; got : int }
+  | Length_mismatch of { declared : int; actual : int }
+
+let error_to_string = function
+  | Too_short n -> Printf.sprintf "frame too short (%d bytes)" n
+  | Bad_magic m -> Printf.sprintf "bad magic 0x%04x" m
+  | Bad_version v -> Printf.sprintf "unsupported version %d" v
+  | Bad_crc { expected; got } ->
+    Printf.sprintf "CRC mismatch (computed 0x%08x, frame says 0x%08x)" expected got
+  | Length_mismatch { declared; actual } ->
+    Printf.sprintf "length mismatch (header says %d, payload is %d)" declared actual
+
+let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
+
+let encode ?(version = version) ~src ~group payload =
+  let m = Msg.of_bytes ~headroom:header_bytes payload in
+  Msg.push_u32 m (Bytes.length payload);
+  Wire.push_group m group;
+  Wire.push_endpoint m src;
+  Msg.push_u8 m version;
+  Msg.push_u16 m magic;
+  let body = Msg.to_bytes m in
+  let n = Bytes.length body in
+  let frame = Bytes.create (n + 4) in
+  Bytes.blit body 0 frame 0 n;
+  Bytes.set_int32_be frame n
+    (Int32.of_int (Horus_util.Crc.crc32 body ~off:0 ~len:n));
+  frame
+
+let decode b =
+  let n = Bytes.length b in
+  if n < overhead then Error (Too_short n)
+  else begin
+    let m = Msg.of_bytes ~headroom:0 (Bytes.sub b 0 (n - 4)) in
+    let mg = Msg.pop_u16 m in
+    if mg <> magic then Error (Bad_magic mg)
+    else begin
+      let v = Msg.pop_u8 m in
+      if v <> version then Error (Bad_version v)
+      else begin
+        (* Magic and version vouch for the sender speaking our dialect;
+           the CRC then vouches for the rest of the bytes before any
+           field is interpreted. *)
+        let expected = Horus_util.Crc.crc32 b ~off:0 ~len:(n - 4) in
+        let got = Int32.to_int (Bytes.get_int32_be b (n - 4)) land 0xffffffff in
+        if expected <> got then Error (Bad_crc { expected; got })
+        else begin
+          let h_src = Wire.pop_endpoint m in
+          let h_group = Wire.pop_group m in
+          let declared = Msg.pop_u32 m in
+          let actual = Msg.length m in
+          if declared <> actual then Error (Length_mismatch { declared; actual })
+          else Ok ({ h_src; h_group }, Msg.to_bytes m)
+        end
+      end
+    end
+  end

@@ -1,0 +1,40 @@
+(** Versioned wire frame for real-network datagrams: magic, version
+    byte, source endpoint and destination group (via the shared
+    {!Horus_msg.Wire} codecs), explicit payload length, and a trailing
+    CRC-32 — so truncated, padded or garbled packets are rejected at
+    the door. Layout (big-endian):
+
+    [magic u16 | version u8 | src u32 | gid u32 | paylen u32 | payload | crc32 u32] *)
+
+open Horus_msg
+
+val magic : int
+(** 0x4844, "HD": a Horus datagram. *)
+
+val version : int
+
+val overhead : int
+(** Bytes added around a payload (header + trailing CRC). *)
+
+type header = { h_src : Addr.endpoint; h_group : Addr.group }
+
+type error =
+  | Too_short of int              (** total bytes received *)
+  | Bad_magic of int
+  | Bad_version of int
+  | Bad_crc of { expected : int; got : int }
+  | Length_mismatch of { declared : int; actual : int }
+
+val error_to_string : error -> string
+
+val pp_error : Format.formatter -> error -> unit
+
+val encode : ?version:int -> src:Addr.endpoint -> group:Addr.group -> Bytes.t -> Bytes.t
+(** [encode ~src ~group payload] wraps a stack payload in a checked
+    envelope. [version] is exposed for the codec's own rejection tests;
+    real senders use the default. *)
+
+val decode : Bytes.t -> (header * Bytes.t, error) result
+(** Inverse of {!encode}. Checks, in order: minimum length, magic,
+    version, CRC (over everything before it), declared payload
+    length. *)

@@ -1,0 +1,14 @@
+(** In-process loopback backend: datagrams between backends on one
+    hub, delivered through the owning event engine [latency] seconds
+    after the send (default 0) — deterministic under virtual time,
+    real-time under a wall-clock {!Driver} pumping the same engine.
+    Addresses are [mem:N] (auto-allocated) or caller-chosen. *)
+
+type hub
+
+val hub : ?latency:float -> Horus_sim.Engine.t -> hub
+
+val create : ?addr:string -> hub -> Backend.t
+(** Bind a new backend on the hub. Raises [Invalid_argument] if [addr]
+    is already bound. Sends to unknown destinations, closed receivers
+    or receivers without an rx callback are counted as drops. *)

@@ -1,0 +1,81 @@
+(* Address book: endpoint ranks to backend addresses.
+
+   A real deployment names its members twice — the protocol stack
+   speaks endpoint ids (ranks), the backend speaks its own address
+   scheme (host:port for UDP, mem:N for loopback). The Peers book is
+   the mapping between the two, one entry per member, shared by every
+   process of a deployment so that all of them agree who is who.
+
+   The textual form, "0=127.0.0.1:7001,1=127.0.0.1:7002", is what
+   horus_info's node subcommand takes on the command line. *)
+
+type t = {
+  by_rank : (int, string) Hashtbl.t;
+  by_addr : (string, int) Hashtbl.t;
+}
+
+let create () = { by_rank = Hashtbl.create 8; by_addr = Hashtbl.create 8 }
+
+let add t ~rank ~addr =
+  if rank < 0 then invalid_arg "Peers.add: negative rank";
+  (match Hashtbl.find_opt t.by_rank rank with
+   | Some old -> Hashtbl.remove t.by_addr old
+   | None -> ());
+  Hashtbl.replace t.by_rank rank addr;
+  Hashtbl.replace t.by_addr addr rank
+
+let remove t ~rank =
+  match Hashtbl.find_opt t.by_rank rank with
+  | Some addr ->
+    Hashtbl.remove t.by_rank rank;
+    Hashtbl.remove t.by_addr addr
+  | None -> ()
+
+let find t ~rank = Hashtbl.find_opt t.by_rank rank
+
+let rank_of t ~addr = Hashtbl.find_opt t.by_addr addr
+
+let size t = Hashtbl.length t.by_rank
+
+let ranks t =
+  Hashtbl.fold (fun rank _ acc -> rank :: acc) t.by_rank []
+  |> List.sort Int.compare
+
+let to_list t = List.map (fun r -> (r, Hashtbl.find t.by_rank r)) (ranks t)
+
+let of_list entries =
+  let t = create () in
+  List.iter (fun (rank, addr) -> add t ~rank ~addr) entries;
+  t
+
+let to_string t =
+  String.concat ","
+    (List.map (fun (r, a) -> Printf.sprintf "%d=%s" r a) (to_list t))
+
+let parse s =
+  let entries = String.split_on_char ',' s in
+  let t = create () in
+  let rec loop = function
+    | [] -> if size t = 0 then Error "empty peer list" else Ok t
+    | e :: rest ->
+      let e = String.trim e in
+      if e = "" then loop rest
+      else
+        (match String.index_opt e '=' with
+         | None -> Error (Printf.sprintf "peer entry %S: expected RANK=ADDR" e)
+         | Some i ->
+           let rank_s = String.trim (String.sub e 0 i) in
+           let addr = String.trim (String.sub e (i + 1) (String.length e - i - 1)) in
+           (match int_of_string_opt rank_s with
+            | None -> Error (Printf.sprintf "peer entry %S: bad rank %S" e rank_s)
+            | Some rank when rank < 0 ->
+              Error (Printf.sprintf "peer entry %S: negative rank" e)
+            | Some _ when addr = "" ->
+              Error (Printf.sprintf "peer entry %S: empty address" e)
+            | Some rank when Hashtbl.mem t.by_rank rank ->
+              Error (Printf.sprintf "peer entry %S: duplicate rank %d" e rank)
+            | Some rank ->
+              add t ~rank ~addr;
+              loop rest))
+  in
+  loop entries

@@ -1,0 +1,34 @@
+(** Address book: endpoint ranks to backend addresses, one entry per
+    deployment member, shared (as text) by every process so all agree
+    who is who. Textual form: ["0=127.0.0.1:7001,1=127.0.0.1:7002"]. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> rank:int -> addr:string -> unit
+(** Replaces any existing entry for [rank]. Raises [Invalid_argument]
+    on a negative rank. *)
+
+val remove : t -> rank:int -> unit
+
+val find : t -> rank:int -> string option
+
+val rank_of : t -> addr:string -> int option
+
+val size : t -> int
+
+val ranks : t -> int list
+(** Sorted ascending. *)
+
+val to_list : t -> (int * string) list
+(** Sorted by rank. *)
+
+val of_list : (int * string) list -> t
+
+val parse : string -> (t, string) result
+(** Parse ["0=ADDR,1=ADDR,..."]; rejects duplicates, bad ranks and
+    empty books. *)
+
+val to_string : t -> string
+(** Inverse of {!parse} (canonical, rank-sorted). *)

@@ -1,0 +1,122 @@
+(* UDP datagram backend: the real-network half of the narrow waist.
+
+   One non-blocking IPv4 datagram socket per backend. Addresses are
+   "host:port" strings (dotted quads; name resolution is out of scope
+   for a waist this narrow). Sends are fire-and-forget: full socket
+   buffers and ICMP-reported errors count as send_errors/drops, never
+   block, and never raise into the protocol stack — UDP promises P1
+   and the layers above repair the rest.
+
+   The file descriptor is exposed so a Driver can select on many
+   backends at once; poll drains every datagram the kernel has ready
+   and hands each to the rx callback with the sender's address. *)
+
+let parse_addr s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "UDP address %S: expected HOST:PORT" s)
+  | Some i ->
+    let host = String.sub s 0 i in
+    let port_s = String.sub s (i + 1) (String.length s - i - 1) in
+    (match int_of_string_opt port_s with
+     | None -> Error (Printf.sprintf "UDP address %S: bad port %S" s port_s)
+     | Some port when port < 0 || port > 0xffff ->
+       Error (Printf.sprintf "UDP address %S: port out of range" s)
+     | Some port ->
+       (match Unix.inet_addr_of_string host with
+        | addr -> Ok (Unix.ADDR_INET (addr, port))
+        | exception _ ->
+          Error (Printf.sprintf "UDP address %S: bad host %S (use a dotted quad)" s host)))
+
+let string_of_sockaddr = function
+  | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+  | Unix.ADDR_UNIX p -> p
+
+(* Practical ceiling for a UDP payload over IPv4 (65535 - 20 IP - 8 UDP). *)
+let max_datagram = 65_507
+
+let create ?(mtu = max_datagram) ~bind () =
+  let sockaddr =
+    match parse_addr bind with
+    | Ok a -> a
+    | Error e -> invalid_arg ("Udp.create: " ^ e)
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+  (match
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd sockaddr;
+     Unix.set_nonblock fd
+   with
+   | () -> ()
+   | exception e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  let local_addr = string_of_sockaddr (Unix.getsockname fd) in
+  let stats = Backend.fresh_stats () in
+  let rx = ref None in
+  let closed = ref false in
+  (* Destination parses are cached: the peer set of a deployment is
+     small and stable, the send path is hot. *)
+  let dests = Hashtbl.create 8 in
+  let resolve dest =
+    match Hashtbl.find_opt dests dest with
+    | Some r -> r
+    | None ->
+      let r = match parse_addr dest with Ok a -> Some a | Error _ -> None in
+      Hashtbl.replace dests dest r;
+      r
+  in
+  let send ~dest payload =
+    if not !closed then begin
+      stats.Backend.sent <- stats.Backend.sent + 1;
+      stats.Backend.bytes_sent <- stats.Backend.bytes_sent + Bytes.length payload;
+      match resolve dest with
+      | None -> stats.Backend.dropped <- stats.Backend.dropped + 1
+      | Some to_ ->
+        (match Unix.sendto fd payload 0 (Bytes.length payload) [] to_ with
+         | _ -> ()
+         | exception Unix.Unix_error ((EWOULDBLOCK | EAGAIN), _, _) ->
+           stats.Backend.dropped <- stats.Backend.dropped + 1
+         | exception Unix.Unix_error (_, _, _) ->
+           stats.Backend.send_errors <- stats.Backend.send_errors + 1)
+    end
+  in
+  let buf = Bytes.create 65_536 in
+  let poll () =
+    if !closed then 0
+    else begin
+      let drained = ref 0 in
+      let continue = ref true in
+      while !continue do
+        match Unix.recvfrom fd buf 0 (Bytes.length buf) [] with
+        | n, from ->
+          stats.Backend.bytes_received <- stats.Backend.bytes_received + n;
+          (match !rx with
+           | Some f ->
+             stats.Backend.delivered <- stats.Backend.delivered + 1;
+             f ~src:(string_of_sockaddr from) (Bytes.sub buf 0 n)
+           | None -> stats.Backend.dropped <- stats.Backend.dropped + 1);
+          incr drained
+        | exception Unix.Unix_error ((EWOULDBLOCK | EAGAIN | EINTR), _, _) ->
+          continue := false
+        | exception Unix.Unix_error (ECONNREFUSED, _, _) ->
+          (* Linux reports a previous send's ICMP failure on receive;
+             charge it to the sender and keep draining. *)
+          stats.Backend.send_errors <- stats.Backend.send_errors + 1
+      done;
+      !drained
+    end
+  in
+  { Backend.kind = "udp";
+    local_addr;
+    mtu;
+    send;
+    set_rx = (fun f -> rx := Some f);
+    fd = Some fd;
+    poll;
+    close =
+      (fun () ->
+         if not !closed then begin
+           closed := true;
+           try Unix.close fd with _ -> ()
+         end);
+    stats }

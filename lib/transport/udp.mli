@@ -1,0 +1,16 @@
+(** UDP datagram backend: one non-blocking IPv4 socket per backend,
+    addresses as ["host:port"] dotted-quad strings. Sends never block
+    and never raise into the stack (failures become stats); {!val-create}
+    exposes the socket's fd so a {!Driver} can select on it. *)
+
+val parse_addr : string -> (Unix.sockaddr, string) result
+(** Parse ["host:port"] (dotted quad, no name resolution). *)
+
+val max_datagram : int
+(** Practical ceiling for a UDP payload over IPv4 (65507 bytes). *)
+
+val create : ?mtu:int -> bind:string -> unit -> Backend.t
+(** [create ~bind ()] binds a non-blocking datagram socket on [bind]
+    (["host:port"]; port [0] picks an ephemeral port, reflected in the
+    returned [local_addr]). Raises [Invalid_argument] on a malformed
+    address and [Unix.Unix_error] when the bind itself fails. *)

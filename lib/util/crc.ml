@@ -29,3 +29,28 @@ let mac ~key b ~off ~len =
   let h = fnv1a64 kb ~off:0 ~len:(Bytes.length kb) in
   let h = fnv1a64 ~init:h b ~off ~len in
   fnv1a64 ~init:h kb ~off:0 ~len:(Bytes.length kb)
+
+(* --- CRC-32 (ISO-HDLC / zlib polynomial, reflected), for the frame
+   codec of lib/transport. Table-driven, one table built at load. --- *)
+
+let crc32_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 ?(init = 0) b ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length b then invalid_arg "Crc.crc32";
+  let table = Lazy.force crc32_table in
+  let c = ref (init lxor 0xFFFFFFFF) in
+  for i = off to off + len - 1 do
+    c := table.((!c lxor Char.code (Bytes.get b i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let crc32_string s =
+  let b = Bytes.unsafe_of_string s in
+  crc32 b ~off:0 ~len:(Bytes.length b)

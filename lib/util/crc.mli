@@ -9,3 +9,10 @@ val checksum_string : string -> int64
 
 val mac : key:string -> Bytes.t -> off:int -> len:int -> int64
 (** Keyed MAC (sandwich FNV); non-cryptographic stand-in, see DESIGN.md. *)
+
+val crc32 : ?init:int -> Bytes.t -> off:int -> len:int -> int
+(** CRC-32 (ISO-HDLC / zlib polynomial) of a byte range, as an unsigned
+    32-bit value in an [int]. [init] chains partial checksums. Used by
+    the transport frame codec to reject garbled datagrams. *)
+
+val crc32_string : string -> int

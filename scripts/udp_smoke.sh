@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Two-OS-process UDP smoke test.
+#
+# Starts two `horus_info node` processes on 127.0.0.1, each one member
+# of a TOTAL:MBRSHIP:FRAG:NAK:COM group over real UDP sockets. Each
+# node casts CASTS messages and reports its final view, its delivery
+# sequence, local invariant verdicts and transport stats as JSON. The
+# cross-check below then asserts the distributed properties a single
+# process cannot see: both processes agree on the final view, each
+# delivered every cast (2*CASTS), and the delivery sequences are
+# byte-identical — the total order held across the kernel boundary.
+#
+# Environment:
+#   UDP_SMOKE_DIR    artifact directory (default udp-smoke-artifacts)
+#   UDP_SMOKE_CASTS  casts per node      (default 1000)
+#   UDP_SMOKE_PORT0/1  UDP ports         (default 7601/7602)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${UDP_SMOKE_DIR:-udp-smoke-artifacts}"
+CASTS="${UDP_SMOKE_CASTS:-1000}"
+PORT0="${UDP_SMOKE_PORT0:-7601}"
+PORT1="${UDP_SMOKE_PORT1:-7602}"
+PEERS="0=127.0.0.1:${PORT0},1=127.0.0.1:${PORT1}"
+mkdir -p "$OUT"
+
+dune build bin/horus_info.exe
+BIN=_build/default/bin/horus_info.exe
+
+echo "udp_smoke: peers $PEERS, $CASTS casts per node"
+
+RC0=0
+RC1=0
+"$BIN" node --rank 0 --peers "$PEERS" --casts "$CASTS" --timeout 120 \
+  >"$OUT/node0.json" 2>"$OUT/node0.log" &
+PID0=$!
+# Deliberately staggered: rank 1's join must cope with rank 0 already
+# being up for a while (MBRSHIP's merge retries absorb the other order).
+sleep 1
+"$BIN" node --rank 1 --peers "$PEERS" --casts "$CASTS" --timeout 120 \
+  >"$OUT/node1.json" 2>"$OUT/node1.log" || RC1=$?
+wait "$PID0" || RC0=$?
+
+echo "udp_smoke: node exits rank0=$RC0 rank1=$RC1"
+
+python3 - "$OUT" "$CASTS" <<'EOF'
+import json, sys
+
+out, casts = sys.argv[1], int(sys.argv[2])
+a = json.load(open(f"{out}/node0.json"))
+b = json.load(open(f"{out}/node1.json"))
+expect = 2 * casts
+failures = []
+
+for d in (a, b):
+    r = d["rank"]
+    if not d["formed"]:
+        failures.append(f"rank {r}: group never formed")
+    if not d["complete"]:
+        failures.append(f"rank {r}: incomplete ({d['delivered']}/{expect})")
+    if d["delivered"] < expect:
+        failures.append(f"rank {r}: delivered {d['delivered']} < {expect}")
+    if d["violations"]:
+        failures.append(f"rank {r}: local invariant violations: {d['violations']}")
+    if d["transport"]["bad_frame"]:
+        failures.append(f"rank {r}: {d['transport']['bad_frame']} bad frames")
+
+if a["final_view"] != b["final_view"]:
+    failures.append(f"view disagreement: {a['final_view']} vs {b['final_view']}")
+elif a["final_view"] is None or sorted(a["final_view"]["members"]) != [0, 1]:
+    failures.append(f"final view is not {{0,1}}: {a['final_view']}")
+
+if a["casts"] != b["casts"]:
+    diverge = next(
+        (i for i, (x, y) in enumerate(zip(a["casts"], b["casts"])) if x != y),
+        min(len(a["casts"]), len(b["casts"])),
+    )
+    failures.append(f"total order broken: sequences diverge at index {diverge}")
+
+if failures:
+    print("udp_smoke: FAIL")
+    for f in failures:
+        print("  -", f)
+    sys.exit(1)
+
+print(
+    f"udp_smoke: OK — both processes installed view {a['final_view']}, "
+    f"each delivered {a['delivered']} casts in the same total order, "
+    f"0 invariant violations, 0 bad frames"
+)
+EOF
+
+exit $((RC0 + RC1))

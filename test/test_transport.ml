@@ -1,0 +1,408 @@
+(* The transport subsystem: frame codec (round-trip and rejection),
+   peer book parsing, the loopback backend raw and under a full
+   protocol stack, bad-frame injection, the wall-clock driver, and —
+   only when HORUS_UDP_TESTS=1 (the CI transport job) — real UDP
+   sockets. Everything else runs in virtual time and is deterministic. *)
+
+open Horus
+module T = Horus_transport
+module I = Horus_check.Invariant
+
+(* --- frame codec ------------------------------------------------- *)
+
+let payload_arb = QCheck.(map Bytes.of_string (string_of_size Gen.(0 -- 2000)))
+
+let prop_frame_roundtrip =
+  QCheck.Test.make ~name:"frame: encode/decode round-trip" ~count:300
+    QCheck.(triple payload_arb (int_bound 100_000) (int_bound 100_000))
+    (fun (payload, src, gid) ->
+       let frame =
+         T.Frame.encode ~src:(Addr.endpoint src) ~group:(Addr.group gid) payload
+       in
+       match T.Frame.decode frame with
+       | Ok (hdr, body) ->
+         Addr.endpoint_id hdr.T.Frame.h_src = src
+         && Addr.group_id hdr.T.Frame.h_group = gid
+         && Bytes.equal body payload
+       | Error _ -> false)
+
+let prop_frame_truncation =
+  QCheck.Test.make ~name:"frame: every proper prefix is rejected" ~count:100 payload_arb
+    (fun payload ->
+       let frame = T.Frame.encode ~src:(Addr.endpoint 7) ~group:(Addr.group 3) payload in
+       let n = Bytes.length frame in
+       List.for_all
+         (fun k ->
+            match T.Frame.decode (Bytes.sub frame 0 k) with
+            | Error _ -> true
+            | Ok _ -> false)
+         (List.init n (fun k -> k)))
+
+let prop_frame_corruption =
+  QCheck.Test.make ~name:"frame: any single flipped byte is rejected" ~count:100
+    QCheck.(pair payload_arb (int_bound 10_000))
+    (fun (payload, pos_seed) ->
+       let frame = T.Frame.encode ~src:(Addr.endpoint 7) ~group:(Addr.group 3) payload in
+       let pos = pos_seed mod Bytes.length frame in
+       let garbled = Bytes.copy frame in
+       Bytes.set garbled pos (Char.chr (Char.code (Bytes.get garbled pos) lxor 0x40));
+       match T.Frame.decode garbled with Error _ -> true | Ok _ -> false)
+
+let frame_version () =
+  let frame =
+    T.Frame.encode ~version:3 ~src:(Addr.endpoint 1) ~group:(Addr.group 0)
+      (Bytes.of_string "x")
+  in
+  match T.Frame.decode frame with
+  | Error (T.Frame.Bad_version 3) -> ()
+  | other ->
+    Alcotest.failf "expected Bad_version 3, got %s"
+      (match other with
+       | Ok _ -> "Ok"
+       | Error e -> T.Frame.error_to_string e)
+
+let frame_magic () =
+  match T.Frame.decode (Bytes.make T.Frame.overhead '\xff') with
+  | Error (T.Frame.Bad_magic _) -> ()
+  | _ -> Alcotest.fail "expected Bad_magic"
+
+let crc_check_value () =
+  (* The ISO-HDLC check value: CRC-32 of "123456789". *)
+  Alcotest.(check int) "crc32" 0xCBF43926 (Horus_util.Crc.crc32_string "123456789")
+
+(* --- peer book ---------------------------------------------------- *)
+
+let peers_parse () =
+  (match T.Peers.parse "1=127.0.0.1:7002, 0=127.0.0.1:7001" with
+   | Ok p ->
+     Alcotest.(check int) "size" 2 (T.Peers.size p);
+     Alcotest.(check (option string)) "rank 0" (Some "127.0.0.1:7001") (T.Peers.find p ~rank:0);
+     Alcotest.(check (option int)) "rank_of" (Some 1)
+       (T.Peers.rank_of p ~addr:"127.0.0.1:7002");
+     Alcotest.(check string) "canonical" "0=127.0.0.1:7001,1=127.0.0.1:7002"
+       (T.Peers.to_string p)
+   | Error e -> Alcotest.failf "parse failed: %s" e);
+  List.iter
+    (fun bad ->
+       match T.Peers.parse bad with
+       | Ok _ -> Alcotest.failf "accepted %S" bad
+       | Error _ -> ())
+    [ ""; "0=a,0=b"; "-1=a"; "x=a"; "0" ]
+
+(* --- loopback backend, raw ---------------------------------------- *)
+
+let loopback_raw () =
+  let engine = Horus_sim.Engine.create () in
+  let hub = T.Loopback.hub engine in
+  let a = T.Loopback.create hub and b = T.Loopback.create hub in
+  let got = ref [] in
+  b.T.Backend.set_rx (fun ~src bytes -> got := (src, Bytes.to_string bytes) :: !got);
+  a.T.Backend.send ~dest:b.T.Backend.local_addr (Bytes.of_string "hello");
+  a.T.Backend.send ~dest:"mem:99" (Bytes.of_string "void");
+  Alcotest.(check (list (pair string string))) "nothing before the engine runs" [] !got;
+  Horus_sim.Engine.run engine;
+  Alcotest.(check (list (pair string string)))
+    "delivered with source address"
+    [ (a.T.Backend.local_addr, "hello") ]
+    !got;
+  Alcotest.(check int) "sent counts both" 2 a.T.Backend.stats.T.Backend.sent;
+  Alcotest.(check int) "unknown dest dropped" 1 a.T.Backend.stats.T.Backend.dropped;
+  Alcotest.(check int) "delivered" 1 b.T.Backend.stats.T.Backend.delivered;
+  b.T.Backend.close ();
+  a.T.Backend.send ~dest:b.T.Backend.local_addr (Bytes.of_string "late");
+  Horus_sim.Engine.run engine;
+  Alcotest.(check int) "closed receiver gets nothing" 1 b.T.Backend.stats.T.Backend.delivered
+
+(* --- full stack over loopback (virtual time, deterministic) ------- *)
+
+let spec = "TOTAL:MBRSHIP:FRAG:NAK:COM"
+
+(* Two endpoints on a loopback hub, the section-7 stack, 500 casts
+   each; check the full virtual-synchrony bundle plus total order with
+   the shared invariant library. *)
+let loopback_full_stack () =
+  let world = World.create () in
+  let hub = T.Loopback.hub (World.engine world) in
+  let link = Transport_link.create world in
+  let peers = T.Peers.create () in
+  let n = 2 and casts_each = 500 in
+  let backends =
+    List.init n (fun r ->
+        let b = T.Loopback.create ~addr:(Printf.sprintf "mem:%d" r) hub in
+        T.Peers.add peers ~rank:r ~addr:b.T.Backend.local_addr;
+        b)
+  in
+  let endpoints =
+    List.mapi (fun r backend -> Transport_link.endpoint link ~backend ~peers ~rank:r ~spec)
+      backends
+  in
+  let g = World.fresh_group_addr world in
+  let groups =
+    match endpoints with
+    | first :: rest ->
+      let founder = Group.join ~record:false first g in
+      founder
+      :: List.map (fun ep -> Group.join ~record:false ~contact:(Group.addr founder) ep g) rest
+    | [] -> assert false
+  in
+  (* Runner-style recorders for the invariant library. *)
+  let recs =
+    List.map
+      (fun gr ->
+         let casts = ref [] and views = ref [] in
+         Group.set_on_up gr (fun ev ->
+             match ev with
+             | Horus_hcpi.Event.U_cast (_, m, _) ->
+               let epoch =
+                 match Group.view gr with Some v -> View.ltime v | None -> -1
+               in
+               casts := (Msg.to_string m, epoch) :: !casts
+             | Horus_hcpi.Event.U_view v ->
+               views :=
+                 ( (View.ltime v, Addr.endpoint_id (View.coordinator v)),
+                   List.map Addr.endpoint_id (View.members v) )
+                 :: !views
+             | _ -> ());
+         (casts, views))
+      groups
+  in
+  World.run_for world ~duration:2.0;
+  List.iteri
+    (fun origin gr ->
+       for k = 0 to casts_each - 1 do
+         World.after world ~delay:(0.002 *. float_of_int (k + 1)) (fun () ->
+             Group.cast gr (I.payload ~tag:'o' ~origin ~k))
+       done)
+    groups;
+  World.run_for world ~duration:(0.002 *. float_of_int casts_each);
+  World.run_for world ~duration:5.0;
+  let obs =
+    List.mapi
+      (fun i (gr, (casts, views)) ->
+         { I.o_member = i;
+           o_eid = Addr.endpoint_id (Group.addr gr);
+           o_crashed = false;
+           o_left = false;
+           o_exited = Group.exited gr;
+           o_casts = List.rev !casts;
+           o_views = List.rev !views;
+           o_final =
+             (match Group.view gr with
+              | Some v -> Some (View.ltime v, List.map Addr.endpoint_id (View.members v))
+              | None -> None) })
+      (List.combine groups recs)
+  in
+  List.iter
+    (fun o ->
+       Alcotest.(check int)
+         (Printf.sprintf "member %d delivered all %d casts" o.I.o_member (n * casts_each))
+         (n * casts_each) (List.length o.I.o_casts))
+    obs;
+  (match I.standard ~total:true ~tag:'o' ~sent:(fun _ -> casts_each) obs with
+   | [] -> ()
+   | vs ->
+     Alcotest.failf "invariant violations: %s"
+       (String.concat "; "
+          (List.map (fun v -> Format.asprintf "%a" I.pp_violation v) vs)));
+  (* All traffic rode the transport, none of it the simulated net. *)
+  let sent =
+    List.fold_left (fun acc b -> acc + b.T.Backend.stats.T.Backend.sent) 0 backends
+  in
+  Alcotest.(check bool) "transport carried the run" true (sent > 2 * n * casts_each / 2);
+  Alcotest.(check int) "sim net idle" 0
+    (Horus_sim.Net.stats (World.net world)).Horus_sim.Net.sent
+
+(* Determinism: two identical loopback worlds serialize to the same
+   metrics snapshot, transport section included. *)
+let loopback_deterministic () =
+  let run () =
+    let world = World.create () in
+    let hub = T.Loopback.hub (World.engine world) in
+    let link = Transport_link.create world in
+    let peers = T.Peers.create () in
+    let backends =
+      List.init 2 (fun r ->
+          let b = T.Loopback.create ~addr:(Printf.sprintf "mem:%d" r) hub in
+          T.Peers.add peers ~rank:r ~addr:b.T.Backend.local_addr;
+          b)
+    in
+    let eps =
+      List.mapi
+        (fun r backend -> Transport_link.endpoint link ~backend ~peers ~rank:r ~spec)
+        backends
+    in
+    let g = World.fresh_group_addr world in
+    let a = Group.join (List.nth eps 0) g in
+    let _b = Group.join ~contact:(Group.addr a) (List.nth eps 1) g in
+    World.run_for world ~duration:2.0;
+    for k = 0 to 19 do
+      World.after world ~delay:(0.002 *. float_of_int k) (fun () ->
+          Group.cast a (Printf.sprintf "m%d" k))
+    done;
+    World.run_for world ~duration:2.0;
+    Json.to_string (World.metrics_json world)
+  in
+  Alcotest.(check string) "same snapshot" (run ()) (run ())
+
+(* A rogue datagram hits a stack endpoint: counted bad, stack unharmed. *)
+let bad_frame_injection () =
+  let world = World.create () in
+  let hub = T.Loopback.hub (World.engine world) in
+  let link = Transport_link.create world in
+  let peers = T.Peers.create () in
+  let backends =
+    List.init 2 (fun r ->
+        let b = T.Loopback.create ~addr:(Printf.sprintf "mem:%d" r) hub in
+        T.Peers.add peers ~rank:r ~addr:b.T.Backend.local_addr;
+        b)
+  in
+  let eps =
+    List.mapi (fun r backend -> Transport_link.endpoint link ~backend ~peers ~rank:r ~spec)
+      backends
+  in
+  let g = World.fresh_group_addr world in
+  let a = Group.join (List.nth eps 0) g in
+  let b = Group.join ~contact:(Group.addr a) (List.nth eps 1) g in
+  World.run_for world ~duration:2.0;
+  let rogue = T.Loopback.create hub in
+  rogue.T.Backend.send ~dest:"mem:0" (Bytes.of_string "not a horus frame");
+  rogue.T.Backend.send ~dest:"mem:0" Bytes.empty;
+  Group.cast a "after";
+  World.run_for world ~duration:2.0;
+  Alcotest.(check int) "bad frames counted" 2
+    (List.nth backends 0).T.Backend.stats.T.Backend.bad_frame;
+  Alcotest.(check (list string)) "stack unharmed" [ "after" ] (Group.casts b)
+
+(* --- wall-clock driver -------------------------------------------- *)
+
+(* Real time, but bounded to tens of milliseconds: a timer scheduled on
+   the engine fires under the driver at roughly the right wall moment. *)
+let driver_fires_timers () =
+  let engine = Horus_sim.Engine.create () in
+  let driver = T.Driver.create ~max_tick:0.01 engine [] in
+  let fired = ref false in
+  ignore (Horus_sim.Engine.schedule engine ~delay:0.05 (fun () -> fired := true));
+  let t0 = Unix.gettimeofday () in
+  Alcotest.(check bool) "fired" true (T.Driver.run_until ~timeout:2.0 driver (fun () -> !fired));
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "not before its time" true (dt >= 0.045);
+  Alcotest.(check bool) "not absurdly late" true (dt < 1.0)
+
+(* Socket facade over loopback: recvfrom_timeout blocks on the driver
+   and times out honestly. Group formation runs in virtual time first;
+   only the receive itself uses the wall clock. *)
+let socket_recvfrom_timeout () =
+  let world = World.create () in
+  let hub = T.Loopback.hub (World.engine world) in
+  let link = Transport_link.create world in
+  let peers = T.Peers.create () in
+  let backends =
+    List.init 2 (fun r ->
+        let b = T.Loopback.create ~addr:(Printf.sprintf "mem:%d" r) hub in
+        T.Peers.add peers ~rank:r ~addr:b.T.Backend.local_addr;
+        b)
+  in
+  let eps =
+    List.mapi (fun r backend -> Transport_link.endpoint link ~backend ~peers ~rank:r ~spec)
+      backends
+  in
+  let g = World.fresh_group_addr world in
+  let sa = Socket.create (List.nth eps 0) g in
+  let sb = Socket.create ~contact:(Group.addr (Socket.group sa)) (List.nth eps 1) g in
+  World.run_for world ~duration:2.0;
+  let driver = T.Driver.create ~max_tick:0.01 (World.engine world) backends in
+  Alcotest.(check (option (pair int string)))
+    "empty queue times out" None
+    (Socket.recvfrom_timeout sb ~driver ~timeout:0.05);
+  Socket.sendto sa "over the wire";
+  (match Socket.recvfrom_timeout sb ~driver ~timeout:5.0 with
+   | Some (_, payload) -> Alcotest.(check string) "payload" "over the wire" payload
+   | None -> Alcotest.fail "recvfrom_timeout returned nothing")
+
+(* --- UDP (CI transport job only: HORUS_UDP_TESTS=1) ---------------- *)
+
+let udp_enabled = Sys.getenv_opt "HORUS_UDP_TESTS" = Some "1"
+
+let udp_raw_roundtrip () =
+  let engine = Horus_sim.Engine.create () in
+  let a = T.Udp.create ~bind:"127.0.0.1:0" () in
+  let b = T.Udp.create ~bind:"127.0.0.1:0" () in
+  let driver = T.Driver.create engine [ a; b ] in
+  let got = ref None in
+  b.T.Backend.set_rx (fun ~src bytes -> got := Some (src, Bytes.to_string bytes));
+  a.T.Backend.send ~dest:b.T.Backend.local_addr (Bytes.of_string "ping");
+  Alcotest.(check bool) "received" true
+    (T.Driver.run_until ~timeout:5.0 driver (fun () -> !got <> None));
+  (match !got with
+   | Some (src, payload) ->
+     Alcotest.(check string) "payload" "ping" payload;
+     Alcotest.(check string) "src is a's bound address" a.T.Backend.local_addr src
+   | None -> assert false);
+  a.T.Backend.close ();
+  b.T.Backend.close ()
+
+(* Two UDP-attached endpoints in one process: the full stack reaches
+   view agreement and delivers a totally-ordered stream over the real
+   kernel. *)
+let udp_full_stack () =
+  let world = World.create () in
+  let link = Transport_link.create world in
+  let peers = T.Peers.create () in
+  let backends = List.init 2 (fun _ -> T.Udp.create ~bind:"127.0.0.1:0" ()) in
+  List.iteri
+    (fun r (b : T.Backend.t) -> T.Peers.add peers ~rank:r ~addr:b.T.Backend.local_addr)
+    backends;
+  let eps =
+    List.mapi (fun r backend -> Transport_link.endpoint link ~backend ~peers ~rank:r ~spec)
+      backends
+  in
+  let g = World.fresh_group_addr world in
+  let a = Group.join (List.nth eps 0) g in
+  let b = Group.join ~contact:(Group.addr a) (List.nth eps 1) g in
+  let driver = T.Driver.create (World.engine world) backends in
+  let formed =
+    T.Driver.run_until ~timeout:15.0 driver (fun () ->
+        match (Group.view a, Group.view b) with
+        | Some va, Some vb -> View.size va = 2 && View.size vb = 2
+        | _ -> false)
+  in
+  Alcotest.(check bool) "view agreement over UDP" true formed;
+  let casts = 100 in
+  for k = 0 to casts - 1 do
+    World.after world ~delay:(0.001 *. float_of_int (k + 1)) (fun () ->
+        Group.cast a (I.payload ~tag:'o' ~origin:0 ~k))
+  done;
+  let complete =
+    T.Driver.run_until ~timeout:15.0 driver (fun () ->
+        List.length (Group.casts a) >= casts && List.length (Group.casts b) >= casts)
+  in
+  Alcotest.(check bool) "all delivered" true complete;
+  Alcotest.(check (list string)) "identical order" (Group.casts a) (Group.casts b);
+  List.iter (fun (bk : T.Backend.t) -> bk.T.Backend.close ()) backends
+
+let () =
+  Alcotest.run "transport"
+    ([ ( "frame",
+         [ QCheck_alcotest.to_alcotest prop_frame_roundtrip;
+           QCheck_alcotest.to_alcotest prop_frame_truncation;
+           QCheck_alcotest.to_alcotest prop_frame_corruption;
+           Alcotest.test_case "wrong version rejected" `Quick frame_version;
+           Alcotest.test_case "bad magic rejected" `Quick frame_magic;
+           Alcotest.test_case "crc32 check value" `Quick crc_check_value ] );
+       ("peers", [ Alcotest.test_case "parse and canonical form" `Quick peers_parse ]);
+       ( "loopback",
+         [ Alcotest.test_case "raw datagrams and stats" `Quick loopback_raw;
+           Alcotest.test_case "full stack: 1000 ordered casts" `Slow loopback_full_stack;
+           Alcotest.test_case "snapshot deterministic" `Quick loopback_deterministic;
+           Alcotest.test_case "bad-frame injection" `Quick bad_frame_injection ] );
+       ( "driver",
+         [ Alcotest.test_case "fires engine timers on the wall clock" `Quick
+             driver_fires_timers;
+           Alcotest.test_case "socket recvfrom_timeout" `Quick socket_recvfrom_timeout ] )
+     ]
+     @
+     if udp_enabled then
+       [ ( "udp",
+           [ Alcotest.test_case "raw socket round-trip" `Quick udp_raw_roundtrip;
+             Alcotest.test_case "full stack over real UDP" `Slow udp_full_stack ] ) ]
+     else [])

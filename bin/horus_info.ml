@@ -427,6 +427,140 @@ let explore_cmd =
           $ crash_at_arg $ suspect_arg $ link_arg $ depth_arg $ max_runs_arg $ walks_arg
           $ horizon_arg $ width_arg $ from_arg $ save_arg)
 
+(* An invariant-checked soak: a long chaos-transport run (lib/check's
+   Soak) sized by flags, with the chaos profile given either as knobs
+   or as a JSON file. Prints a summary, optionally writes the full
+   JSON report, saves a repro on violation, and exits nonzero if any
+   invariant broke — the CI chaos gate. *)
+let soak_cmd =
+  let spec_arg =
+    Arg.(value & opt string "TOTAL:MBRSHIP:FRAG:NAK:COM"
+         & info [ "stack" ] ~doc:"Stack spec to soak.")
+  in
+  let n_arg = Arg.(value & opt int 4 & info [ "n" ] ~doc:"Group size.") in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"World + chaos seed.")
+  in
+  let casts_arg =
+    Arg.(value & opt int 1000
+         & info [ "casts" ] ~doc:"Cast budget, round-robin across members.")
+  in
+  let period_arg =
+    Arg.(value & opt float 0.005
+         & info [ "cast-period" ] ~doc:"Seconds between consecutive casts.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 0.0
+         & info [ "duration" ]
+             ~doc:"Cap on the traffic phase in virtual seconds (0 = budget only).")
+  in
+  let check_arg =
+    Arg.(value & opt float 0.25
+         & info [ "check-every" ]
+             ~doc:"Online invariant-check slice in virtual seconds (0 = end only).")
+  in
+  let drop_arg =
+    Arg.(value & opt float 0.0 & info [ "drop" ] ~doc:"Chaos drop probability.")
+  in
+  let dup_arg =
+    Arg.(value & opt float 0.0
+         & info [ "duplicate" ] ~doc:"Chaos duplication probability.")
+  in
+  let reorder_arg =
+    Arg.(value & opt float 0.0 & info [ "reorder" ] ~doc:"Chaos reorder probability.")
+  in
+  let window_arg =
+    Arg.(value & opt int 4
+         & info [ "reorder-window" ] ~doc:"Sends that may overtake a parked datagram.")
+  in
+  let delay_arg =
+    Arg.(value & opt float 0.0 & info [ "delay" ] ~doc:"Chaos delay probability.")
+  in
+  let corrupt_arg =
+    Arg.(value & opt float 0.0
+         & info [ "corrupt" ] ~doc:"Chaos bit-corruption probability.")
+  in
+  let profile_arg =
+    Arg.(value & opt (some file) None
+         & info [ "profile" ] ~docv:"FILE"
+             ~doc:"Chaos profile JSON file; overrides the individual knobs.")
+  in
+  let report_arg =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE" ~doc:"Write the full JSON report here.")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~doc:"Directory to write a repro file into on violation.")
+  in
+  let run spec n seed casts period duration check drop dup reorder window delay corrupt
+      profile report save =
+    let module C = Horus_check in
+    let module Ch = Horus.Transport.Chaos in
+    let profile =
+      match profile with
+      | Some file ->
+        let contents =
+          let ic = open_in_bin file in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        (match Ch.profile_of_string contents with
+         | Ok p -> p
+         | Error e ->
+           Format.eprintf "soak: cannot load profile %s: %s@." file e;
+           exit 2)
+      | None ->
+        { Ch.default with
+          Ch.drop; duplicate = dup; reorder; reorder_window = window; delay; corrupt }
+    in
+    let config =
+      { C.Soak.default_config with
+        C.Soak.c_name = Printf.sprintf "soak-seed%d" seed;
+        c_spec = spec;
+        c_n = n;
+        c_seed = seed;
+        c_profile = profile;
+        c_casts = casts;
+        c_cast_period = period;
+        c_duration = duration;
+        c_check_every = check }
+    in
+    let r = C.Soak.run ?repro_dir:save config in
+    Format.printf
+      "soak %s: %d casts, %d members, %d online checks, %.1f virtual seconds@." spec
+      r.C.Soak.rp_casts n r.C.Soak.rp_checks r.C.Soak.rp_elapsed;
+    Format.printf "outcome fingerprint %016Lx, metrics fingerprint %016Lx@."
+      r.C.Soak.rp_outcome_fingerprint r.C.Soak.rp_metrics_fingerprint;
+    List.iter
+      (fun (at, v) ->
+         Format.printf "ONLINE VIOLATION at %.3f: %a@." at C.Invariant.pp_violation v)
+      r.C.Soak.rp_online;
+    List.iter
+      (fun v -> Format.printf "VIOLATION %a@." C.Invariant.pp_violation v)
+      r.C.Soak.rp_final;
+    (match r.C.Soak.rp_repro with
+     | Some path -> Format.printf "repro written to %s@." path
+     | None -> ());
+    (match report with
+     | Some path ->
+       let oc = open_out path in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () -> output_string oc (C.Soak.to_string r));
+       Format.printf "report written to %s@." path
+     | None -> ());
+    if C.Soak.ok r then Format.printf "no invariant violations@." else exit 1
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Run an invariant-checked chaos soak over the loopback transport \
+             (exit 1 on violation)")
+    Term.(const run $ spec_arg $ n_arg $ seed_arg $ casts_arg $ period_arg
+          $ duration_arg $ check_arg $ drop_arg $ dup_arg $ reorder_arg $ window_arg
+          $ delay_arg $ corrupt_arg $ profile_arg $ report_arg $ save_arg)
+
 (* One member of a real multi-OS-process deployment over UDP: bind the
    rank's address from the shared peer book, join the group (rank 0
    founds it, the rest join via rank 0 as contact — MBRSHIP's merge
@@ -675,4 +809,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ layers_cmd; table3_cmd; table4_cmd; check_cmd; synth_cmd; order_cmd;
-            simulate_cmd; metrics_cmd; replay_cmd; explore_cmd; node_cmd; ping_cmd ]))
+            simulate_cmd; metrics_cmd; replay_cmd; explore_cmd; soak_cmd; node_cmd;
+            ping_cmd ]))

@@ -48,18 +48,84 @@ let attach gr =
 let spec_is_total spec =
   List.exists (fun l -> l.Horus_hcpi.Spec.name = "TOTAL") (Horus_hcpi.Spec.parse spec)
 
-let run ?(skip_inert = false) (sc : Scenario.t) =
+(* With a chaos section, the run goes over the real-transport waist
+   instead of the simulator net: every member gets a loopback backend
+   (latency from the scenario's net section) wrapped by one shared
+   Chaos controller seeded from the scenario seed — the same frames,
+   codec and fault decisions a deployment would see, still in virtual
+   time. Partition/Heal faults turn into chaos-level one-way blocks;
+   link-latency overrides and Net schedule choosers do not apply. *)
+type fabric = {
+  fb_endpoint : int -> Endpoint.t;          (* member index -> endpoint *)
+  fb_partition : int list list -> unit;
+  fb_heal : unit -> unit;
+}
+
+let sim_fabric world spec =
+  { fb_endpoint = (fun _ -> Endpoint.create world ~spec);
+    fb_partition =
+      (fun nodes ->
+         (* member indices are resolved to node ids by the caller *)
+         Horus_sim.Net.partition (World.net world) nodes);
+    fb_heal = (fun () -> Horus_sim.Net.heal (World.net world)) }
+
+let chaos_fabric world spec n seed (profile : Horus_transport.Chaos.profile) latency =
+  let module T = Horus_transport in
+  let hub = T.Loopback.hub ~latency (World.engine world) in
+  let link = Transport_link.create world in
+  let peers = T.Peers.create () in
+  let backends =
+    Array.init n (fun r ->
+        let b = T.Loopback.create ~addr:(Printf.sprintf "mem:%d" r) hub in
+        T.Peers.add peers ~rank:r ~addr:b.T.Backend.local_addr;
+        b)
+  in
+  let chaos = T.Chaos.create ~engine:(World.engine world) ~peers ~seed profile in
+  World.add_metrics_exporter world (fun m -> T.Chaos.export_metrics chaos m);
+  let endpoints =
+    Array.mapi
+      (fun r backend ->
+         Transport_link.endpoint link ~backend:(T.Chaos.wrap ~rank:r chaos backend)
+           ~peers ~rank:r ~spec)
+      backends
+  in
+  let block_groups groups =
+    (* Same semantics as Net.partition: listed groups are isolated
+       from each other and from the unlisted rest, both directions. *)
+    let grp = Array.make n (-1) in
+    List.iteri (fun gi ms -> List.iter (fun m -> grp.(m) <- gi) ms) groups;
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j && grp.(i) <> grp.(j) then
+          T.Chaos.block chaos ~from_rank:i ~to_rank:j
+      done
+    done
+  in
+  { fb_endpoint = (fun r -> endpoints.(r));
+    fb_partition =
+      (fun groups ->
+         T.Chaos.heal chaos;
+         block_groups groups);
+    fb_heal = (fun () -> T.Chaos.heal chaos) }
+
+let run ?(skip_inert = false) ?observe (sc : Scenario.t) =
   let world =
     World.create ~config:(Scenario.net_config sc.Scenario.net) ~seed:sc.Scenario.seed ()
   in
+  let fabric =
+    match sc.Scenario.chaos with
+    | None -> sim_fabric world sc.Scenario.spec
+    | Some p ->
+      chaos_fabric world sc.Scenario.spec sc.Scenario.n sc.Scenario.seed p
+        sc.Scenario.net.Scenario.latency
+  in
   let g = World.fresh_group_addr world in
-  let founder = Group.join ~skip_inert (Endpoint.create world ~spec:sc.Scenario.spec) g in
+  let founder = Group.join ~skip_inert (fabric.fb_endpoint 0) g in
   World.run_for world ~duration:sc.Scenario.join_spacing;
   let rest =
-    List.init (sc.Scenario.n - 1) (fun _ ->
+    List.init (sc.Scenario.n - 1) (fun i ->
         let m =
-          Group.join ~skip_inert ~contact:(Group.addr founder)
-            (Endpoint.create world ~spec:sc.Scenario.spec)
+          Group.join ~skip_inert ~contact:(Group.addr founder) (fabric.fb_endpoint (i + 1))
             g
         in
         World.run_for world ~duration:sc.Scenario.join_spacing;
@@ -104,13 +170,14 @@ let run ?(skip_inert = false) (sc : Scenario.t) =
            | Scenario.Suspect (a, b) ->
              Group.suspect members.(a) [ Group.addr members.(b) ]
            | Scenario.Partition groups ->
-             let nodes =
-               List.map
-                 (List.map (fun m -> Addr.endpoint_id (Group.addr members.(m))))
-                 groups
-             in
-             Horus_sim.Net.partition (World.net world) nodes
-           | Scenario.Heal -> Horus_sim.Net.heal (World.net world)))
+             (* Node ids: the simulator net keys on them; under chaos
+                the endpoints are pinned at their ranks, so the two
+                coincide with member indices there. *)
+             fabric.fb_partition
+               (List.map
+                  (List.map (fun m -> Addr.endpoint_id (Group.addr members.(m))))
+                  groups)
+           | Scenario.Heal -> fabric.fb_heal ()))
     sc.Scenario.faults;
   (* Dispatch schedule: replay the choice prefix, then default-0 (or a
      seeded walk). Record every choice point's arity and decision so
@@ -138,10 +205,11 @@ let run ?(skip_inert = false) (sc : Scenario.t) =
           arities := arity :: !arities;
           taken := choice :: !taken;
           choice));
-  World.run_for world ~duration:sc.Scenario.run_for;
-  Horus_sim.Engine.clear_chooser (World.engine world);
   let crashed = Scenario.crashed_members sc and left = Scenario.left_members sc in
-  let obs =
+  (* Observations as of now — callable mid-run (the soak harness
+     checks prefix-safe invariants on live snapshots) and once more
+     after the run for the final verdict. *)
+  let snapshot () =
     List.init sc.Scenario.n (fun i ->
         let gr = members.(i) and r = recorders.(i) in
         { Invariant.o_member = i;
@@ -156,6 +224,16 @@ let run ?(skip_inert = false) (sc : Scenario.t) =
              | Some v -> Some (View.ltime v, List.map Addr.endpoint_id (View.members v))
              | None -> None) })
   in
+  (match observe with Some f -> f world snapshot | None -> ());
+  World.run_for world ~duration:sc.Scenario.run_for;
+  if Sys.getenv_opt "HORUS_DEBUG_DUMP" <> None then
+    Array.iteri
+      (fun i gr ->
+         Printf.eprintf "=== member %d ===\n" i;
+         List.iter (fun l -> Printf.eprintf "  %s\n" l) (Group.dump gr))
+      members;
+  Horus_sim.Engine.clear_chooser (World.engine world);
+  let obs = snapshot () in
   let violations =
     Invariant.standard
       ~total:(spec_is_total sc.Scenario.spec)

@@ -15,12 +15,27 @@ type result = {
   r_taken : int list;                 (** decision per choice point, oldest first *)
 }
 
-val run : ?skip_inert:bool -> Scenario.t -> result
+val run :
+  ?skip_inert:bool ->
+  ?observe:(Horus.World.t -> (unit -> Invariant.obs list) -> unit) ->
+  Scenario.t -> result
 (** Joins [n] members (spaced by [join_spacing]), settles, then plays
     the op and fault schedules relative to the traffic origin, with
     the Engine chooser installed when [sched] is present. Violations
     are {!Invariant.standard} (plus total order iff the spec contains
-    TOTAL). *)
+    TOTAL).
+
+    With a [chaos] section in the scenario, the group runs over the
+    real-transport waist — per-member loopback backends behind one
+    {!Horus_transport.Chaos} controller seeded from the scenario seed
+    — instead of the simulator net; Partition/Heal faults become
+    chaos-level one-way blocks and link overrides / dispatch choosers
+    do not apply.
+
+    [observe] is called once after the schedules are planted and
+    before time runs, with the world and a snapshot function returning
+    the members' observations as of the moment it is called — the hook
+    for the soak harness's online invariant checks. *)
 
 val failed : result -> bool
 

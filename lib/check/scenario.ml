@@ -69,6 +69,7 @@ type t = {
   n : int;
   seed : int;
   net : net;
+  chaos : Horus_transport.Chaos.profile option;
   links : (int * int * float) list;
   join_spacing : float;
   settle : float;
@@ -79,12 +80,12 @@ type t = {
   expect_violation : bool;
 }
 
-let make ?(name = "scenario") ?(seed = 1) ?(net = default_net) ?(links = [])
+let make ?(name = "scenario") ?(seed = 1) ?(net = default_net) ?chaos ?(links = [])
     ?(join_spacing = 0.4) ?(settle = 2.0) ?(ops = []) ?(faults = []) ?(run_for = 10.0)
     ?sched ?(expect_violation = false) ~spec ~n () =
   if n < 1 then invalid_arg "Scenario.make: n must be >= 1";
-  { name; spec; n; seed; net; links; join_spacing; settle; ops; faults; run_for; sched;
-    expect_violation }
+  { name; spec; n; seed; net; chaos; links; join_spacing; settle; ops; faults; run_for;
+    sched; expect_violation }
 
 (* Member indices a fault mentions. *)
 let fault_members = function
@@ -169,6 +170,10 @@ let to_json t =
       ("n", Json.Int t.n);
       ("seed", Json.Int t.seed);
       ("net", net);
+      ( "chaos",
+        match t.chaos with
+        | None -> Json.Null
+        | Some p -> Horus_transport.Chaos.profile_to_json p );
       ("links", links);
       ("join_spacing", Json.Float t.join_spacing);
       ("settle", Json.Float t.settle);
@@ -262,6 +267,11 @@ let of_json j =
         let* mtu = jint ~default:default_net.mtu "mtu" nj in
         Ok { latency; jitter; drop; duplicate; garble; mtu }
     in
+    let* chaos =
+      match Json.member "chaos" j with
+      | None | Some Json.Null -> Ok None
+      | Some cj -> Result.map Option.some (Horus_transport.Chaos.profile_of_json cj)
+    in
     let* links =
       match Json.member "links" j with
       | None | Some Json.Null -> Ok []
@@ -343,8 +353,8 @@ let of_json j =
       Error "link references a member index out of range"
     else
       Ok
-        { name; spec; n; seed; net; links; join_spacing; settle; ops; faults; run_for;
-          sched; expect_violation }
+        { name; spec; n; seed; net; chaos; links; join_spacing; settle; ops; faults;
+          run_for; sched; expect_violation }
 
 let of_string s =
   match Json.of_string s with
@@ -364,8 +374,11 @@ let pp_fault fmt = function
   | Heal -> Format.fprintf fmt "heal"
 
 let pp fmt t =
-  Format.fprintf fmt "%s: %s n=%d seed=%d ops=%d faults=%d%s" t.name t.spec t.n t.seed
+  Format.fprintf fmt "%s: %s n=%d seed=%d ops=%d faults=%d%s%s" t.name t.spec t.n t.seed
     (List.length t.ops) (List.length t.faults)
+    (match t.chaos with
+     | Some p when not (Horus_transport.Chaos.is_quiet p) -> " chaos"
+     | Some _ | None -> "")
     (match t.sched with
      | Some s when s.s_choices <> [] ->
        Printf.sprintf " sched=[%s]" (String.concat ";" (List.map string_of_int s.s_choices))

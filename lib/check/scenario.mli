@@ -54,6 +54,11 @@ type t = {
   n : int;
   seed : int;
   net : net;
+  chaos : Horus_transport.Chaos.profile option;
+      (** with a profile, the runner builds the group over a loopback
+          hub wrapped in a {!Horus_transport.Chaos} controller seeded
+          from [seed] instead of the simulator net; Partition/Heal
+          faults become chaos-level one-way blocks *)
   links : (int * int * float) list;
       (** per-link latency overrides [(src member, dst member, secs)],
           applied at traffic start — how the Figure 2 scenario slows a
@@ -68,7 +73,8 @@ type t = {
 }
 
 val make :
-  ?name:string -> ?seed:int -> ?net:net -> ?links:(int * int * float) list ->
+  ?name:string -> ?seed:int -> ?net:net -> ?chaos:Horus_transport.Chaos.profile ->
+  ?links:(int * int * float) list ->
   ?join_spacing:float -> ?settle:float -> ?ops:op list -> ?faults:timed_fault list ->
   ?run_for:float -> ?sched:sched -> ?expect_violation:bool ->
   spec:string -> n:int -> unit -> t

@@ -4,7 +4,7 @@
    Given a failing scenario and an arbitrary [fails] predicate, try
    structure-removing edits one at a time — drop a fault, drop a
    traffic op, drop a member (reindexing the survivors), quiet a
-   network knob, truncate or drop the dispatch schedule — keeping an
+   network or chaos knob, truncate or drop the dispatch schedule — keeping an
    edit whenever the smaller scenario still fails, and loop to a
    fixpoint. [fails] is a predicate, not a fixed schedule: callers
    that found the bug by exploration pass "a small exploration still
@@ -94,6 +94,28 @@ let candidates (sc : Scenario.t) =
         ( (fun n -> n.Scenario.jitter > 0.),
           fun n -> { n with Scenario.jitter = 0. } ) ]
   in
+  let chaos =
+    (* Quiet the chaos profile one fault class at a time (drop the
+       whole section first — the most aggressive edit — then zero
+       individual probabilities, then shed partition windows), so a
+       minimized repro names exactly the fault classes the bug
+       needs. *)
+    match sc.Scenario.chaos with
+    | None -> []
+    | Some p ->
+      let module C = Horus_transport.Chaos in
+      let with_profile p = Some { sc with Scenario.chaos = Some p } in
+      (Some { sc with Scenario.chaos = None }
+       :: List.filter_map
+            (fun (dirty, clean) -> if dirty p then Some (with_profile (clean p)) else None)
+            [ ((fun p -> p.C.drop > 0.), fun p -> { p with C.drop = 0. });
+              ((fun p -> p.C.duplicate > 0.), fun p -> { p with C.duplicate = 0. });
+              ((fun p -> p.C.reorder > 0.), fun p -> { p with C.reorder = 0. });
+              ((fun p -> p.C.delay > 0.), fun p -> { p with C.delay = 0. });
+              ((fun p -> p.C.corrupt > 0.), fun p -> { p with C.corrupt = 0. }) ])
+      @ List.init (List.length p.C.partitions) (fun i ->
+            with_profile { p with C.partitions = nth_removed p.C.partitions i })
+  in
   let sched =
     match sc.Scenario.sched with
     | None -> []
@@ -109,7 +131,7 @@ let candidates (sc : Scenario.t) =
               with_choices (List.filteri (fun i _ -> i < len - 1) s.Scenario.s_choices) ]
           else [])
   in
-  List.filter_map Fun.id (members @ faults @ ops @ links @ net @ sched)
+  List.filter_map Fun.id (members @ faults @ ops @ links @ net @ chaos @ sched)
 
 let shrink ~fails (sc : Scenario.t) =
   let attempts = ref 0 and accepted = ref 0 in

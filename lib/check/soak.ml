@@ -1,0 +1,171 @@
+(* Invariant-checked soak runs: a long chaos-transport run with the
+   shared invariants checked continuously while traffic flows, not
+   just at the end.
+
+   A soak is configured, not scripted: a stack spec, a member count, a
+   chaos profile and a cast budget expand deterministically into a
+   Scenario (round-robin casts on a fixed period), which runs through
+   the ordinary Runner — so a soak that fails leaves behind a repro
+   file any replayer can re-execute, and a soak that passes is exactly
+   reproducible from (config, seed). While the run is live, a slice
+   timer snapshots every member's observations and checks the
+   prefix-safe invariants (view agreement, per-origin FIFO,
+   delivery-in-view: true of every prefix of a correct run); the
+   completeness-style invariants, which only hold once traffic has
+   quiesced, run once at the end via the Runner's standard bundle. *)
+
+module Json = Horus_obs.Json
+
+type config = {
+  c_name : string;
+  c_spec : string;
+  c_n : int;
+  c_seed : int;
+  c_profile : Horus_transport.Chaos.profile;
+  c_latency : float;
+  c_casts : int;
+  c_cast_period : float;
+  c_duration : float;
+  c_check_every : float;
+  c_settle : float;
+  c_quiesce : float;
+}
+
+let default_config =
+  { c_name = "soak";
+    c_spec = "TOTAL:MBRSHIP:FRAG:NAK:COM";
+    c_n = 4;
+    c_seed = 1;
+    c_profile = Horus_transport.Chaos.default;
+    c_latency = 0.001;
+    c_casts = 1000;
+    c_cast_period = 0.005;
+    c_duration = 0.0;
+    c_check_every = 0.25;
+    c_settle = 2.0;
+    c_quiesce = 3.0 }
+
+(* The deterministic expansion: cast i issues from member [i mod n] at
+   [i * period], truncated by the duration cap when one is set. The
+   scenario IS the soak — emitting it as a repro file reproduces the
+   run bit-for-bit (minus the online checks, which never change
+   behaviour). *)
+let scenario_of_config c =
+  if c.c_n < 1 then invalid_arg "Soak: n must be >= 1";
+  if c.c_casts < 0 then invalid_arg "Soak: casts must be >= 0";
+  if c.c_cast_period <= 0.0 then invalid_arg "Soak: cast_period must be positive";
+  let ops =
+    List.filter_map
+      (fun i ->
+         let at = float_of_int i *. c.c_cast_period in
+         if c.c_duration > 0.0 && at > c.c_duration then None
+         else Some { Scenario.op_member = i mod c.c_n; op_at = at })
+      (List.init c.c_casts Fun.id)
+  in
+  let last_at = List.fold_left (fun acc o -> Float.max acc o.Scenario.op_at) 0.0 ops in
+  Scenario.make ~name:c.c_name ~seed:c.c_seed
+    ~net:{ Scenario.default_net with Scenario.latency = c.c_latency }
+    ~chaos:c.c_profile ~settle:c.c_settle ~ops ~run_for:(last_at +. c.c_quiesce)
+    ~spec:c.c_spec ~n:c.c_n ()
+
+type report = {
+  rp_scenario : Scenario.t;
+  rp_casts : int;                  (* casts the schedule issued *)
+  rp_checks : int;                 (* online slices checked *)
+  rp_online : (float * Invariant.violation) list;
+      (* first slice's violations, with the virtual time of the check *)
+  rp_final : Invariant.violation list;
+  rp_outcome_fingerprint : int64;
+  rp_metrics_fingerprint : int64;
+  rp_metrics : Json.t;
+  rp_elapsed : float;              (* virtual seconds, whole run *)
+  rp_repro : string option;        (* repro path, when a violation was saved *)
+}
+
+let ok r = r.rp_online = [] && r.rp_final = []
+
+(* FNV-1a, same construction as Runner.fingerprint, over an arbitrary
+   string — used for the metrics image, whose stability across two
+   runs of the same config is the determinism gate. *)
+let fnv s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+       h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+let prefix_violations obs =
+  Invariant.view_agreement obs
+  @ Invariant.per_origin_fifo ~tag:Runner.tag obs
+  @ Invariant.delivery_in_view ~tag:Runner.tag obs
+
+let run ?repro_dir ?(skip_inert = false) c =
+  let sc = scenario_of_config c in
+  let checks = ref 0 in
+  let online = ref [] in
+  let metrics = ref Json.Null in
+  let elapsed = ref 0.0 in
+  let observe world snapshot =
+    let t_end = Horus.World.now world +. sc.Scenario.run_for in
+    if c.c_check_every > 0.0 then begin
+      let rec arm t =
+        if t < t_end then
+          Horus.World.at world ~time:t (fun () ->
+              incr checks;
+              if !online = [] then
+                online :=
+                  List.map
+                    (fun v -> (Horus.World.now world, v))
+                    (prefix_violations (snapshot ()));
+              arm (t +. c.c_check_every))
+      in
+      arm (Horus.World.now world +. c.c_check_every)
+    end;
+    (* The metrics image is read at the very end of the run, from
+       inside it: the runner owns the world and does not return it. *)
+    Horus.World.at world ~time:t_end (fun () ->
+        metrics := Horus.World.metrics_json world;
+        elapsed := Horus.World.now world)
+  in
+  let r = Runner.run ~skip_inert ~observe sc in
+  let failed = !online <> [] || r.Runner.r_violations <> [] in
+  let repro =
+    if failed then Repro.save ?dir:repro_dir { sc with Scenario.expect_violation = true }
+    else None
+  in
+  { rp_scenario = sc;
+    rp_casts = List.length sc.Scenario.ops;
+    rp_checks = !checks;
+    rp_online = !online;
+    rp_final = r.Runner.r_violations;
+    rp_outcome_fingerprint = Runner.fingerprint r;
+    rp_metrics_fingerprint = fnv (Json.to_string ~indent:false !metrics);
+    rp_metrics = !metrics;
+    rp_elapsed = !elapsed;
+    rp_repro = repro }
+
+let to_json r =
+  Json.Obj
+    [ ("scenario", Scenario.to_json r.rp_scenario);
+      ("ok", Json.Bool (ok r));
+      ("casts", Json.Int r.rp_casts);
+      ("checks", Json.Int r.rp_checks);
+      ( "online_violations",
+        Json.List
+          (List.map
+             (fun (at, v) ->
+                Json.Obj
+                  [ ("at", Json.Float at);
+                    ("property", Json.String v.Invariant.v_property);
+                    ("detail", Json.String v.Invariant.v_detail) ])
+             r.rp_online) );
+      ("final_violations", Invariant.to_json r.rp_final);
+      ("outcome_fingerprint", Json.String (Printf.sprintf "%016Lx" r.rp_outcome_fingerprint));
+      ("metrics_fingerprint", Json.String (Printf.sprintf "%016Lx" r.rp_metrics_fingerprint));
+      ("elapsed_virtual", Json.Float r.rp_elapsed);
+      ( "repro",
+        match r.rp_repro with None -> Json.Null | Some p -> Json.String p );
+      ("metrics", r.rp_metrics) ]
+
+let to_string r = Json.to_string ~indent:true (to_json r)

@@ -51,6 +51,9 @@ type env = {
   transport : transport;
   rendezvous : rendezvous;
   storage : storage;
+  metrics : Horus_obs.Metrics.t option;
+      (* the owning world's registry, when it keeps one; layers export
+         protocol-level counters (e.g. nak.retransmits) through it *)
   emit_up : Event.up -> unit;     (* toward the application *)
   emit_down : Event.down -> unit; (* toward the network *)
   set_timer : delay:float -> (unit -> unit) -> Horus_sim.Engine.handle;

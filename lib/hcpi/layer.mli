@@ -43,6 +43,8 @@ type env = {
   transport : transport;
   rendezvous : rendezvous;
   storage : storage;
+  metrics : Horus_obs.Metrics.t option;
+      (** the owning world's registry, for protocol-level counters *)
   emit_up : Event.up -> unit;
   emit_down : Event.down -> unit;
   set_timer : delay:float -> (unit -> unit) -> Horus_sim.Engine.handle;

@@ -144,7 +144,7 @@ let create ~engine ~endpoint ~group ~prng ~transport ~rendezvous
     let env =
       { Layer.engine; endpoint; group; params;
         prng = Horus_util.Prng.copy prng;
-        transport; rendezvous; storage; emit_up; emit_down; set_timer;
+        transport; rendezvous; storage; metrics; emit_up; emit_down; set_timer;
         trace = (fun ~category detail -> trace ~layer:name ~category detail) }
     in
     ctor params env

@@ -105,12 +105,19 @@ type state = {
       (* a requester-side merge flush (blocked awaiting the grantor's
          install) aborts after this long: the grantor may have died,
          and it is outside our view, so no suspicion will ever fire *)
+  suspect_grace : float;
+      (* a detector suspicion only takes effect after the member stays
+         silent this long; 0 = immediate (transient chaos-induced loss
+         below must not rule a live member out) *)
   mutable phase : phase;
   mutable view : View.t option;
   mutable next_seq : int;                       (* my casts, this view *)
   log : Delivery_log.t;                         (* per-view delivery + unstable store *)
   acked : (int * int, int) Hashtbl.t;           (* (origin, peer) -> peer's delivered *)
   mutable suspects : ESet.t;
+  pending_suspects : (int, Addr.endpoint) Hashtbl.t;
+      (* suspicions inside their grace window, keyed by endpoint id;
+         hearing anything from the member cancels the entry *)
   mutable failed_set : ESet.t;
       (* endpoints a view install removed: the Section 5 ignore rule's
          post-view half. A straggler cast from one of these would
@@ -237,6 +244,7 @@ let adopt_view t v =
   Delivery_log.reset t.log;
   Hashtbl.reset t.acked;
   t.suspects <- ESet.empty;
+  Hashtbl.reset t.pending_suspects;
   t.phase <- Normal;
   t.merge_wait <- None;
   t.views_installed <- t.views_installed + 1;
@@ -270,6 +278,7 @@ let adopt_view t v =
 let go_exited t =
   if t.phase <> Exited then begin
     t.phase <- Exited;
+    Hashtbl.reset t.pending_suspects;
     t.env.Layer.rendezvous.Layer.withdraw t.env.Layer.group (me t);
     let lonely =
       View.create ~group:t.env.Layer.group ~ltime:(epoch t + 1) ~members:[ me t ]
@@ -516,7 +525,16 @@ let complete_flush t (fl : flush_ctx) =
        List.iter m_of_view (View.members nv);
        List.iter
          (fun leaver -> if not (View.mem nv leaver) then m_of_view leaver)
-         fl.fl_leavers)
+         fl.fl_leavers;
+       (* Failed members get the install too. Under a one-way
+          partition the excluded member may still hear us even though
+          we cannot hear it; the install lets its handle_view_install
+          turn the exclusion into a clean EXIT instead of a stack
+          stuck waiting in a view that has moved on. Under a full
+          partition the unicast is simply lost. *)
+       List.iter
+         (fun f -> if not (View.mem nv f) then m_of_view f)
+         fl.fl_failed)
 
 let handle_flush_reply t ~src m =
   match current_flush t with
@@ -551,14 +569,22 @@ let handle_view_install t m =
         start_flush t ~failed:[] ~leavers ~joiners:[] ~merge_into:None
     end
   end
-  else
-    (* We were excluded: either we asked to leave, or the view moved on
-       without us. *)
+  else if View.ltime v > epoch t then
+    (* We were excluded by a view newer than ours: either we asked to
+       leave, or the view moved on without us. *)
     go_exited t
+  else
+    (* A stale excluding install — e.g. one addressed to us as a
+       failed member during a partition, retransmitted until the heal,
+       by which point our own partition has reconfigured past it.
+       Treating it as authoritative would exit a member both sides
+       have since moved on with; the epochs say it lost the race. *)
+    t.env.Layer.trace ~category:"stale"
+      (Printf.sprintf "excluding install ltime %d <= epoch %d" (View.ltime v) (epoch t))
 
 (* --- suspicion --- *)
 
-let note_suspects t es =
+let confirm_suspects t es =
   match t.view with
   | None -> ()
   | Some _ when (match t.phase with Exited | Idle -> true | Normal | Flushing _ -> false) ->
@@ -600,6 +626,42 @@ let note_suspects t es =
       | Some _ | None -> ()
     end
   end
+
+(* Suspicion debounce. With [suspect_grace] > 0 a detector suspicion
+   is only provisional: the member is ruled out when it stays silent
+   through the whole grace window. A lossy link (chaos-level drops, a
+   congested path) makes the NAK detector fire spuriously; a live
+   member keeps multicasting k_stab every [stab_period], so hearing
+   anything from it cancels the pending entry before the timer
+   promotes it. Authoritative reports (the application's D_flush, a
+   peer's already-confirmed k_suspect relay) keep bypassing the
+   grace via {!confirm_suspects}. *)
+let note_suspects t es =
+  if t.suspect_grace <= 0.0 then confirm_suspects t es
+  else
+    List.iter
+      (fun e ->
+         let eid = Addr.endpoint_id e in
+         if (not (Addr.equal_endpoint e (me t)))
+            && (not (is_suspect t e))
+            && (not (Hashtbl.mem t.pending_suspects eid))
+            && (match t.view with Some v -> View.mem v e | None -> false)
+         then begin
+           Hashtbl.replace t.pending_suspects eid e;
+           t.env.Layer.trace ~category:"suspect-pending" (Addr.endpoint_to_string e);
+           ignore
+             (t.env.Layer.set_timer ~delay:t.suspect_grace (fun () ->
+                  if Hashtbl.mem t.pending_suspects eid then begin
+                    Hashtbl.remove t.pending_suspects eid;
+                    confirm_suspects t [ e ]
+                  end))
+         end)
+      es
+
+(* Evidence of life from [eid]: cancel any suspicion still inside its
+   grace window. Confirmed suspicions are not unwound — the flush they
+   triggered resolves through a view change and a later merge. *)
+let heard_from t eid = Hashtbl.remove t.pending_suspects eid
 
 (* --- merging --- *)
 
@@ -771,8 +833,8 @@ let handle_down t (ev : Event.down) =
   | Event.D_flush_ok -> handle_flush_ok_down t
   | Event.D_flush failed ->
     (* Application-driven exclusion: treat as an authoritative external
-       failure notification. *)
-    note_suspects t failed
+       failure notification — no grace window. *)
+    confirm_suspects t failed
   | Event.D_suspect suspects -> note_suspects t suspects
   | Event.D_merge contact -> if i_am_coordinator t then begin_merge t contact
   | Event.D_merge_granted req_ev ->
@@ -820,7 +882,9 @@ let handle_ctl t ~rank ~meta kind m =
     t.env.Layer.emit_up (Event.U_merge_denied reason)
   end
   else if kind = k_merge_ready then handle_merge_ready t ~src m
-  else if kind = k_suspect then note_suspects t (Wire.pop_endpoint_list m)
+  else if kind = k_suspect then
+    (* The relaying peer already sat out its own grace window. *)
+    confirm_suspects t (Wire.pop_endpoint_list m)
   else if kind = k_halt then go_exited t
   else if kind = k_leave_req then handle_leave_req t ~src
   else t.env.Layer.trace ~category:"dropped" (Printf.sprintf "unknown kind %d" kind)
@@ -828,6 +892,7 @@ let handle_ctl t ~rank ~meta kind m =
 let handle_up t (ev : Event.up) =
   match ev with
   | Event.U_cast (rank, m, meta) | Event.U_send (rank, m, meta) ->
+    heard_from t (src_of meta);
     (try
        let kind = Msg.pop_u8 m in
        if kind = k_data then begin
@@ -882,12 +947,14 @@ let make ~name ~forward_unstable_default params env =
       stab_period = Params.get_float params "stab_period" ~default:0.1;
       merge_retry = Params.get_float params "merge_retry" ~default:0.5;
       merge_abort = Params.get_float params "merge_abort" ~default:2.0;
+      suspect_grace = Params.get_float params "suspect_grace" ~default:0.0;
       phase = Idle;
       view = None;
       next_seq = 0;
       log = Delivery_log.create ();
       acked = Hashtbl.create 16;
       suspects = ESet.empty;
+      pending_suspects = Hashtbl.create 8;
       failed_set = ESet.empty;
       pending_casts = Queue.create ();
       round_counter = 0;

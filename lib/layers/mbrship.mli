@@ -9,10 +9,22 @@
     [merge_retry], [primary_partition] (default false) — the
     Isis-style restriction of Section 9 under which only a strict
     majority of the previous view installs the next view and minority
-    members halt — and [ignore_stragglers] (default true): the
-    Section 5 ignore rule; disabling it reintroduces the straggler
-    race so the systematic tests (lib/check, lib/model) can
-    demonstrate the counterexample on the production stack. *)
+    members halt — [ignore_stragglers] (default true): the Section 5
+    ignore rule; disabling it reintroduces the straggler race so the
+    systematic tests (lib/check, lib/model) can demonstrate the
+    counterexample on the production stack — and [suspect_grace]
+    (default 0 = immediate): a detector suspicion only takes effect
+    after the member stays silent this long, so transient loss on a
+    chaotic link does not rule a live member out; hearing anything
+    from the member cancels the pending suspicion, while application
+    D_flush exclusions and peers' relayed suspicions (already graced
+    at the relayer) stay immediate.
+
+    A view install that excludes failed members is also unicast to
+    them: under a one-way partition the excluded member may still
+    receive, and the install converts its stuck stack into a clean
+    EXIT (under a full partition the copy is simply lost and the
+    member recovers by merging later). *)
 
 val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor
 (** The full MBRSHIP layer (P8, P9, P15). *)

@@ -11,9 +11,13 @@
    failure detector: prolonged silence raises a PROBLEM upcall.
 
    Subset sends use per-pair sequence numbers with positive acks and
-   periodic retransmission; pair lanes are independent of view epochs
-   so that membership protocols above can rely on them during view
-   changes.
+   per-message retransmission deadlines: one RTO (Jacobson-estimated
+   from ack and NAK-repair turnarounds, Karn-filtered) after the send,
+   then exponential backoff with jitter up to a cap (see Rto). Pair
+   lanes are independent of view epochs so that membership protocols
+   above can rely on them during view changes; per-lane buffers can be
+   bounded (pair_buffer_limit) so an unreachable peer cannot hold
+   memory hostage.
 
    Wire kinds (first header byte):
      0 DATA_CAST   epoch, seq        - sequenced multicast data
@@ -25,6 +29,60 @@
 
 open Horus_msg
 open Horus_hcpi
+
+(* Adaptive retransmission timing, TCP-style (Jacobson/Karn): a
+   smoothed RTT estimate drives the retransmission timeout, and every
+   unanswered retransmission doubles it up to a cap, so a lossy or
+   slow path is probed gently instead of being hammered at a fixed
+   period. Pure state + arithmetic, no timers of its own — the layer
+   samples, asks, and schedules. *)
+module Rto = struct
+  type t = {
+    init : float;          (* RTO before any sample arrives *)
+    min_rto : float;
+    max_rto : float;
+    mutable srtt : float;  (* negative = no sample yet *)
+    mutable rttvar : float;
+  }
+
+  let create ?(init = 0.1) ?(min_rto = 0.02) ?(max_rto = 2.0) () =
+    if init <= 0.0 || min_rto <= 0.0 || max_rto < min_rto then
+      invalid_arg "Rto.create: need 0 < min_rto <= max_rto and init > 0";
+    { init; min_rto; max_rto; srtt = -1.0; rttvar = 0.0 }
+
+  let srtt t = if t.srtt < 0.0 then None else Some t.srtt
+
+  (* Standard EWMA gains: alpha = 1/8 for the mean, beta = 1/4 for the
+     deviation. *)
+  let observe t sample =
+    if sample >= 0.0 then
+      if t.srtt < 0.0 then begin
+        t.srtt <- sample;
+        t.rttvar <- sample /. 2.0
+      end
+      else begin
+        t.rttvar <- (0.75 *. t.rttvar) +. (0.25 *. Float.abs (t.srtt -. sample));
+        t.srtt <- (0.875 *. t.srtt) +. (0.125 *. sample)
+      end
+
+  let clamp t v = Float.min t.max_rto (Float.max t.min_rto v)
+
+  let rto t =
+    if t.srtt < 0.0 then clamp t t.init else clamp t (t.srtt +. (4.0 *. t.rttvar))
+
+  (* Exponential backoff: attempt 0 waits one RTO, each further
+     attempt doubles, capped at max_rto. *)
+  let backoff t ~attempt =
+    let a = Int.max 0 (Int.min attempt 30) in
+    Float.min t.max_rto (rto t *. Float.of_int (1 lsl a))
+
+  let capped t ~attempt = backoff t ~attempt >= t.max_rto
+
+  (* Symmetric jitter: [u] uniform in [0, 1) spreads the deadline
+     within [base * (1 - frac), base * (1 + frac)], so synchronized
+     losers do not retransmit in lockstep. *)
+  let with_jitter base ~frac ~u = base *. (1.0 +. (frac *. ((2.0 *. u) -. 1.0)))
+end
 
 let k_data_cast = 0
 let k_data_send = 1
@@ -46,12 +104,23 @@ type cast_recv = {
   cr_ooo : (int, pending) Hashtbl.t;
   mutable cr_last_nak_for : int;    (* dedup: last expected we nak'ed *)
   mutable cr_last_nak_at : float;
+  mutable cr_nak_attempts : int;    (* re-asks for the same gap; drives backoff *)
+}
+
+(* One unacknowledged pair message awaiting its retransmission
+   deadline. *)
+type unacked = {
+  u_msg : Msg.t;                    (* framed copy *)
+  u_sent_at : float;                (* first transmission, for RTT sampling *)
+  mutable u_attempts : int;         (* retransmissions so far *)
+  mutable u_due : float;            (* next retransmission deadline *)
+  mutable u_last_tx : float;        (* last transmission, bounds fast retransmit *)
 }
 
 (* Receiving and sending side of a pair (send) lane with one peer. *)
 type pair_lane = {
   mutable pl_next_seq : int;                 (* sender side *)
-  pl_unacked : (int, Msg.t) Hashtbl.t;       (* seq -> framed copy *)
+  pl_unacked : (int, unacked) Hashtbl.t;     (* seq -> in-flight entry *)
   mutable pl_expected : int;                 (* receiver side *)
   pl_ooo : (int, pending) Hashtbl.t;
 }
@@ -64,6 +133,15 @@ type state = {
   buffer_limit : int;
       (* retransmission buffer bound; beyond it the oldest casts are
          forgotten and can only be answered with placeholders *)
+  pair_buffer_limit : int;
+      (* per-peer bound on unacked pair messages; beyond it the oldest
+         are forgotten (an unreachable peer must not hold memory
+         hostage forever) *)
+  rto : Rto.t;
+  jitter : float;                   (* backoff jitter fraction *)
+  m_retransmits : Horus_obs.Metrics.counter option;
+  m_rtt_est : Horus_obs.Metrics.gauge option;
+  m_backoff_hit : Horus_obs.Metrics.counter option;
   mutable epoch : int;
   mutable members : Addr.endpoint array;     (* current destination set *)
   mutable cast_next_seq : int;               (* my own cast lane, this epoch *)
@@ -92,12 +170,33 @@ let heard t eid =
   Hashtbl.replace t.last_heard eid (now t);
   Hashtbl.remove t.suspected eid
 
+(* Feed an RTT sample to the estimator and mirror it out. *)
+let observe_rtt t sample =
+  Rto.observe t.rto sample;
+  match (t.m_rtt_est, Rto.srtt t.rto) with
+  | Some g, Some srtt -> Horus_obs.Metrics.set g (srtt *. 1e6)
+  | _ -> ()
+
+let count_retransmission t =
+  t.retransmissions <- t.retransmissions + 1;
+  Option.iter Horus_obs.Metrics.incr t.m_retransmits
+
+(* A jittered deadline [attempt] backoffs out from now; counts cap
+   hits as it goes. *)
+let next_deadline t ~attempt =
+  let base = Rto.backoff t.rto ~attempt in
+  if attempt > 0 && Rto.capped t.rto ~attempt then
+    Option.iter Horus_obs.Metrics.incr t.m_backoff_hit;
+  now t
+  +. Rto.with_jitter base ~frac:t.jitter ~u:(Horus_util.Prng.float t.env.Layer.prng 1.0)
+
 let recv_lane t origin =
   match Hashtbl.find_opt t.recv origin with
   | Some l -> l
   | None ->
     let l =
-      { cr_expected = 0; cr_ooo = Hashtbl.create 8; cr_last_nak_for = -1; cr_last_nak_at = -1.0 }
+      { cr_expected = 0; cr_ooo = Hashtbl.create 8; cr_last_nak_for = -1;
+        cr_last_nak_at = -1.0; cr_nak_attempts = 0 }
     in
     Hashtbl.replace t.recv origin l;
     l
@@ -119,7 +218,29 @@ let xmit_to t dst m = t.env.Layer.emit_down (Event.D_send ([ dst ], m))
 let send_nak t ~origin ~from_seq ~to_seq =
   let lane = recv_lane t origin in
   let tnow = now t in
-  if lane.cr_last_nak_for <> from_seq || tnow -. lane.cr_last_nak_at > t.nak_holdoff then begin
+  (* A fresh gap is asked about at once; re-asking about the same gap
+     backs off exponentially (with jitter) from the RTO estimate, with
+     the static holdoff as a floor — a dead origin must not be NAKed
+     at line rate. *)
+  let due =
+    if lane.cr_last_nak_for <> from_seq then true
+    else
+      let wait =
+        Float.max t.nak_holdoff
+          (Rto.with_jitter
+             (Rto.backoff t.rto ~attempt:lane.cr_nak_attempts)
+             ~frac:t.jitter
+             ~u:(Horus_util.Prng.float t.env.Layer.prng 1.0))
+      in
+      tnow -. lane.cr_last_nak_at > wait
+  in
+  if due then begin
+    if lane.cr_last_nak_for = from_seq then begin
+      lane.cr_nak_attempts <- lane.cr_nak_attempts + 1;
+      if Rto.capped t.rto ~attempt:lane.cr_nak_attempts then
+        Option.iter Horus_obs.Metrics.incr t.m_backoff_hit
+    end
+    else lane.cr_nak_attempts <- 0;
     lane.cr_last_nak_for <- from_seq;
     lane.cr_last_nak_at <- tnow;
     t.naks_sent <- t.naks_sent + 1;
@@ -153,7 +274,16 @@ let accept_cast t ~origin ~seq (p : pending) =
         lane.cr_expected <- lane.cr_expected + 1;
         deliver t next
       | None -> continue := false
-    done
+    done;
+    (* The gap we asked about closed: the NAK-to-repair turnaround is
+       an RTT sample (noisy — the original may have merely been slow —
+       but the EWMA absorbs that), and the ask counter rewinds. *)
+    if lane.cr_last_nak_at >= 0.0 && lane.cr_expected > lane.cr_last_nak_for then begin
+      observe_rtt t (now t -. lane.cr_last_nak_at);
+      lane.cr_last_nak_at <- -1.0;
+      lane.cr_last_nak_for <- -1;
+      lane.cr_nak_attempts <- 0
+    end
   end
 
 let accept_send t ~peer ~seq (p : pending) =
@@ -212,7 +342,7 @@ let handle_nak_cast t ~requester m =
     for seq = from_seq to to_seq do
       match Hashtbl.find_opt t.cast_buffer seq with
       | Some framed ->
-        t.retransmissions <- t.retransmissions + 1;
+        count_retransmission t;
         xmit_to t (Addr.endpoint requester) (Msg.copy framed)
       | None ->
         t.placeholders <- t.placeholders + 1;
@@ -264,14 +394,23 @@ let handle_status t ~src m =
   done;
   if epoch = t.epoch then gc_cast_buffer t
 
-(* Retransmit all unacked pair data (positive-ack scheme). *)
+(* Retransmit overdue unacked pair data (positive-ack scheme). Each
+   entry carries its own deadline: first retransmission one RTO after
+   the send, then doubling with jitter up to the cap — not the old
+   blanket resend of everything every status period. *)
 let retransmit_pairs t =
+  let tnow = now t in
   Hashtbl.iter
     (fun peer lane ->
        Hashtbl.iter
-         (fun _seq framed ->
-            t.retransmissions <- t.retransmissions + 1;
-            xmit_to t (Addr.endpoint peer) (Msg.copy framed))
+         (fun _seq u ->
+            if tnow >= u.u_due then begin
+              u.u_attempts <- u.u_attempts + 1;
+              u.u_due <- next_deadline t ~attempt:u.u_attempts;
+              u.u_last_tx <- tnow;
+              count_retransmission t;
+              xmit_to t (Addr.endpoint peer) (Msg.copy u.u_msg)
+            end)
          lane.pl_unacked)
     t.pairs
 
@@ -357,7 +496,20 @@ let handle_down t (ev : Event.down) =
            lane.pl_next_seq <- seq + 1;
            Msg.push_u32 body seq;
            Msg.push_u8 body k_data_send;
-           Hashtbl.replace lane.pl_unacked seq (Msg.copy body);
+           let tnow = now t in
+           Hashtbl.replace lane.pl_unacked seq
+             { u_msg = Msg.copy body; u_sent_at = tnow; u_attempts = 0;
+               u_due = next_deadline t ~attempt:0; u_last_tx = tnow };
+           (* Bounded in-flight window: an unreachable peer must not
+              grow the lane without limit. Evicted messages are simply
+              no longer retransmitted; the layers above (membership
+              flush, merge watchdogs) own end-to-end recovery. *)
+           if Hashtbl.length lane.pl_unacked > t.pair_buffer_limit then begin
+             let oldest =
+               Hashtbl.fold (fun s _ acc -> Int.min s acc) lane.pl_unacked max_int
+             in
+             Hashtbl.remove lane.pl_unacked oldest
+           end;
            t.env.Layer.emit_down (Event.D_send ([ dst ], body))
          end)
       dsts
@@ -411,9 +563,31 @@ let handle_up t (ev : Event.up) =
          let high = Msg.pop_u32 m in
          (match Hashtbl.find_opt t.pairs src with
           | Some lane ->
+            let tnow = now t in
             Hashtbl.iter
-              (fun seq _ -> if seq < high then Hashtbl.remove lane.pl_unacked seq)
-              (Hashtbl.copy lane.pl_unacked)
+              (fun seq u ->
+                 if seq < high then begin
+                   (* Karn's rule: only never-retransmitted messages
+                      yield RTT samples — a retransmitted one's ack is
+                      ambiguous about which copy it answers. *)
+                   if u.u_attempts = 0 then observe_rtt t (tnow -. u.u_sent_at);
+                   Hashtbl.remove lane.pl_unacked seq
+                 end)
+              (Hashtbl.copy lane.pl_unacked);
+            (* Fast retransmit: the peer acks on every arrival, so an
+               ack naming a seq we still hold means later messages got
+               through while this one is missing — the peer is stuck
+               behind the gap. Resend now rather than waiting out a
+               backoff a partition may have inflated to the cap
+               (rate-limited by min_rto against ack bursts). *)
+            (match Hashtbl.find_opt lane.pl_unacked high with
+             | Some u when tnow -. u.u_last_tx >= t.rto.Rto.min_rto ->
+               u.u_attempts <- u.u_attempts + 1;
+               u.u_due <- next_deadline t ~attempt:u.u_attempts;
+               u.u_last_tx <- tnow;
+               count_retransmission t;
+               xmit_to t (Addr.endpoint src) (Msg.copy u.u_msg)
+             | Some _ | None -> ())
           | None -> ())
        end
        else t.env.Layer.trace ~category:"dropped" (Printf.sprintf "unknown kind %d" kind)
@@ -431,12 +605,26 @@ let handle_up t (ev : Event.up) =
 
 let create params env =
   let status_period = Params.get_float params "status_period" ~default:0.05 in
+  let metrics = env.Layer.metrics in
   let t =
     { env;
       status_period;
       suspect_after = Params.get_float params "suspect_after" ~default:(status_period *. 5.0);
       nak_holdoff = Params.get_float params "nak_holdoff" ~default:(status_period /. 2.0);
       buffer_limit = Params.get_int params "buffer_limit" ~default:max_int;
+      pair_buffer_limit = Params.get_int params "pair_buffer_limit" ~default:max_int;
+      rto =
+        Rto.create
+          ~init:(Params.get_float params "rto_init" ~default:(status_period *. 2.0))
+          ~min_rto:(Params.get_float params "rto_min" ~default:(status_period /. 2.0))
+          ~max_rto:(Params.get_float params "rto_max" ~default:2.0)
+          ();
+      jitter = Params.get_float params "backoff_jitter" ~default:0.1;
+      m_retransmits =
+        Option.map (fun m -> Horus_obs.Metrics.counter m "nak.retransmits") metrics;
+      m_rtt_est = Option.map (fun m -> Horus_obs.Metrics.gauge m "nak.rtt_est_us") metrics;
+      m_backoff_hit =
+        Option.map (fun m -> Horus_obs.Metrics.counter m "nak.backoff_max_hit") metrics;
       epoch = 0;
       members = [||];
       cast_next_seq = 0;
@@ -462,6 +650,9 @@ let create params env =
          [ Printf.sprintf "epoch=%d next_seq=%d buffered=%d" t.epoch t.cast_next_seq
              (Hashtbl.length t.cast_buffer);
            Printf.sprintf "naks=%d rexmit=%d placeholders=%d dups=%d" t.naks_sent
-             t.retransmissions t.placeholders t.duplicates ]);
+             t.retransmissions t.placeholders t.duplicates;
+           Printf.sprintf "pairs=%d unacked=%d rto=%.3f" (Hashtbl.length t.pairs)
+             (Hashtbl.fold (fun _ l acc -> acc + Hashtbl.length l.pl_unacked) t.pairs 0)
+             (Rto.rto t.rto) ]);
     inert = false;
     stop = (fun () -> t.stop_timer ()) }

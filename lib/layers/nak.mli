@@ -3,9 +3,53 @@
     epochs, pair lanes for subset sends, periodic status multicast for
     buffer GC, gap detection and failure suspicion (PROBLEM upcalls).
 
+    Retransmission timing is adaptive: an {!Rto} estimator smooths RTT
+    samples (pair acks under Karn's rule, NAK-repair turnarounds) into
+    a retransmission timeout, and unanswered retransmissions back off
+    exponentially with jitter up to a cap. With a metrics registry in
+    the layer environment, the layer exports [nak.retransmits],
+    [nak.rtt_est_us] and [nak.backoff_max_hit].
+
     Parameters: [status_period] (default 0.05 s), [suspect_after]
-    (default 5x the period), [nak_holdoff], and [buffer_limit] (default
-    unbounded) — beyond it, forgotten casts are answered with
-    placeholders that surface as LOST_MESSAGE. *)
+    (default 5x the period), [nak_holdoff] (floor on NAK re-asks),
+    [buffer_limit] (default unbounded) — beyond it, forgotten casts
+    are answered with placeholders that surface as LOST_MESSAGE —
+    [pair_buffer_limit] (default unbounded) bounding per-peer unacked
+    sends, [rto_init] (default 2x the period), [rto_min] (default half
+    the period), [rto_max] (default 2 s) and [backoff_jitter] (default
+    0.1). *)
+
+(** Adaptive retransmission timing (Jacobson estimator, Karn-filtered
+    samples, exponential backoff). Pure state + arithmetic; exposed
+    for deterministic unit tests. *)
+module Rto : sig
+  type t
+
+  val create : ?init:float -> ?min_rto:float -> ?max_rto:float -> unit -> t
+  (** Defaults: init 0.1 s, min 0.02 s, max 2 s. Raises
+      [Invalid_argument] unless [0 < min_rto <= max_rto] and
+      [init > 0]. *)
+
+  val observe : t -> float -> unit
+  (** Feed one RTT sample (seconds; negatives are ignored). *)
+
+  val srtt : t -> float option
+  (** Smoothed estimate; [None] before the first sample. *)
+
+  val rto : t -> float
+  (** Current timeout: [srtt + 4 * rttvar] clamped into
+      [[min_rto, max_rto]]; [init] (clamped) before any sample. *)
+
+  val backoff : t -> attempt:int -> float
+  (** [rto * 2^attempt] capped at [max_rto]; attempt 0 is the first
+      retransmission. *)
+
+  val capped : t -> attempt:int -> bool
+  (** The backoff for [attempt] has reached [max_rto]. *)
+
+  val with_jitter : float -> frac:float -> u:float -> float
+  (** [base * (1 + frac * (2u - 1))]: symmetric jitter for
+      [u] uniform in [0, 1). *)
+end
 
 val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

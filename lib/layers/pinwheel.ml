@@ -21,6 +21,9 @@ type state = {
   env : Layer.env;
   auto_ack : bool;
   period : float;
+  suspect_after : float;
+      (* a member silent this long is reported downward (D_suspect) so
+         a membership layer below can react; 0 = detection off *)
   mutable view : View.t option;
   mutable my_rank : int;
   mutable next_seq : int;
@@ -28,11 +31,44 @@ type state = {
   mutable matrix : int array array;
   mutable round : int;
   mutable collecting : bool;
+  mutable last_heard : float array;             (* per rank, engine time *)
+  mutable reported : bool array;                (* one D_suspect per silence *)
   mutable stop_timer : unit -> unit;
   mutable pulls : int;
 }
 
 let n_members t = match t.view with Some v -> View.size v | None -> 0
+
+let tnow t = Horus_sim.Engine.now t.env.Layer.engine
+
+(* Any wheel traffic from [rank] is evidence of life: the pull, ack
+   vector and matrix rounds give every live member a voice each
+   rotation, so silence longer than a few periods is meaningful. *)
+let heard t rank =
+  if t.suspect_after > 0.0 && rank >= 0 && rank < Array.length t.last_heard then begin
+    t.last_heard.(rank) <- tnow t;
+    t.reported.(rank) <- false
+  end
+
+(* Suspicion travels DOWN: PINWHEEL sits above the membership layer,
+   so a silent member is reported with D_suspect for MBRSHIP's
+   handle_down to pick up (same contract as the application's own
+   suspect downcall), once per continuous silence. *)
+let check_silence t =
+  if t.suspect_after > 0.0 then
+    match t.view with
+    | Some v when View.size v > 1 && t.my_rank >= 0 ->
+      let now = tnow t in
+      Array.iteri
+        (fun r last ->
+           if r <> t.my_rank && (not t.reported.(r))
+              && now -. last > t.suspect_after
+           then begin
+             t.reported.(r) <- true;
+             t.env.Layer.emit_down (Event.D_suspect [ View.nth v r ])
+           end)
+        t.last_heard
+    | Some _ | None -> ()
 
 let emit_matrix t =
   match t.view with
@@ -96,13 +132,16 @@ let on_view t v =
   t.own_acks <- Array.make n 0;
   t.matrix <- Array.make_matrix n n 0;
   t.round <- 0;
-  t.collecting <- false
+  t.collecting <- false;
+  t.last_heard <- Array.make n (tnow t);
+  t.reported <- Array.make n false
 
 let create params env =
   let t =
     { env;
       auto_ack = Params.get_bool params "auto_ack" ~default:true;
       period = Params.get_float params "period" ~default:0.05;
+      suspect_after = Params.get_float params "suspect_after" ~default:0.0;
       view = None;
       my_rank = -1;
       next_seq = 0;
@@ -110,10 +149,15 @@ let create params env =
       matrix = [||];
       round = 0;
       collecting = false;
+      last_heard = [||];
+      reported = [||];
       stop_timer = (fun () -> ());
       pulls = 0 }
   in
-  t.stop_timer <- Layer.every env ~period:t.period (fun () -> if my_turn t then do_pull t);
+  t.stop_timer <-
+    Layer.every env ~period:t.period (fun () ->
+        if my_turn t then do_pull t;
+        check_silence t);
   let handle_down (ev : Event.down) =
     match ev with
     | Event.D_cast m ->
@@ -130,6 +174,7 @@ let create params env =
   let handle_up (ev : Event.up) =
     match ev with
     | Event.U_cast (rank, m, meta) ->
+      heard t rank;
       (try
          let kind = Msg.pop_u8 m in
          if kind = k_data then begin
@@ -179,6 +224,7 @@ let create params env =
       env.Layer.emit_up ev
     | Event.U_send (rank, m, meta) ->
       (* Ack vectors arrive as sends; anything else passes through. *)
+      heard t rank;
       (try
          let kind = Msg.pop_u8 m in
          if kind = k_ackvec then begin

@@ -1,6 +1,10 @@
 (** PINWHEEL: stability via a rotating aggregator — one member per
     round pulls ack vectors and multicasts the merged matrix: O(n) per
     round against STABLE's O(n^2) gossip, at slower convergence
-    (experiment E11). Parameters [auto_ack], [period]. *)
+    (experiment E11). Parameters [auto_ack], [period], and
+    [suspect_after] (default 0 = off): a member silent on the wheel
+    longer than this is reported downward with D_suspect — PINWHEEL
+    sits above the membership layer, so suspicion uses the same
+    downcall contract as the application's own suspect request. *)
 
 val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

@@ -27,6 +27,7 @@ type state = {
   env : Layer.env;
   mutable my_rank : int;
   mutable holder : int;            (* believed token holder (rank) *)
+  mutable token_gen : int;         (* highest handover generation seen *)
   mutable next_gseq : int;         (* holder only: next number to assign *)
   mutable next_deliver : int;
   buffer : (int, int * Msg.t * Event.meta) Hashtbl.t;  (* gseq -> rank, msg, meta *)
@@ -41,11 +42,20 @@ let have_token t = t.my_rank >= 0 && t.holder = t.my_rank
 
 let cast_down t m = t.env.Layer.emit_down (Event.D_cast m)
 
+(* Handovers carry a strictly increasing generation. The layer below
+   only orders casts per origin, so two handovers from different ranks
+   can arrive in either order (a dropped one is repaired late); without
+   the generation a stale handover would overwrite the holder belief —
+   or make the actual holder abandon the token — and deadlock the
+   group. Only the unique holder ever increments, so the genuine chain
+   is strictly increasing and the latest always wins. *)
 let send_token t ~to_rank =
   t.token_passes <- t.token_passes + 1;
+  t.token_gen <- t.token_gen + 1;
   t.holder <- to_rank;
   let m = Msg.empty () in
   Msg.push_u32 m t.next_gseq;
+  Msg.push_u32 m t.token_gen;
   Msg.push_u16 m to_rank;
   Msg.push_u8 m k_token;
   cast_down t m
@@ -105,6 +115,7 @@ let on_view t v =
     leftovers;
   t.my_rank <- Option.value (View.rank_of v t.env.Layer.endpoint) ~default:(-1);
   t.holder <- 0;
+  t.token_gen <- 0;
   t.next_gseq <- 0;
   t.next_deliver <- 0;
   t.requested <- false;
@@ -119,6 +130,7 @@ let create (_ : Params.t) env =
     { env;
       my_rank = -1;
       holder = 0;
+      token_gen = 0;
       next_gseq = 0;
       next_deliver = 0;
       buffer = Hashtbl.create 32;
@@ -153,13 +165,20 @@ let create (_ : Params.t) env =
          end
          else if kind = k_token then begin
            let to_rank = Msg.pop_u16 m in
+           let gen = Msg.pop_u32 m in
            let gseq = Msg.pop_u32 m in
-           t.holder <- to_rank;
-           t.requests <- List.filter (fun r -> r <> to_rank) t.requests;
-           if to_rank = t.my_rank then begin
-             t.next_gseq <- gseq;
-             drain t
+           if gen > t.token_gen then begin
+             t.token_gen <- gen;
+             t.holder <- to_rank;
+             t.requests <- List.filter (fun r -> r <> to_rank) t.requests;
+             if to_rank = t.my_rank then begin
+               t.next_gseq <- gseq;
+               drain t
+             end
            end
+           else
+             env.Layer.trace ~category:"stale"
+               (Printf.sprintf "token gen %d <= %d" gen t.token_gen)
          end
          else env.Layer.trace ~category:"dropped" (Printf.sprintf "unknown kind %d" kind)
        with Msg.Truncated what -> env.Layer.trace ~category:"dropped" ("truncated " ^ what))
@@ -171,8 +190,9 @@ let create (_ : Params.t) env =
     handle_up;
     dump =
       (fun () ->
-         [ Printf.sprintf "rank=%d holder=%d next_deliver=%d buffered=%d pending=%d" t.my_rank
-             t.holder t.next_deliver (Hashtbl.length t.buffer) (Queue.length t.pending);
+         [ Printf.sprintf "rank=%d holder=%d gen=%d next_deliver=%d buffered=%d pending=%d"
+             t.my_rank t.holder t.token_gen t.next_deliver (Hashtbl.length t.buffer)
+             (Queue.length t.pending);
            Printf.sprintf "ordered=%d token_passes=%d" t.casts_ordered t.token_passes ]);
     inert = false;
     stop = (fun () -> ()) }

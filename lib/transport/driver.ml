@@ -25,16 +25,31 @@ type t = {
   t0_wall : float;
   t0_engine : float;
   max_tick : float;
+  min_sleep : float;
 }
 
-let create ?(max_tick = 0.05) engine backends =
+(* The sleep for one idle step, as a pure function so the clamp is
+   unit-testable. [until_timer] is how far away the next engine event
+   is; when it is zero or in the past (events scheduled behind the
+   wall clock, as a heavy chaos delay queue can produce), the sleep is
+   clamped up to [min_sleep] — a 0-timeout select degenerates into a
+   busy spin. The caller's [max_wait] still caps from above (and may
+   legitimately force 0: "don't sleep at all"). *)
+let sleep_for ?max_wait ~max_tick ~min_sleep ~until_timer () =
+  let w = Float.min max_tick (Float.max min_sleep until_timer) in
+  match max_wait with Some m -> Float.min w (Float.max 0.0 m) | None -> w
+
+let create ?(max_tick = 0.05) ?(min_sleep = 0.0005) engine backends =
   if max_tick <= 0.0 then invalid_arg "Driver.create: max_tick must be positive";
+  if min_sleep < 0.0 || min_sleep > max_tick then
+    invalid_arg "Driver.create: min_sleep must be within [0, max_tick]";
   { engine;
     backends;
     fds = List.filter_map (fun (b : Backend.t) -> b.Backend.fd) backends;
     t0_wall = Unix.gettimeofday ();
     t0_engine = Horus_sim.Engine.now engine;
-    max_tick }
+    max_tick;
+    min_sleep }
 
 (* Engine time corresponding to this wall-clock instant. *)
 let target t = t.t0_engine +. (Unix.gettimeofday () -. t.t0_wall)
@@ -62,8 +77,9 @@ let step ?max_wait t =
       | Some tm -> tm -. target t
       | None -> t.max_tick
     in
-    let wait = min t.max_tick (max 0.0 until_timer) in
-    let wait = match max_wait with Some w -> min wait (max 0.0 w) | None -> wait in
+    let wait =
+      sleep_for ?max_wait ~max_tick:t.max_tick ~min_sleep:t.min_sleep ~until_timer ()
+    in
     (if wait > 0.0 then
        match Unix.select t.fds [] [] wait with
        | _ -> ()

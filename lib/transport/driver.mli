@@ -8,9 +8,20 @@
 
 type t
 
-val create : ?max_tick:float -> Horus_sim.Engine.t -> Backend.t list -> t
+val create :
+  ?max_tick:float -> ?min_sleep:float -> Horus_sim.Engine.t -> Backend.t list -> t
 (** [max_tick] (default 0.05 s) caps any single sleep, bounding the
-    poll latency of fd-less backends such as loopback. *)
+    poll latency of fd-less backends such as loopback. [min_sleep]
+    (default 0.5 ms) floors it, so engine events stuck in the past
+    (e.g. a heavy chaos delay queue) cannot degrade the idle loop into
+    a 0-timeout busy spin. *)
+
+val sleep_for :
+  ?max_wait:float -> max_tick:float -> min_sleep:float -> until_timer:float -> unit ->
+  float
+(** The idle-step sleep: [until_timer] clamped into
+    [[min_sleep, max_tick]], then capped by [max_wait] (which may
+    force 0). Pure; exposed for unit tests. *)
 
 val now : t -> float
 (** Engine time corresponding to the current wall-clock instant. *)

@@ -8,7 +8,13 @@ type hub
 
 val hub : ?latency:float -> Horus_sim.Engine.t -> hub
 
+val pending_limit : int
+(** Datagrams arriving before the receiver installs its rx callback
+    are queued up to this many (the loopback analogue of SO_RCVBUF)
+    and flushed, in order, when [set_rx] runs; beyond the limit the
+    oldest queued datagram is dropped and counted. *)
+
 val create : ?addr:string -> hub -> Backend.t
 (** Bind a new backend on the hub. Raises [Invalid_argument] if [addr]
-    is already bound. Sends to unknown destinations, closed receivers
-    or receivers without an rx callback are counted as drops. *)
+    is already bound. Sends to unknown destinations or closed
+    receivers are counted as drops. *)

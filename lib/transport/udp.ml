@@ -82,7 +82,10 @@ let create ?(mtu = max_datagram) ~bind () =
   in
   let buf = Bytes.create 65_536 in
   let poll () =
-    if !closed then 0
+    (* No rx callback yet: leave datagrams in the kernel buffer rather
+       than reading and discarding them, so frames that arrive before
+       the stack attaches survive until it does. *)
+    if !closed || !rx = None then 0
     else begin
       let drained = ref 0 in
       let continue = ref true in
@@ -94,7 +97,9 @@ let create ?(mtu = max_datagram) ~bind () =
            | Some f ->
              stats.Backend.delivered <- stats.Backend.delivered + 1;
              f ~src:(string_of_sockaddr from) (Bytes.sub buf 0 n)
-           | None -> stats.Backend.dropped <- stats.Backend.dropped + 1);
+           | None ->
+             (* Unreachable: poll returns early without an rx. *)
+             stats.Backend.dropped <- stats.Backend.dropped + 1);
           incr drained
         | exception Unix.Unix_error ((EWOULDBLOCK | EAGAIN | EINTR), _, _) ->
           continue := false

@@ -1,0 +1,299 @@
+(* Chaos-transport robustness: the soak harness at acceptance-level
+   fault rates (determinism included), one-way partition recovery
+   replayed from the committed repro, suspicion-timeout behaviour
+   under short partitions, the NAK adaptive retransmission schedule
+   (Rto) as a unit, and the bounded pair retransmit buffer.
+
+   Everything runs in virtual time over the loopback hub; fixed seeds
+   make every case bit-reproducible. *)
+
+open Horus
+module T = Horus_transport
+module C = Horus_check
+module Rto = Horus_layers.Nak.Rto
+
+let spec = "TOTAL:MBRSHIP:FRAG:NAK:COM"
+
+(* --- soak harness -------------------------------------------------- *)
+
+let acceptance_profile =
+  { T.Chaos.default with
+    T.Chaos.drop = 0.10; duplicate = 0.02; reorder = 0.05; reorder_window = 8 }
+
+let acceptance_config =
+  { C.Soak.default_config with
+    C.Soak.c_name = "soak-acceptance"; c_spec = spec; c_n = 4; c_seed = 7;
+    c_profile = acceptance_profile; c_casts = 1000 }
+
+(* The acceptance gate: 1000 casts across 4 members at 10% drop / 2%
+   dup / reorder window 8 complete with zero violations, and a second
+   run of the same config lands on the identical metrics fingerprint —
+   chaos decisions, retransmissions and all. *)
+let soak_acceptance () =
+  let r1 = C.Soak.run acceptance_config in
+  Alcotest.(check int) "all casts scheduled" 1000 r1.C.Soak.rp_casts;
+  Alcotest.(check bool) "online slices ran" true (r1.C.Soak.rp_checks > 0);
+  (match (r1.C.Soak.rp_online, r1.C.Soak.rp_final) with
+   | [], [] -> ()
+   | online, final ->
+     Alcotest.failf "violations under chaos: %d online, %d final"
+       (List.length online) (List.length final));
+  let r2 = C.Soak.run acceptance_config in
+  Alcotest.(check bool) "second run clean" true (C.Soak.ok r2);
+  Alcotest.(check string) "outcome fingerprint stable"
+    (Printf.sprintf "%016Lx" r1.C.Soak.rp_outcome_fingerprint)
+    (Printf.sprintf "%016Lx" r2.C.Soak.rp_outcome_fingerprint);
+  Alcotest.(check string) "metrics fingerprint stable"
+    (Printf.sprintf "%016Lx" r1.C.Soak.rp_metrics_fingerprint)
+    (Printf.sprintf "%016Lx" r2.C.Soak.rp_metrics_fingerprint)
+
+(* A failing soak leaves a replayable repro behind, flagged as such. *)
+let soak_repro_on_violation () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "horus-soak-test" in
+  (* An impossible deadline: a permanent full partition between all
+     members while traffic flows must violate completeness. *)
+  let profile =
+    { T.Chaos.default with
+      T.Chaos.partitions =
+        List.concat_map
+          (fun a -> List.filter_map
+              (fun b -> if a = b then None
+                else Some { T.Chaos.pt_from = a; pt_to = b; pt_start = 0.0; pt_stop = None })
+              [ 0; 1 ])
+          [ 0; 1 ] }
+  in
+  let c =
+    { C.Soak.default_config with
+      C.Soak.c_name = "soak-dead"; c_spec = spec; c_n = 2; c_seed = 3;
+      c_profile = profile; c_casts = 10; c_quiesce = 1.0 }
+  in
+  let r = C.Soak.run ~repro_dir:dir c in
+  Alcotest.(check bool) "violation detected" false (C.Soak.ok r);
+  (match r.C.Soak.rp_repro with
+   | None -> Alcotest.fail "no repro saved"
+   | Some path ->
+     (match C.Repro.load path with
+      | Ok sc ->
+        Alcotest.(check bool) "flagged as violating" true sc.C.Scenario.expect_violation;
+        Alcotest.(check bool) "chaos section survives" true (sc.C.Scenario.chaos <> None)
+      | Error e -> Alcotest.failf "repro does not load: %s" e);
+     Sys.remove path)
+
+(* --- one-way partitions and suspicion timeouts --------------------- *)
+
+let final_members o =
+  match o.C.Invariant.o_final with Some (_, ms) -> ms | None -> []
+
+(* The committed repro: a 2-member group, a one-way block (member 1's
+   frames vanish, member 0's still arrive) held longer than NAK's
+   suspicion timeout. The survivor must converge to a clean singleton
+   view and the excluded member must EXIT (it hears the excluding
+   install over the still-open direction) — no stuck flush, no limbo. *)
+let oneway_exclusion () =
+  match C.Repro.load "repros/chaos-oneway-exclusion.json" with
+  | Error e -> Alcotest.failf "repro does not load: %s" e
+  | Ok sc ->
+    Alcotest.(check bool) "scenario is chaos-backed" true (sc.C.Scenario.chaos <> None);
+    let r = C.Runner.run sc in
+    Alcotest.(check int) "no violations" 0 (List.length r.C.Runner.r_violations);
+    let obs = r.C.Runner.r_obs in
+    let o0 = List.nth obs 0 and o1 = List.nth obs 1 in
+    Alcotest.(check bool) "survivor did not exit" false o0.C.Invariant.o_exited;
+    Alcotest.(check (list int)) "survivor's final view is itself alone" [ 0 ]
+      (final_members o0);
+    Alcotest.(check bool) "view actually changed" true
+      (List.length o0.C.Invariant.o_views > 0);
+    Alcotest.(check bool) "excluded member exited cleanly" true o1.C.Invariant.o_exited;
+    (* Everything cast before the partition was delivered everywhere. *)
+    List.iter
+      (fun o ->
+         Alcotest.(check int)
+           (Printf.sprintf "member %d delivered all pre-partition casts"
+              o.C.Invariant.o_member)
+           6 (List.length o.C.Invariant.o_casts))
+      obs
+
+(* Transient loss must not rule members out: the same one-way block
+   held well short of the suspicion timeout (NAK suspects after
+   [suspect_after] of silence) heals without any view change at all. *)
+let short_partition_no_exclusion () =
+  let profile =
+    { T.Chaos.default with
+      T.Chaos.partitions =
+        [ { T.Chaos.pt_from = 1; pt_to = 0; pt_start = 4.0; pt_stop = Some 4.1 } ] }
+  in
+  let sc =
+    C.Scenario.make ~name:"chaos-short-partition" ~seed:11 ~chaos:profile
+      ~ops:(List.init 6 (fun i -> { C.Scenario.op_member = i mod 2; op_at = 0.05 *. float_of_int i }))
+      ~run_for:4.0 ~spec ~n:2 ()
+  in
+  let r = C.Runner.run sc in
+  Alcotest.(check int) "no violations" 0 (List.length r.C.Runner.r_violations);
+  List.iter
+    (fun o ->
+       Alcotest.(check bool)
+         (Printf.sprintf "member %d still in" o.C.Invariant.o_member)
+         false o.C.Invariant.o_exited;
+       Alcotest.(check int)
+         (Printf.sprintf "member %d sees both members" o.C.Invariant.o_member)
+         2 (List.length (final_members o));
+       Alcotest.(check int)
+         (Printf.sprintf "member %d saw no view change" o.C.Invariant.o_member)
+         0 (List.length o.C.Invariant.o_views))
+    r.C.Runner.r_obs
+
+(* Shrinking a chaos scenario only ever quiets the profile: candidates
+   drop the section or zero one knob, never invent new faults. *)
+let shrink_quiets_chaos () =
+  let sc =
+    C.Scenario.make ~name:"shrink-me" ~seed:1
+      ~chaos:{ acceptance_profile with T.Chaos.partitions =
+                 [ { T.Chaos.pt_from = 0; pt_to = 1; pt_start = 1.0; pt_stop = None } ] }
+      ~ops:[ { C.Scenario.op_member = 0; op_at = 0.0 } ]
+      ~spec ~n:2 ()
+  in
+  let cands = C.Shrink.candidates sc in
+  Alcotest.(check bool) "some candidate drops the chaos section" true
+    (List.exists (fun c -> c.C.Scenario.chaos = None) cands);
+  Alcotest.(check bool) "some candidate zeroes the drop rate" true
+    (List.exists
+       (fun c ->
+          match c.C.Scenario.chaos with
+          | Some p -> p.T.Chaos.drop = 0.0 && p.T.Chaos.duplicate > 0.0
+          | None -> false)
+       cands);
+  Alcotest.(check bool) "some candidate sheds the partition" true
+    (List.exists
+       (fun c ->
+          match c.C.Scenario.chaos with
+          | Some p -> p.T.Chaos.partitions = [] && p.T.Chaos.drop > 0.0
+          | None -> false)
+       cands)
+
+(* --- NAK retransmission schedule (Rto) ----------------------------- *)
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* Jacobson/Karels bookkeeping: first sample seeds srtt = s and
+   rttvar = s/2; each further sample folds in with alpha = 1/8,
+   beta = 1/4; RTO = srtt + 4 * rttvar, clamped. *)
+let rto_estimator () =
+  let r = Rto.create ~init:0.1 ~min_rto:0.02 ~max_rto:2.0 () in
+  Alcotest.(check (option (float 1e-9))) "no estimate yet" None (Rto.srtt r);
+  feq "before any sample, RTO = init" 0.1 (Rto.rto r);
+  Rto.observe r 0.1;
+  Alcotest.(check (option (float 1e-9))) "first sample seeds srtt" (Some 0.1) (Rto.srtt r);
+  feq "rto = srtt + 4 * rttvar" 0.3 (Rto.rto r);
+  Rto.observe r 0.1;
+  (* rttvar = 0.75 * 0.05 + 0.25 * 0 = 0.0375; srtt stays 0.1. *)
+  feq "steady samples shrink the variance" (0.1 +. 4.0 *. 0.0375) (Rto.rto r);
+  Rto.observe r (-1.0);
+  feq "negative samples ignored" (0.1 +. 4.0 *. 0.0375) (Rto.rto r);
+  let tight = Rto.create ~init:0.5 ~min_rto:0.02 ~max_rto:2.0 () in
+  List.iter (fun _ -> Rto.observe tight 0.001) (List.init 50 Fun.id);
+  feq "min_rto floors the clamp" 0.02 (Rto.rto tight);
+  Rto.observe tight 100.0;
+  feq "max_rto caps the clamp" 2.0 (Rto.rto tight)
+
+(* The backoff schedule: first retransmission at RTO, then doubling,
+   capped at max_rto; [capped] reports when the cap is reached. *)
+let rto_backoff () =
+  let r = Rto.create ~init:0.1 ~min_rto:0.02 ~max_rto:2.0 () in
+  feq "first retransmit at RTO" 0.1 (Rto.backoff r ~attempt:0);
+  feq "second doubles" 0.2 (Rto.backoff r ~attempt:1);
+  feq "third doubles again" 0.4 (Rto.backoff r ~attempt:2);
+  feq "cap honored" 2.0 (Rto.backoff r ~attempt:10);
+  Alcotest.(check bool) "not capped early" false (Rto.capped r ~attempt:2);
+  Alcotest.(check bool) "capped at the ceiling" true (Rto.capped r ~attempt:10);
+  feq "backoff never exceeds max_rto" 2.0 (Rto.backoff r ~attempt:1000)
+
+(* Jitter is symmetric and bounded: base * (1 +/- frac). *)
+let rto_jitter () =
+  feq "u = 1/2 is the identity" 1.0 (Rto.with_jitter 1.0 ~frac:0.1 ~u:0.5);
+  feq "u = 0 is the lower bound" 0.9 (Rto.with_jitter 1.0 ~frac:0.1 ~u:0.0);
+  feq "u -> 1 approaches the upper bound" 1.1 (Rto.with_jitter 1.0 ~frac:0.1 ~u:1.0);
+  List.iter
+    (fun k ->
+       let u = float_of_int k /. 16.0 in
+       let j = Rto.with_jitter 0.25 ~frac:0.2 ~u in
+       Alcotest.(check bool)
+         (Printf.sprintf "u = %g within bounds" u)
+         true
+         (j >= 0.25 *. 0.8 -. 1e-12 && j <= 0.25 *. 1.2 +. 1e-12))
+    (List.init 17 Fun.id)
+
+let rto_validation () =
+  let raises f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  raises (fun () -> Rto.create ~min_rto:0.0 ());
+  raises (fun () -> Rto.create ~min_rto:0.5 ~max_rto:0.1 ());
+  raises (fun () -> Rto.create ~init:0.0 ())
+
+(* --- bounded pair retransmit buffer -------------------------------- *)
+
+let dump_field group key =
+  List.fold_left
+    (fun acc line ->
+       match acc with
+       | Some _ -> acc
+       | None ->
+         List.fold_left
+           (fun acc tok ->
+              match (acc, String.index_opt tok '=') with
+              | Some _, _ | _, None -> acc
+              | None, Some i ->
+                if String.sub tok 0 i = key then
+                  int_of_string_opt (String.sub tok (i + 1) (String.length tok - i - 1))
+                else None)
+           None
+           (String.split_on_char ' ' line))
+    None (Group.dump group)
+
+(* Unicasts into a black hole: the per-peer retransmit buffer evicts
+   its oldest entry beyond [pair_buffer_limit], so an unreachable peer
+   holds bounded memory no matter how much is queued behind it. *)
+let pair_buffer_eviction () =
+  let config = { Horus_sim.Net.default_config with drop_prob = 1.0 } in
+  let world = World.create ~config ~seed:5 () in
+  let g = World.fresh_group_addr world in
+  let limit = 4 in
+  let pspec = Printf.sprintf "NAK(pair_buffer_limit=%d):COM" limit in
+  let members = List.init 2 (fun _ -> Group.join (Endpoint.create world ~spec:pspec) g) in
+  let addrs = List.sort Addr.compare_endpoint (List.map Group.addr members) in
+  let v = View.create ~group:g ~ltime:0 ~members:addrs in
+  List.iter (fun m -> Group.install_view m v) members;
+  let a = List.nth members 0 and b = List.nth members 1 in
+  for k = 0 to 11 do
+    Group.send a [ Group.addr b ] (Printf.sprintf "s%d" k)
+  done;
+  World.run_for world ~duration:2.0;
+  (match dump_field a "unacked" with
+   | Some n ->
+     Alcotest.(check bool)
+       (Printf.sprintf "buffer bounded at the limit (%d <= %d)" n limit)
+       true (n <= limit)
+   | None -> Alcotest.fail "no unacked field in NAK dump");
+  Alcotest.(check (list string)) "black hole delivered nothing" [] (Group.casts b)
+
+let () =
+  Alcotest.run "chaos"
+    [ ( "soak",
+        [ Alcotest.test_case "acceptance: 1000 casts, 10% drop, deterministic" `Slow
+            soak_acceptance;
+          Alcotest.test_case "violation leaves a repro" `Quick soak_repro_on_violation ] );
+      ( "partition",
+        [ Alcotest.test_case "one-way partition: clean exclusion (committed repro)" `Slow
+            oneway_exclusion;
+          Alcotest.test_case "short partition: no false exclusion" `Slow
+            short_partition_no_exclusion;
+          Alcotest.test_case "shrink quiets chaos knobs" `Quick shrink_quiets_chaos ] );
+      ( "rto",
+        [ Alcotest.test_case "estimator follows Jacobson/Karels" `Quick rto_estimator;
+          Alcotest.test_case "backoff doubles to the cap" `Quick rto_backoff;
+          Alcotest.test_case "jitter is symmetric and bounded" `Quick rto_jitter;
+          Alcotest.test_case "parameter validation" `Quick rto_validation ] );
+      ( "nak",
+        [ Alcotest.test_case "pair retransmit buffer is bounded" `Quick
+            pair_buffer_eviction ] ) ]

@@ -48,6 +48,73 @@ let prop_frame_corruption =
        Bytes.set garbled pos (Char.chr (Char.code (Bytes.get garbled pos) lxor 0x40));
        match T.Frame.decode garbled with Error _ -> true | Ok _ -> false)
 
+(* A zero-length payload is a legal frame: exactly [overhead] bytes,
+   round-trips, and still rejects corruption. *)
+let frame_zero_length () =
+  let frame = T.Frame.encode ~src:(Addr.endpoint 5) ~group:(Addr.group 9) Bytes.empty in
+  Alcotest.(check int) "exactly overhead bytes" T.Frame.overhead (Bytes.length frame);
+  (match T.Frame.decode frame with
+   | Ok (hdr, body) ->
+     Alcotest.(check int) "src" 5 (Addr.endpoint_id hdr.T.Frame.h_src);
+     Alcotest.(check int) "empty body" 0 (Bytes.length body)
+   | Error e -> Alcotest.failf "zero-length frame rejected: %s" (T.Frame.error_to_string e));
+  for pos = 0 to Bytes.length frame - 1 do
+    let garbled = Bytes.copy frame in
+    Bytes.set garbled pos (Char.chr (Char.code (Bytes.get garbled pos) lxor 1));
+    match T.Frame.decode garbled with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted flip at byte %d of empty frame" pos
+  done
+
+(* Exhaustive single-bit corruption: every bit of every byte of a
+   small frame, deterministically — the quickcheck property above
+   samples this space, this test closes it. *)
+let frame_every_bit_flip () =
+  let frame =
+    T.Frame.encode ~src:(Addr.endpoint 7) ~group:(Addr.group 3)
+      (Bytes.of_string "chaos!")
+  in
+  for pos = 0 to Bytes.length frame - 1 do
+    for bit = 0 to 7 do
+      let garbled = Bytes.copy frame in
+      Bytes.set garbled pos (Char.chr (Char.code (Bytes.get garbled pos) lxor (1 lsl bit)));
+      match T.Frame.decode garbled with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted flip of bit %d at byte %d" bit pos
+    done
+  done
+
+(* A UDP-ceiling payload round-trips; truncating one byte off the end
+   is rejected. *)
+let frame_max_payload () =
+  let payload = Bytes.make (65_507 - T.Frame.overhead) '\xa5' in
+  let frame = T.Frame.encode ~src:(Addr.endpoint 1) ~group:(Addr.group 2) payload in
+  Alcotest.(check int) "fills the datagram" 65_507 (Bytes.length frame);
+  (match T.Frame.decode frame with
+   | Ok (_, body) -> Alcotest.(check bool) "body intact" true (Bytes.equal body payload)
+   | Error e -> Alcotest.failf "max-payload frame rejected: %s" (T.Frame.error_to_string e));
+  match T.Frame.decode (Bytes.sub frame 0 (Bytes.length frame - 1)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted truncated max-payload frame"
+
+(* Tampering with the declared length and fixing the CRC up still
+   fails: the paylen field must agree with the actual body size. *)
+let frame_length_mismatch () =
+  let frame = T.Frame.encode ~src:(Addr.endpoint 7) ~group:(Addr.group 3)
+      (Bytes.of_string "body") in
+  let garbled = Bytes.copy frame in
+  (* paylen is the u32 after magic(2) + version(1) + src(4) + gid(4). *)
+  let paylen_off = 11 in
+  Bytes.set_int32_be garbled paylen_off
+    (Int32.add (Bytes.get_int32_be garbled paylen_off) 1l);
+  let n = Bytes.length garbled in
+  Bytes.set_int32_be garbled (n - 4)
+    (Int32.of_int (Horus_util.Crc.crc32 garbled ~off:0 ~len:(n - 4)));
+  match T.Frame.decode garbled with
+  | Error (T.Frame.Length_mismatch { declared = 5; actual = 4 }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (T.Frame.error_to_string e)
+  | Ok _ -> Alcotest.fail "accepted length mismatch"
+
 let frame_version () =
   let frame =
     T.Frame.encode ~version:3 ~src:(Addr.endpoint 1) ~group:(Addr.group 0)
@@ -112,6 +179,48 @@ let loopback_raw () =
   a.T.Backend.send ~dest:b.T.Backend.local_addr (Bytes.of_string "late");
   Horus_sim.Engine.run engine;
   Alcotest.(check int) "closed receiver gets nothing" 1 b.T.Backend.stats.T.Backend.delivered
+
+(* Datagrams that beat the receiver's set_rx are queued and flushed in
+   order once the callback lands — the regression for the early-frame
+   drop, where a founder's first status frames raced a joiner's
+   attach. *)
+let loopback_early_rx () =
+  let engine = Horus_sim.Engine.create () in
+  let hub = T.Loopback.hub engine in
+  let a = T.Loopback.create hub and b = T.Loopback.create hub in
+  a.T.Backend.send ~dest:b.T.Backend.local_addr (Bytes.of_string "one");
+  a.T.Backend.send ~dest:b.T.Backend.local_addr (Bytes.of_string "two");
+  Horus_sim.Engine.run engine;
+  Alcotest.(check int) "queued, not dropped" 0 b.T.Backend.stats.T.Backend.dropped;
+  let got = ref [] in
+  b.T.Backend.set_rx (fun ~src:_ bytes -> got := Bytes.to_string bytes :: !got);
+  Alcotest.(check (list string)) "flushed in arrival order" [ "one"; "two" ] (List.rev !got);
+  a.T.Backend.send ~dest:b.T.Backend.local_addr (Bytes.of_string "three");
+  Horus_sim.Engine.run engine;
+  Alcotest.(check (list string)) "live delivery after the flush"
+    [ "one"; "two"; "three" ] (List.rev !got)
+
+(* The early-frame queue is bounded: beyond [pending_limit] the oldest
+   arrival is dropped and counted, so a never-attached receiver cannot
+   hold unbounded memory. *)
+let loopback_pending_bounded () =
+  let engine = Horus_sim.Engine.create () in
+  let hub = T.Loopback.hub engine in
+  let a = T.Loopback.create hub and b = T.Loopback.create hub in
+  let extra = 5 in
+  for k = 0 to T.Loopback.pending_limit + extra - 1 do
+    a.T.Backend.send ~dest:b.T.Backend.local_addr
+      (Bytes.of_string (string_of_int k))
+  done;
+  Horus_sim.Engine.run engine;
+  Alcotest.(check int) "oldest dropped" extra b.T.Backend.stats.T.Backend.dropped;
+  let first = ref None and count = ref 0 in
+  b.T.Backend.set_rx (fun ~src:_ bytes ->
+      if !first = None then first := Some (Bytes.to_string bytes);
+      incr count);
+  Alcotest.(check int) "limit survivors" T.Loopback.pending_limit !count;
+  Alcotest.(check (option string)) "oldest survivor"
+    (Some (string_of_int extra)) !first
 
 (* --- full stack over loopback (virtual time, deterministic) ------- *)
 
@@ -288,6 +397,24 @@ let driver_fires_timers () =
   Alcotest.(check bool) "not before its time" true (dt >= 0.045);
   Alcotest.(check bool) "not absurdly late" true (dt < 1.0)
 
+(* The idle-step sleep clamp, as a pure function: the select timeout
+   is [until_timer] clamped into [min_sleep, max_tick], then capped by
+   [max_wait] — which alone may force 0 (a caller in a hurry), so a
+   stuck-in-the-past timer queue can never busy-spin the idle loop. *)
+let driver_sleep_for () =
+  let f = T.Driver.sleep_for ~max_tick:0.05 ~min_sleep:0.0005 in
+  let check name expected got = Alcotest.(check (float 1e-12)) name expected got in
+  check "in range passes through" 0.01 (f ~until_timer:0.01 ());
+  check "short timer floored" 0.0005 (f ~until_timer:0.0001 ());
+  check "due timer floored" 0.0005 (f ~until_timer:0.0 ());
+  check "overdue timer floored" 0.0005 (f ~until_timer:(-3.0) ());
+  check "distant timer capped" 0.05 (f ~until_timer:10.0 ());
+  check "no timer capped" 0.05 (f ~until_timer:infinity ());
+  check "max_wait tightens" 0.002 (f ~max_wait:0.002 ~until_timer:0.01 ());
+  check "max_wait may force zero" 0.0 (f ~max_wait:0.0 ~until_timer:0.01 ());
+  check "negative max_wait clamps to zero" 0.0 (f ~max_wait:(-1.0) ~until_timer:0.01 ());
+  check "loose max_wait irrelevant" 0.01 (f ~max_wait:1.0 ~until_timer:0.01 ())
+
 (* Socket facade over loopback: recvfrom_timeout blocks on the driver
    and times out honestly. Group formation runs in virtual time first;
    only the receive itself uses the wall clock. *)
@@ -386,18 +513,25 @@ let () =
          [ QCheck_alcotest.to_alcotest prop_frame_roundtrip;
            QCheck_alcotest.to_alcotest prop_frame_truncation;
            QCheck_alcotest.to_alcotest prop_frame_corruption;
+           Alcotest.test_case "zero-length payload" `Quick frame_zero_length;
+           Alcotest.test_case "every single-bit flip rejected" `Quick frame_every_bit_flip;
+           Alcotest.test_case "max payload fills a datagram" `Quick frame_max_payload;
+           Alcotest.test_case "declared length must match" `Quick frame_length_mismatch;
            Alcotest.test_case "wrong version rejected" `Quick frame_version;
            Alcotest.test_case "bad magic rejected" `Quick frame_magic;
            Alcotest.test_case "crc32 check value" `Quick crc_check_value ] );
        ("peers", [ Alcotest.test_case "parse and canonical form" `Quick peers_parse ]);
        ( "loopback",
          [ Alcotest.test_case "raw datagrams and stats" `Quick loopback_raw;
+           Alcotest.test_case "early frames queue until set_rx" `Quick loopback_early_rx;
+           Alcotest.test_case "early-frame queue is bounded" `Quick loopback_pending_bounded;
            Alcotest.test_case "full stack: 1000 ordered casts" `Slow loopback_full_stack;
            Alcotest.test_case "snapshot deterministic" `Quick loopback_deterministic;
            Alcotest.test_case "bad-frame injection" `Quick bad_frame_injection ] );
        ( "driver",
          [ Alcotest.test_case "fires engine timers on the wall clock" `Quick
              driver_fires_timers;
+           Alcotest.test_case "sleep clamp" `Quick driver_sleep_for;
            Alcotest.test_case "socket recvfrom_timeout" `Quick socket_recvfrom_timeout ] )
      ]
      @

@@ -656,6 +656,95 @@ let t1_transport () =
      by the driver's select wake-up, not by the protocol stack.@."
 
 (* ------------------------------------------------------------------ *)
+(* T3 / Section 10 item 2: the fused fast path                         *)
+(* ------------------------------------------------------------------ *)
+
+(* The deterministic companion of E2/E8: a 2-member world on the
+   section-7 stack padded with NOOP layers, member 0 casting a paced
+   stream. With the fast path on, steady-state casts run through the
+   compiled closure pair — inert padding is skipped outright, so the
+   crossings-per-cast histogram stays flat (five participants) while
+   the stack depth grows; unfused, every cast crosses every layer.
+   Each depth also cross-checks delivery equivalence fused vs
+   unfused. *)
+let t3_world ~fastpath ~noops =
+  let spec =
+    String.concat ":"
+      (List.init noops (fun _ -> "NOOP")
+       @ [ "TOTAL"; "MBRSHIP"; "FRAG"; "NAK"; "COM" ])
+  in
+  let world = World.create ~seed:7 () in
+  let g = World.fresh_group_addr world in
+  let founder = Group.join ~fastpath (Endpoint.create world ~spec) g in
+  World.run_for world ~duration:0.3;
+  let other =
+    Group.join ~fastpath ~contact:(Group.addr founder) (Endpoint.create world ~spec) g
+  in
+  World.run_for world ~duration:3.0;
+  for i = 1 to 20 do
+    Group.cast founder (Printf.sprintf "t3-%d" i);
+    World.run_for world ~duration:0.05
+  done;
+  World.run_for world ~duration:1.0;
+  (world, [ Group.casts founder; Group.casts other ])
+
+let t3_fastpath () =
+  section "T3" "Section 10(2): fused fast path — crossings per cast flat in depth";
+  Horus_layers.Init.register_all ();
+  Format.printf "2 members, 20 casts; NOOP padding on top of the section-7 stack:@.@.";
+  Format.printf "  %5s  %10s  %13s  %9s  %12s  %13s  %10s@." "depth" "send_fused"
+    "deliver_fused" "fallbacks" "cast-xings" "all-ops-xings" "equivalent";
+  let rows = ref [] in
+  List.iter
+    (fun noops ->
+       let depth = noops + 5 in
+       let world, fused_casts = t3_world ~fastpath:true ~noops in
+       let _, plain_casts = t3_world ~fastpath:false ~noops in
+       let m = World.metrics world in
+       let count name = Horus_obs.Metrics.count (Horus_obs.Metrics.counter m name) in
+       let h = Horus_obs.Metrics.histogram m "fastpath.crossings_per_cast" in
+       let crossings =
+         match Horus_obs.Metrics.observations h with
+         | 0 -> 0.0
+         | n -> Horus_obs.Metrics.sum h /. float_of_int n
+       in
+       let fallbacks = count "fastpath.send_fallback" + count "fastpath.deliver_fallback" in
+       let equivalent = fused_casts = plain_casts in
+       (* Send-side crossings per application cast: a fused cast
+          crosses the five non-inert layers, a fallback crosses the
+          whole stack. (The histogram mean above also counts control
+          packets, which always take the full path.) *)
+       let cast_crossings =
+         let fused = count "fastpath.send_fused"
+         and fell = count "fastpath.send_fallback" in
+         if fused + fell = 0 then 0.0
+         else
+           float_of_int ((fused * 5) + (fell * depth)) /. float_of_int (fused + fell)
+       in
+       rows :=
+         J.Obj
+           [ ("stack_depth", J.Int depth);
+             ("send_fused", J.Int (count "fastpath.send_fused"));
+             ("deliver_fused", J.Int (count "fastpath.deliver_fused"));
+             ("fallbacks", J.Int fallbacks);
+             ("cast_send_crossings", J.Float cast_crossings);
+             ("all_ops_crossings", J.Float crossings);
+             ("pool_hits", J.Int (int_of_float (Horus_obs.Metrics.gauge_value
+                (Horus_obs.Metrics.gauge m "fastpath.pool_hits"))));
+             ("equivalent_deliveries", J.Bool equivalent) ]
+         :: !rows;
+       Format.printf "  %5d  %10d  %13d  %9d  %12.1f  %13.1f  %10b@." depth
+         (count "fastpath.send_fused") (count "fastpath.deliver_fused") fallbacks
+         cast_crossings crossings equivalent)
+    [ 0; 2; 6; 10 ];
+  record_sim "t3_fastpath" (J.List (List.rev !rows));
+  Format.printf
+    "@.shape check: cast crossings stay at 5 (the non-inert layers) at every@.\
+     depth — the full path's figure is the depth itself, which is what the@.\
+     all-ops column (control packets included) drifts toward. Pool hits@.\
+     climbing means steady-state casts stopped allocating header blocks.@."
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -677,6 +766,7 @@ let experiments =
     ("E13", false, e13_detection_ablation);
     ("MBRSHIP", true, e_mbrship_metrics);
     ("T1", true, t1_transport);
+    ("T3", true, t3_fastpath);
     ("M1", false, m1_models) ]
 
 let () =

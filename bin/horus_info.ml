@@ -493,8 +493,14 @@ let soak_cmd =
     Arg.(value & opt (some string) None
          & info [ "save" ] ~doc:"Directory to write a repro file into on violation.")
   in
+  let fastpath_arg =
+    Arg.(value & flag
+         & info [ "fastpath" ]
+             ~doc:"Enable the fused steady-state fast path (outcome-equivalent; \
+                   the soak invariants hold either way).")
+  in
   let run spec n seed casts period duration check drop dup reorder window delay corrupt
-      profile report save =
+      profile report save fastpath =
     let module C = Horus_check in
     let module Ch = Horus.Transport.Chaos in
     let profile =
@@ -527,7 +533,7 @@ let soak_cmd =
         c_duration = duration;
         c_check_every = check }
     in
-    let r = C.Soak.run ?repro_dir:save config in
+    let r = C.Soak.run ?repro_dir:save ~fastpath config in
     Format.printf
       "soak %s: %d casts, %d members, %d online checks, %.1f virtual seconds@." spec
       r.C.Soak.rp_casts n r.C.Soak.rp_checks r.C.Soak.rp_elapsed;
@@ -559,7 +565,8 @@ let soak_cmd =
              (exit 1 on violation)")
     Term.(const run $ spec_arg $ n_arg $ seed_arg $ casts_arg $ period_arg
           $ duration_arg $ check_arg $ drop_arg $ dup_arg $ reorder_arg $ window_arg
-          $ delay_arg $ corrupt_arg $ profile_arg $ report_arg $ save_arg)
+          $ delay_arg $ corrupt_arg $ profile_arg $ report_arg $ save_arg
+          $ fastpath_arg)
 
 (* One member of a real multi-OS-process deployment over UDP: bind the
    rank's address from the shared peer book, join the group (rank 0

@@ -68,7 +68,8 @@ let concretize sc cfg (r : Runner.result) =
   in
   with_sched sc cfg ~choices ~walk:None
 
-let explore ?(config = default_config) ?(skip_inert = false) (sc : Scenario.t) =
+let explore ?(config = default_config) ?(skip_inert = false) ?(fastpath = false)
+    (sc : Scenario.t) =
   let cfg = config in
   let seen = Hashtbl.create 251 in
   let runs = ref 0 and distinct = ref 0 and truncated = ref false in
@@ -95,7 +96,10 @@ let explore ?(config = default_config) ?(skip_inert = false) (sc : Scenario.t) =
       frontier := rest;
       if !runs >= cfg.max_runs then truncated := true
       else begin
-        let r = Runner.run ~skip_inert (with_sched sc cfg ~choices:prefix ~walk:None) in
+        let r =
+          Runner.run ~skip_inert ~fastpath
+            (with_sched sc cfg ~choices:prefix ~walk:None)
+        in
         note_run r;
         if !found = None then begin
           let plen = List.length prefix in
@@ -123,7 +127,7 @@ let explore ?(config = default_config) ?(skip_inert = false) (sc : Scenario.t) =
     end
     else begin
       let r =
-        Runner.run ~skip_inert
+        Runner.run ~skip_inert ~fastpath
           (with_sched sc cfg ~choices:[] ~walk:(Some (cfg.walk_seed + !w)))
       in
       note_run r;

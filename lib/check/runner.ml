@@ -108,7 +108,7 @@ let chaos_fabric world spec n seed (profile : Horus_transport.Chaos.profile) lat
          block_groups groups);
     fb_heal = (fun () -> T.Chaos.heal chaos) }
 
-let run ?(skip_inert = false) ?observe (sc : Scenario.t) =
+let run ?(skip_inert = false) ?(fastpath = false) ?observe (sc : Scenario.t) =
   let world =
     World.create ~config:(Scenario.net_config sc.Scenario.net) ~seed:sc.Scenario.seed ()
   in
@@ -120,13 +120,13 @@ let run ?(skip_inert = false) ?observe (sc : Scenario.t) =
         sc.Scenario.net.Scenario.latency
   in
   let g = World.fresh_group_addr world in
-  let founder = Group.join ~skip_inert (fabric.fb_endpoint 0) g in
+  let founder = Group.join ~skip_inert ~fastpath (fabric.fb_endpoint 0) g in
   World.run_for world ~duration:sc.Scenario.join_spacing;
   let rest =
     List.init (sc.Scenario.n - 1) (fun i ->
         let m =
-          Group.join ~skip_inert ~contact:(Group.addr founder) (fabric.fb_endpoint (i + 1))
-            g
+          Group.join ~skip_inert ~fastpath ~contact:(Group.addr founder)
+            (fabric.fb_endpoint (i + 1)) g
         in
         World.run_for world ~duration:sc.Scenario.join_spacing;
         m)

@@ -17,6 +17,7 @@ type result = {
 
 val run :
   ?skip_inert:bool ->
+  ?fastpath:bool ->
   ?observe:(Horus.World.t -> (unit -> Invariant.obs list) -> unit) ->
   Scenario.t -> result
 (** Joins [n] members (spaced by [join_spacing]), settles, then plays

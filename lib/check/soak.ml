@@ -100,7 +100,7 @@ let prefix_violations obs =
   @ Invariant.per_origin_fifo ~tag:Runner.tag obs
   @ Invariant.delivery_in_view ~tag:Runner.tag obs
 
-let run ?repro_dir ?(skip_inert = false) c =
+let run ?repro_dir ?(skip_inert = false) ?(fastpath = false) c =
   let sc = scenario_of_config c in
   let checks = ref 0 in
   let online = ref [] in
@@ -128,7 +128,7 @@ let run ?repro_dir ?(skip_inert = false) c =
         metrics := Horus.World.metrics_json world;
         elapsed := Horus.World.now world)
   in
-  let r = Runner.run ~skip_inert ~observe sc in
+  let r = Runner.run ~skip_inert ~fastpath ~observe sc in
   let failed = !online <> [] || r.Runner.r_violations <> [] in
   let repro =
     if failed then Repro.save ?dir:repro_dir { sc with Scenario.expect_violation = true }

@@ -51,7 +51,7 @@ type report = {
           directory was configured *)
 }
 
-val run : ?repro_dir:string -> ?skip_inert:bool -> config -> report
+val run : ?repro_dir:string -> ?skip_inert:bool -> ?fastpath:bool -> config -> report
 (** Execute the soak. On violation a repro file (with
     [expect_violation] set) is saved to [repro_dir] (default:
     [$HORUS_REPRO_DIR], best-effort). *)

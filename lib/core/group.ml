@@ -71,7 +71,7 @@ let record_up t (ev : Event.up) =
   | _ -> ()
 
 let join ?contact ?on_up ?(auto_flush_ok = true) ?(record = true) ?(skip_inert = false)
-    endpoint group =
+    ?(fastpath = false) endpoint group =
   let world = Endpoint.world endpoint in
   let gid = Addr.group_id group in
   let rec t =
@@ -86,6 +86,7 @@ let join ?contact ?on_up ?(auto_flush_ok = true) ?(record = true) ?(skip_inert =
             ~rendezvous:(World.rendezvous world)
             ~storage:(World.storage world)
             ~skip_inert
+            ~fastpath
             ~metrics:(World.metrics world)
             ~trace:(fun ~layer ~category detail ->
                 World.(Horus_sim.Trace.record (trace world)) ~time:(World.now world)

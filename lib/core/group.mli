@@ -21,6 +21,7 @@ val join :
   ?auto_flush_ok:bool ->
   ?record:bool ->
   ?skip_inert:bool ->
+  ?fastpath:bool ->
   Endpoint.t -> Addr.group -> t
 (** Instantiate the endpoint's stack for [group] and issue the join
     downcall. [None] contact founds a singleton group; [Some c] merges
@@ -30,7 +31,10 @@ val join :
     it off for long-running benchmarks. [skip_inert] (default false)
     enables the Section 10 layer-skipping optimization, bypassing
     inert layers at emission time — observable behaviour must not
-    change (test/test_conformance.ml asserts the equivalence). *)
+    change (test/test_conformance.ml asserts the equivalence).
+    [fastpath] (default false) enables the fused steady-state cast
+    path (see {!Horus_hcpi.Stack.create}); likewise
+    outcome-preserving, asserted by test/test_fastpath.ml. *)
 
 (** {1 Table 1 downcalls} *)
 

@@ -42,6 +42,51 @@ type storage = {
 let null_storage =
   { append = (fun ~key:_ _ -> ()); read = (fun ~key:_ -> []); truncate = (fun ~key:_ -> ()) }
 
+(* Fused fast path (the Section 10 remedies, taken further): a layer
+   may offer the stack a compiled form of its steady-state cast
+   handling. The stack strings the per-layer pieces into one closure
+   pair and runs casts through them without touching the event queue.
+
+   Discipline: the [*_ready]/[*_check] phases must be pure with
+   respect to outcome-visible state (pops on the message are fine —
+   the stack restores them on fallback), so that a [false] anywhere
+   can fall back to the full stack and re-execute from scratch. All
+   mutation belongs in the commit phases, which run only once every
+   check has passed and must reproduce the full path's effects
+   exactly. *)
+type fastpath = {
+  fp_send_ready : len:int -> bool;
+      (* may this layer's send work be fused for an [len]-byte
+         application payload? Pure. *)
+  fp_send : Seg.t -> unit;
+      (* commit: push this layer's header(s) and apply the side
+         effects the full down-path would have had. *)
+  fp_deliver_check : rank:int -> meta:Event.meta -> Msg.t -> bool;
+      (* pop this layer's header(s) and decide whether the packet is
+         the undisturbed next-in-order cast. May stash scratch for the
+         commit; must not mutate outcome-visible state. *)
+  fp_deliver_commit : rank:int -> meta:Event.meta -> Msg.t -> unit;
+      (* apply the side effects the full up-path would have had. *)
+}
+
+(* The bottom layer (the network adapter, e.g. COM) both frames
+   outgoing casts and recognises incoming ones, so it gets its own
+   shape. *)
+type fp_bottom = {
+  fpb_send_ready : unit -> bool;
+  fpb_cast : Seg.t -> (Msg.t * int * Event.meta) option;
+      (* frame, gather and transmit the cast; returns the local copy
+         (message, self rank, meta) when the sender is itself a
+         destination, for delivery through the normal queue. *)
+  fpb_parse : Msg.t -> (int * Event.meta) option;
+      (* strip the envelope of an incoming packet; [Some (rank, meta)]
+         when it is a well-formed cast from a current member. Pure but
+         for pops. *)
+  fpb_parsed : unit -> unit;
+      (* commit for a fused delivery (e.g. bump the received
+         counter). *)
+}
+
 type env = {
   engine : Horus_sim.Engine.t;
   endpoint : Addr.endpoint;
@@ -58,6 +103,18 @@ type env = {
   emit_down : Event.down -> unit; (* toward the network *)
   set_timer : delay:float -> (unit -> unit) -> Horus_sim.Engine.handle;
   trace : category:string -> string -> unit;
+  fp_register : (unit -> fastpath option) -> unit;
+      (* offer a fast-path compiler; called at most once, from the
+         constructor. The stack invokes the compiler lazily whenever
+         the path must be (re)built; [None] means "not fusable right
+         now". *)
+  fp_register_bottom : (unit -> fp_bottom option) -> unit;
+      (* ditto, for the bottom adapter layer. *)
+  fp_invalidate : unit -> unit;
+      (* tear down any compiled path; the layer must call this when it
+         leaves steady state in a way no view event announces (e.g. a
+         NAK repair begins, the token moves). Cheap when no path is
+         compiled. *)
 }
 
 type instance = {

@@ -34,6 +34,27 @@ type storage = {
 
 val null_storage : storage
 
+type fastpath = {
+  fp_send_ready : len:int -> bool;
+  fp_send : Seg.t -> unit;
+  fp_deliver_check : rank:int -> meta:Event.meta -> Msg.t -> bool;
+  fp_deliver_commit : rank:int -> meta:Event.meta -> Msg.t -> unit;
+}
+(** One layer's compiled steady-state cast handling. Ready/check
+    phases must be pure apart from pops on the message (restored on
+    fallback); all mutation belongs in the commit phases, which must
+    reproduce the full path's effects exactly. *)
+
+type fp_bottom = {
+  fpb_send_ready : unit -> bool;
+  fpb_cast : Seg.t -> (Msg.t * int * Event.meta) option;
+  fpb_parse : Msg.t -> (int * Event.meta) option;
+  fpb_parsed : unit -> unit;
+}
+(** The bottom adapter's compiled form: frame-and-transmit on the way
+    down ([fpb_cast] returns the local copy when the sender is a
+    destination), envelope recognition on the way up. *)
+
 type env = {
   engine : Horus_sim.Engine.t;
   endpoint : Addr.endpoint;
@@ -49,6 +70,13 @@ type env = {
   emit_down : Event.down -> unit;
   set_timer : delay:float -> (unit -> unit) -> Horus_sim.Engine.handle;
   trace : category:string -> string -> unit;
+  fp_register : (unit -> fastpath option) -> unit;
+      (** offer a fast-path compiler (from the constructor, at most
+          once); invoked lazily whenever the path is (re)built *)
+  fp_register_bottom : (unit -> fp_bottom option) -> unit;
+  fp_invalidate : unit -> unit;
+      (** tear down any compiled path — for steady-state exits no view
+          event announces (NAK repair, token handover, flush) *)
 }
 
 type instance = {

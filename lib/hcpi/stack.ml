@@ -28,6 +28,27 @@ type obs = {
   below_emissions : Horus_obs.Metrics.counter;       (* hcpi.to_below *)
 }
 
+(* A compiled fast path: the participating (non-inert, non-bottom)
+   layers' fused handlers in top-to-bottom order, plus the bottom
+   adapter's framing pair. Recomputed lazily after any dirtying event
+   (view change, explicit invalidation). *)
+type fp_path = {
+  fps : Layer.fastpath array;  (* top to bottom, bottom adapter excluded *)
+  fpb : Layer.fp_bottom;
+}
+
+type fp_obs = {
+  fp_send_fused : Horus_obs.Metrics.counter;
+  fp_send_fallback : Horus_obs.Metrics.counter;
+  fp_deliver_fused : Horus_obs.Metrics.counter;
+  fp_deliver_fallback : Horus_obs.Metrics.counter;
+  fp_compiles : Horus_obs.Metrics.counter;
+  fp_invalidations : Horus_obs.Metrics.counter;
+  fp_crossings : Horus_obs.Metrics.histogram;  (* layer crossings per cast *)
+  fp_pool_hits : Horus_obs.Metrics.gauge;
+  fp_pool_misses : Horus_obs.Metrics.gauge;
+}
+
 type t = {
   mutable layers : Layer.instance array;  (* 0 = top *)
   names : string array;
@@ -38,6 +59,15 @@ type t = {
   obs : obs option;
   to_app : Event.up -> unit;
   to_below : Event.down -> unit;
+  skip_inert : bool;
+  (* --- fused fast path (Section 10's remedies, combined) --- *)
+  fp_enabled : bool;
+  fp_pool : Horus_msg.Pool.t;               (* header blocks for Seg *)
+  fp_send_compilers : (unit -> Layer.fastpath option) option array;
+  fp_bottom_compilers : (unit -> Layer.fp_bottom option) option array;
+  mutable fp_path : fp_path option;
+  mutable fp_dirty : bool;                  (* recompile before next use *)
+  fp_obs : fp_obs option;
 }
 
 let default_to_below ev =
@@ -59,7 +89,15 @@ let process t item =
   match item with
   | Down (i, ev) -> t.layers.(i).Layer.handle_down ev
   | Up (i, ev) -> t.layers.(i).Layer.handle_up ev
-  | To_app ev -> t.to_app ev
+  | To_app ev ->
+    (* A view reaching the application means membership settled into a
+       new epoch: any compiled fast path is stale. *)
+    (match ev with
+     | Event.U_view _ when t.fp_enabled ->
+       t.fp_path <- None;
+       t.fp_dirty <- true
+     | _ -> ());
+    t.to_app ev
   | To_below ev -> t.to_below ev
   | Thunk f -> f ()
 
@@ -86,9 +124,183 @@ let enqueue t item =
     drain t
   end
 
+(* --- the fused fast path -------------------------------------------
+
+   When a stack is in steady state, a cast crosses every layer twice
+   (down on send, up on delivery) through the event queue — the
+   "indirect procedure call each time a layer boundary is crossed"
+   that Section 10 identifies as the dominant cost. The fast path
+   compiles the per-layer crossings into one closure pair and runs
+   steady-state casts through them directly, with the message body
+   carried zero-copy in a segment list.
+
+   Safety comes from the check/commit split (see Layer.fastpath): a
+   cast is fused only when every participating layer agrees, *before*
+   any outcome-visible mutation, that the event is the undisturbed
+   common case. Any disagreement falls back to the full stack, which
+   re-executes the event from scratch — so a conservative check is
+   always sound. The path is recompiled lazily after view changes and
+   explicit invalidations (NAK repair, token handover, flush). *)
+
+let fp_mark_dirty t =
+  if t.fp_enabled then begin
+    t.fp_path <- None;
+    t.fp_dirty <- true
+  end
+
+let fp_invalidate_path t =
+  if t.fp_enabled then begin
+    (match t.fp_path, t.fp_obs with
+     | Some _, Some o -> Horus_obs.Metrics.incr o.fp_invalidations
+     | _ -> ());
+    fp_mark_dirty t
+  end
+
+(* (Re)compile: every non-inert layer above the bottom must offer a
+   fused form right now, and the bottom adapter must offer its framing
+   pair. Inert layers are skipped outright — they forward everything
+   untouched, so omitting them is outcome-equivalent whether or not
+   the queue-level [skip_inert] optimization is on. A failed compile
+   leaves the path empty; it is retried on the next dirtying event
+   (every transition that could enable fusing involves one). *)
+let fp_compile t =
+  t.fp_dirty <- false;
+  t.fp_path <- None;
+  let bottom = Array.length t.layers - 1 in
+  match t.fp_bottom_compilers.(bottom) with
+  | None -> ()
+  | Some compile_bottom ->
+    (match compile_bottom () with
+     | None -> ()
+     | Some fpb ->
+       let ok = ref true in
+       let acc = ref [] in
+       for i = bottom - 1 downto 0 do
+         if !ok && not t.layers.(i).Layer.inert then
+           match t.fp_send_compilers.(i) with
+           | None -> ok := false
+           | Some c ->
+             (match c () with
+              | None -> ok := false
+              | Some fp -> acc := fp :: !acc)
+       done;
+       if !ok then begin
+         t.fp_path <- Some { fps = Array.of_list !acc; fpb };
+         match t.fp_obs with
+         | Some o -> Horus_obs.Metrics.incr o.fp_compiles
+         | None -> ()
+       end)
+
+let fp_sync_pool_gauges t =
+  match t.fp_obs with
+  | None -> ()
+  | Some o ->
+    Horus_obs.Metrics.set o.fp_pool_hits
+      (float_of_int (Horus_msg.Pool.hits t.fp_pool));
+    Horus_obs.Metrics.set o.fp_pool_misses
+      (float_of_int (Horus_msg.Pool.misses t.fp_pool))
+
+(* The splice precondition: fused events may only replace queue
+   processing when the queue has nothing in flight — otherwise
+   ordering relative to queued events would change. *)
+let fp_ready t =
+  t.fp_enabled && not t.destroyed && not t.running
+  && Horus_util.Fifo.is_empty t.queue
+  && begin
+    if t.fp_dirty then fp_compile t;
+    t.fp_path <> None
+  end
+
+(* Replicates the bottom layer's [emit_up]: the sender's own copy of a
+   fused cast is delivered through the normal queue, exactly as the
+   full path's local delivery would be. *)
+let fp_emit_above_bottom t ev =
+  let rec next_up i =
+    if i < 0 then -1
+    else if t.skip_inert && t.layers.(i).Layer.inert then next_up (i - 1)
+    else i
+  in
+  let j = next_up (Array.length t.layers - 2) in
+  enqueue t (if j < 0 then To_app ev else Up (j, ev))
+
+let fp_try_send t m =
+  fp_ready t
+  && match t.fp_path with
+     | None -> false
+     | Some p ->
+       let len = Horus_msg.Msg.length m in
+       Array.for_all (fun (fp : Layer.fastpath) -> fp.Layer.fp_send_ready ~len) p.fps
+       && p.fpb.Layer.fpb_send_ready ()
+       && begin
+         (* Commit: headers pushed top to bottom onto a segment list
+            that aliases the application payload; the bottom adapter
+            gathers once and transmits. *)
+         let seg = Horus_msg.Seg.of_msg t.fp_pool m in
+         Array.iter (fun (fp : Layer.fastpath) -> fp.Layer.fp_send seg) p.fps;
+         let local = p.fpb.Layer.fpb_cast seg in
+         Horus_msg.Seg.dispose seg;
+         (match t.fp_obs with
+          | Some o ->
+            Horus_obs.Metrics.incr o.fp_send_fused;
+            Horus_obs.Metrics.observe o.fp_crossings
+              (float_of_int (Array.length p.fps + 1))
+          | None -> ());
+         fp_sync_pool_gauges t;
+         (match local with
+          | Some (lm, rank, meta) ->
+            fp_emit_above_bottom t (Event.U_cast (rank, lm, meta))
+          | None -> ());
+         true
+       end
+
+let fp_try_deliver t m =
+  fp_ready t
+  && match t.fp_path with
+     | None -> false
+     | Some p ->
+       let mark = Horus_msg.Msg.mark m in
+       let nf = Array.length p.fps in
+       (* Check phase: pops only. The bottom adapter strips the
+          envelope, then each layer (bottom to top) pops its own
+          headers and votes. A short or foreign packet simply falls
+          back — the full stack re-parses from the restored mark. *)
+       let verdict =
+         try
+           match p.fpb.Layer.fpb_parse m with
+           | None -> None
+           | Some (rank, meta) ->
+             let ok = ref true in
+             let i = ref (nf - 1) in
+             while !ok && !i >= 0 do
+               if not (p.fps.(!i).Layer.fp_deliver_check ~rank ~meta m) then
+                 ok := false;
+               decr i
+             done;
+             if !ok then Some (rank, meta) else None
+         with Horus_msg.Msg.Truncated _ -> None
+       in
+       (match verdict with
+        | None ->
+          Horus_msg.Msg.restore m mark;
+          false
+        | Some (rank, meta) ->
+          (* Commit phase, in full-path effect order: bottom first. *)
+          p.fpb.Layer.fpb_parsed ();
+          for j = nf - 1 downto 0 do
+            p.fps.(j).Layer.fp_deliver_commit ~rank ~meta m
+          done;
+          (match t.fp_obs with
+           | Some o ->
+             Horus_obs.Metrics.incr o.fp_deliver_fused;
+             Horus_obs.Metrics.observe o.fp_crossings (float_of_int (nf + 1))
+           | None -> ());
+          fp_sync_pool_gauges t;
+          t.to_app (Event.U_cast (rank, m, meta));
+          true)
+
 let create ~engine ~endpoint ~group ~prng ~transport ~rendezvous
-    ?(storage = Layer.null_storage) ?(skip_inert = false) ?metrics ~trace ~to_app
-    ?(to_below = default_to_below) spec =
+    ?(storage = Layer.null_storage) ?(skip_inert = false) ?(fastpath = false)
+    ?metrics ~trace ~to_app ?(to_below = default_to_below) spec =
   let n = List.length spec in
   if n = 0 then invalid_arg "Stack.create: empty spec";
   let names = Array.of_list (List.map (fun (name, _, _) -> name) spec) in
@@ -103,6 +315,26 @@ let create ~engine ~endpoint ~group ~prng ~transport ~rendezvous
            below_emissions = Horus_obs.Metrics.counter m "hcpi.to_below" })
       metrics
   in
+  let fp_obs =
+    if not fastpath then None
+    else
+      Option.map
+        (fun m ->
+           { fp_send_fused = Horus_obs.Metrics.counter m "fastpath.send_fused";
+             fp_send_fallback = Horus_obs.Metrics.counter m "fastpath.send_fallback";
+             fp_deliver_fused = Horus_obs.Metrics.counter m "fastpath.deliver_fused";
+             fp_deliver_fallback =
+               Horus_obs.Metrics.counter m "fastpath.deliver_fallback";
+             fp_compiles = Horus_obs.Metrics.counter m "fastpath.compiles";
+             fp_invalidations = Horus_obs.Metrics.counter m "fastpath.invalidations";
+             fp_crossings =
+               Horus_obs.Metrics.histogram
+                 ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32. |]
+                 m "fastpath.crossings_per_cast";
+             fp_pool_hits = Horus_obs.Metrics.gauge m "fastpath.pool_hits";
+             fp_pool_misses = Horus_obs.Metrics.gauge m "fastpath.pool_misses" })
+        metrics
+  in
   let t =
     { layers = [||];
       names;
@@ -112,7 +344,15 @@ let create ~engine ~endpoint ~group ~prng ~transport ~rendezvous
       processed = 0;
       obs;
       to_app;
-      to_below }
+      to_below;
+      skip_inert;
+      fp_enabled = fastpath;
+      fp_pool = Horus_msg.Pool.create ();
+      fp_send_compilers = Array.make n None;
+      fp_bottom_compilers = Array.make n None;
+      fp_path = None;
+      fp_dirty = fastpath;  (* compile lazily, once the stack settles *)
+      fp_obs }
   in
   (* Layer-skipping (Section 10, remedy 1): with [skip_inert], an
      emission bypasses any run of inert layers in its direction. The
@@ -145,7 +385,10 @@ let create ~engine ~endpoint ~group ~prng ~transport ~rendezvous
       { Layer.engine; endpoint; group; params;
         prng = Horus_util.Prng.copy prng;
         transport; rendezvous; storage; metrics; emit_up; emit_down; set_timer;
-        trace = (fun ~category detail -> trace ~layer:name ~category detail) }
+        trace = (fun ~category detail -> trace ~layer:name ~category detail);
+        fp_register = (fun c -> t.fp_send_compilers.(i) <- Some c);
+        fp_register_bottom = (fun c -> t.fp_bottom_compilers.(i) <- Some c);
+        fp_invalidate = (fun () -> fp_invalidate_path t) }
     in
     ctor params env
   in
@@ -160,11 +403,38 @@ let layer_names t = Array.to_list t.names
 
 (* Application-level downcall: enters at the top. (The top entry is
    not skipped even when inert: entry points stay stable for focus and
-   accounting; only inter-layer hops are optimized.) *)
-let down t ev = enqueue t (Down (0, ev))
+   accounting; only inter-layer hops are optimized.) Casts try the
+   fused path first; everything else — and any cast the path declines
+   — takes the full queue, with views dirtying the compiled path on
+   the way in. *)
+let down t ev =
+  (match ev with Event.D_view _ -> fp_mark_dirty t | _ -> ());
+  let fused = match ev with Event.D_cast m -> fp_try_send t m | _ -> false in
+  if not fused then begin
+    (match ev, t.fp_obs with
+     | Event.D_cast _, Some o ->
+       Horus_obs.Metrics.incr o.fp_send_fallback;
+       Horus_obs.Metrics.observe o.fp_crossings
+         (float_of_int (Array.length t.layers))
+     | _ -> ());
+    enqueue t (Down (0, ev))
+  end
 
-(* Network ingress: enters at the bottom layer as an upcall. *)
-let inject_up t ev = enqueue t (Up (Array.length t.layers - 1, ev))
+(* Network ingress: enters at the bottom layer as an upcall; packets
+   try the fused delivery path first. *)
+let inject_up t ev =
+  let fused =
+    match ev with Event.U_packet (_, m) -> fp_try_deliver t m | _ -> false
+  in
+  if not fused then begin
+    (match ev, t.fp_obs with
+     | Event.U_packet _, Some o ->
+       Horus_obs.Metrics.incr o.fp_deliver_fallback;
+       Horus_obs.Metrics.observe o.fp_crossings
+         (float_of_int (Array.length t.layers))
+     | _ -> ());
+    enqueue t (Up (Array.length t.layers - 1, ev))
+  end
 
 (* Run a thunk under the stack's event-queue discipline. *)
 let post t f = enqueue t (Thunk f)

@@ -16,6 +16,7 @@ val create :
   rendezvous:Layer.rendezvous ->
   ?storage:Layer.storage ->
   ?skip_inert:bool ->
+  ?fastpath:bool ->
   ?metrics:Horus_obs.Metrics.t ->
   trace:(layer:string -> category:string -> string -> unit) ->
   to_app:(Event.up -> unit) ->
@@ -29,7 +30,15 @@ val create :
     crossing increments an [hcpi.down.<LAYER>] / [hcpi.up.<LAYER>]
     counter (plus [hcpi.to_app] / [hcpi.to_below] for events leaving
     the stack); counters are keyed by layer name, so all stacks over
-    one registry accumulate into the same per-layer totals. *)
+    one registry accumulate into the same per-layer totals.
+
+    With [fastpath], steady-state casts are fused: when the queue is
+    idle and every participating layer has compiled a fused form (see
+    {!Layer.fastpath}), a cast crosses the stack as one direct
+    closure-pair call with its body carried zero-copy, falling back to
+    the full queue on any disagreement. Fused traffic reports under
+    [fastpath.*] metrics instead of the per-crossing [hcpi.*]
+    counters. *)
 
 val depth : t -> int
 

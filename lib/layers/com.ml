@@ -174,6 +174,59 @@ let dump t () =
     Printf.sprintf "sent=%d received=%d rejected=%d filtered=%d" t.sent t.received t.rejected
       t.filtered ]
 
+(* Fused form (bottom adapter): frame-and-transmit on the way down,
+   envelope recognition on the way up. The compile captures the
+   destination set; the physical-equality guard in [fpb_send_ready]
+   catches replacements no view event announces (D_join, D_leave).
+   The gathered wire image is shared across destinations — every
+   transport copies on ingestion, so sharing is safe where the full
+   path's per-destination [Msg.to_bytes] would have copied. *)
+let compile_fastpath t () =
+  if Array.length t.dests = 0 then None
+  else begin
+    let dests = t.dests in
+    let self = t.env.Layer.endpoint in
+    let self_eid = Addr.endpoint_id self in
+    let self_rank = rank_of_dest t self in
+    let local_wanted = t.loopback && self_rank <> None in
+    let send_meta = [ (src_meta, self_eid) ] in
+    Some
+      { Layer.fpb_send_ready = (fun () -> t.dests == dests);
+        fpb_cast =
+          (fun seg ->
+             (* local copy before the envelope, as in handle_down *)
+             let local = if local_wanted then Some (Seg.to_msg seg) else None in
+             Seg.push_u32 seg self_eid;
+             Seg.push_u8 seg (kind_code Cast);
+             Seg.push_u16 seg (Seg.length seg land 0xffff);
+             Seg.push_u16 seg magic;
+             let wire = Seg.to_wire seg in
+             Array.iter
+               (fun dst ->
+                  if not (Addr.equal_endpoint dst self) then begin
+                    t.sent <- t.sent + 1;
+                    t.env.Layer.transport.Layer.xmit ~dst wire
+                  end)
+               dests;
+             match (local, self_rank) with
+             | Some lm, Some r -> Some (lm, r, send_meta)
+             | _ -> None);
+        fpb_parse =
+          (fun m ->
+             let mg = Msg.pop_u16 m in
+             let len = Msg.pop_u16 m in
+             if mg <> magic || len <> Msg.length m land 0xffff then None
+             else if Msg.pop_u8 m <> kind_code Cast then None
+             else
+               let src = Wire.pop_endpoint m in
+               (* members only: rank -1 (and the filter) stay on the
+                  full path *)
+               match rank_of_dest t src with
+               | None -> None
+               | Some r -> Some (r, [ (src_meta, Addr.endpoint_id src) ]));
+        fpb_parsed = (fun () -> t.received <- t.received + 1) }
+  end
+
 let create params env =
   let t =
     { env;
@@ -185,6 +238,7 @@ let create params env =
       rejected = 0;
       filtered = 0 }
   in
+  env.Layer.fp_register_bottom (compile_fastpath t);
   { Layer.name = "COM";
     handle_down = handle_down t;
     handle_up = handle_up t;

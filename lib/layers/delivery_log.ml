@@ -27,6 +27,14 @@ let size t = Hashtbl.length t.store
 
 let next_expected t origin = Option.value (Hashtbl.find_opt t.delivered origin) ~default:0
 
+let ooo_pending t = Hashtbl.length t.ooo
+
+(* The fused-delivery commit: exactly [accept]'s in-order branch with
+   an empty stash — advance the origin's lane and log the payload. *)
+let advance t ~origin ~seq ~payload =
+  Hashtbl.replace t.delivered origin (seq + 1);
+  record t ~origin ~seq payload
+
 (* Deliver origin's cast in sequence via [deliver]; stash
    ahead-of-sequence arrivals; drop duplicates. *)
 let rec accept t ~origin ~seq ~rank m meta ~deliver =

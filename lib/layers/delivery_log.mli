@@ -14,6 +14,14 @@ val record : t -> origin:int -> seq:int -> string -> unit
 val size : t -> int
 val next_expected : t -> int -> int
 
+val ooo_pending : t -> int
+(** Messages stashed ahead of sequence, over all origins. *)
+
+val advance : t -> origin:int -> seq:int -> payload:string -> unit
+(** {!accept}'s in-order branch with an empty stash: advance the
+    origin's lane past [seq] and log [payload] — the fused-delivery
+    commit. *)
+
 val accept :
   t ->
   origin:int -> seq:int -> rank:int ->

@@ -91,6 +91,22 @@ let create params env =
       env.Layer.emit_down ev
     | _ -> env.Layer.emit_down ev
   in
+  (* Fused form: single-fragment casts only. The send check sees the
+     application payload length, before upper layers add headers, so
+     it keeps a conservative 64-byte slack — whenever the fused check
+     passes, the full path would not have fragmented either (and a
+     false negative merely falls back). Delivery fuses the common
+     unfragmented case: more-flag clear and no partial pending from
+     that origin. *)
+  env.Layer.fp_register (fun () ->
+      Some
+        { Layer.fp_send_ready = (fun ~len -> len + 64 <= t.frag_size);
+          fp_send = (fun seg -> Seg.push_bool seg false);
+          fp_deliver_check =
+            (fun ~rank:_ ~meta m ->
+               (not (Msg.pop_bool m))
+               && not (Hashtbl.mem t.cast_partial (src_of meta)));
+          fp_deliver_commit = (fun ~rank:_ ~meta:_ _ -> ()) });
   let handle_up (ev : Event.up) =
     match ev with
     | Event.U_cast (rank, m, meta) ->

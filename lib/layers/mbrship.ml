@@ -277,6 +277,7 @@ let adopt_view t v =
    the group we no longer belong to. *)
 let go_exited t =
   if t.phase <> Exited then begin
+    t.env.Layer.fp_invalidate ();
     t.phase <- Exited;
     Hashtbl.reset t.pending_suspects;
     t.env.Layer.rendezvous.Layer.withdraw t.env.Layer.group (me t);
@@ -324,6 +325,7 @@ let start_flush t ~failed ~leavers ~joiners ~merge_into =
       fl_needs_reply = false;
       fl_replied = false }
   in
+  t.env.Layer.fp_invalidate ();
   t.phase <- Flushing fl;
   t.env.Layer.trace ~category:"flush"
     (Printf.sprintf "start round=%d failed=%d joiners=%d" fl.fl_round (List.length failed)
@@ -409,6 +411,7 @@ let handle_flush_req t ~src:_ m =
   | Normal when Addr.equal_endpoint coord (me t) ->
     ()  (* stale loopback of a flush we already finished *)
   | Normal | Flushing _ ->
+    t.env.Layer.fp_invalidate ();
     t.phase <-
       Flushing
         { fl_coord = coord;
@@ -970,6 +973,48 @@ let make ~name ~forward_unstable_default params env =
       ctl_sent = 0 }
   in
   t.stop_timer <- Layer.every env ~period:t.stab_period (fun () -> cast_stab t);
+  (* Fused form: data casts in phase Normal only. The delivery check
+     insists the packet is origin's exact next expected cast with an
+     empty out-of-order stash, and declines anything from a supposedly
+     failed member (conservative: even with ignore_stragglers off, the
+     full path — which would deliver it — handles that case). The
+     commit logs the payload as seen *at this layer* — the stash/mark
+     dance recovers it after the layers above popped their headers. *)
+  env.Layer.fp_register (fun () ->
+      let chk_pos = ref (0, 0) in
+      let chk_origin = ref (-1) in
+      let chk_seq = ref 0 in
+      Some
+        { Layer.fp_send_ready = (fun ~len:_ -> t.phase = Normal);
+          fp_send =
+            (fun seg ->
+               let seq = t.next_seq in
+               t.next_seq <- seq + 1;
+               Delivery_log.record t.log ~origin:(my_eid t) ~seq (Seg.contents seg);
+               Seg.push_u32 seg seq;
+               Seg.push_u8 seg k_data);
+          fp_deliver_check =
+            (fun ~rank:_ ~meta m ->
+               t.phase = Normal
+               && Msg.pop_u8 m = k_data
+               && begin
+                 let seq = Msg.pop_u32 m in
+                 let origin = src_of meta in
+                 (not (ESet.exists (fun e -> Addr.endpoint_id e = origin) t.failed_set))
+                 && seq = Delivery_log.next_expected t.log origin
+                 && Delivery_log.ooo_pending t.log = 0
+                 && begin
+                   chk_pos := Msg.mark m;
+                   chk_origin := origin;
+                   chk_seq := seq;
+                   true
+                 end
+               end);
+          fp_deliver_commit =
+            (fun ~rank:_ ~meta:_ m ->
+               heard_from t !chk_origin;
+               Delivery_log.advance t.log ~origin:!chk_origin ~seq:!chk_seq
+                 ~payload:(Msg.to_string_at m !chk_pos)) });
   { Layer.name;
     handle_down = handle_down t;
     handle_up = handle_up t;

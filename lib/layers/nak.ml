@@ -235,6 +235,8 @@ let send_nak t ~origin ~from_seq ~to_seq =
       tnow -. lane.cr_last_nak_at > wait
   in
   if due then begin
+    (* Repair traffic is about to flow: not steady state. *)
+    t.env.Layer.fp_invalidate ();
     if lane.cr_last_nak_for = from_seq then begin
       lane.cr_nak_attempts <- lane.cr_nak_attempts + 1;
       if Rto.capped t.rto ~attempt:lane.cr_nak_attempts then
@@ -338,7 +340,8 @@ let handle_nak_cast t ~requester m =
   let epoch = Msg.pop_u32 m in
   let from_seq = Msg.pop_u32 m in
   let to_seq = Msg.pop_u32 m in
-  if epoch = t.epoch then
+  if epoch = t.epoch then begin
+    t.env.Layer.fp_invalidate ();
     for seq = from_seq to to_seq do
       match Hashtbl.find_opt t.cast_buffer seq with
       | Some framed ->
@@ -352,6 +355,7 @@ let handle_nak_cast t ~requester m =
         Msg.push_u8 ph k_placeholder;
         xmit_to t (Addr.endpoint requester) ph
     done
+  end
 
 let status_message t =
   let m = Msg.empty () in
@@ -642,6 +646,64 @@ let create params env =
       duplicates = 0 }
   in
   t.stop_timer <- Layer.every env ~period:status_period (on_timer t);
+  (* Fused form. Sends always fuse (a cast is stamped and buffered
+     unconditionally). Deliveries fuse only for an exactly-in-order
+     data cast of the current epoch with nothing buffered out of
+     order — i.e. no gap, no NAK, no drain loop — and the commit
+     replays the full path's effects: liveness bookkeeping, lane
+     advance, and the RTT close-out for a gap a late original just
+     closed. The check stashes what the commit needs; the two always
+     run back to back within one fused delivery. *)
+  env.Layer.fp_register (fun () ->
+      let chk_src = ref (-1) in
+      let chk_seq = ref 0 in
+      Some
+        { Layer.fp_send_ready = (fun ~len:_ -> true);
+          fp_send =
+            (fun seg ->
+               let seq = t.cast_next_seq in
+               t.cast_next_seq <- seq + 1;
+               Seg.push_u32 seg seq;
+               Seg.push_u32 seg t.epoch;
+               Seg.push_u8 seg k_data_cast;
+               Hashtbl.replace t.cast_buffer seq (Seg.to_msg seg);
+               if Hashtbl.length t.cast_buffer > t.buffer_limit then begin
+                 let oldest =
+                   Hashtbl.fold (fun s _ acc -> Int.min s acc) t.cast_buffer max_int
+                 in
+                 Hashtbl.remove t.cast_buffer oldest
+               end);
+          fp_deliver_check =
+            (fun ~rank:_ ~meta m ->
+               Msg.pop_u8 m = k_data_cast
+               && Msg.pop_u32 m = t.epoch
+               && begin
+                 let seq = Msg.pop_u32 m in
+                 let src = src_of meta in
+                 let lane = recv_lane t src in
+                 seq = lane.cr_expected
+                 && Hashtbl.length lane.cr_ooo = 0
+                 && begin
+                   chk_src := src;
+                   chk_seq := seq;
+                   true
+                 end
+               end);
+          fp_deliver_commit =
+            (fun ~rank:_ ~meta:_ _ ->
+               let src = !chk_src in
+               heard t src;
+               let lane = recv_lane t src in
+               lane.cr_expected <- !chk_seq + 1;
+               if
+                 lane.cr_last_nak_at >= 0.0
+                 && lane.cr_expected > lane.cr_last_nak_for
+               then begin
+                 observe_rtt t (now t -. lane.cr_last_nak_at);
+                 lane.cr_last_nak_at <- -1.0;
+                 lane.cr_last_nak_for <- -1;
+                 lane.cr_nak_attempts <- 0
+               end) });
   { Layer.name = "NAK";
     handle_down = handle_down t;
     handle_up = handle_up t;

@@ -50,6 +50,8 @@ let cast_down t m = t.env.Layer.emit_down (Event.D_cast m)
    group. Only the unique holder ever increments, so the genuine chain
    is strictly increasing and the latest always wins. *)
 let send_token t ~to_rank =
+  (* The token is moving: not steady state. *)
+  t.env.Layer.fp_invalidate ();
   t.token_passes <- t.token_passes + 1;
   t.token_gen <- t.token_gen + 1;
   t.holder <- to_rank;
@@ -147,6 +149,30 @@ let create (_ : Params.t) env =
       if have_token t then drain t else request_token t
     | _ -> env.Layer.emit_down ev
   in
+  (* Fused form: only the token holder with a drained backlog and no
+     outstanding requests can fuse a send (the assignment is then
+     exactly what [drain] would stamp); a delivery fuses only for the
+     very next global sequence number with nothing else buffered. Any
+     token movement invalidates the compiled path. *)
+  env.Layer.fp_register (fun () ->
+      Some
+        { Layer.fp_send_ready =
+            (fun ~len:_ ->
+               have_token t && Queue.is_empty t.pending && t.requests = []);
+          fp_send =
+            (fun seg ->
+               Seg.push_u32 seg t.next_gseq;
+               Seg.push_u8 seg k_ordered;
+               t.next_gseq <- t.next_gseq + 1;
+               t.casts_ordered <- t.casts_ordered + 1;
+               t.requested <- false);
+          fp_deliver_check =
+            (fun ~rank:_ ~meta:_ m ->
+               Msg.pop_u8 m = k_ordered
+               && Msg.pop_u32 m = t.next_deliver
+               && Hashtbl.length t.buffer = 0);
+          fp_deliver_commit =
+            (fun ~rank:_ ~meta:_ _ -> t.next_deliver <- t.next_deliver + 1) });
   let handle_up (ev : Event.up) =
     match ev with
     | Event.U_cast (rank, m, meta) ->
@@ -168,6 +194,7 @@ let create (_ : Params.t) env =
            let gen = Msg.pop_u32 m in
            let gseq = Msg.pop_u32 m in
            if gen > t.token_gen then begin
+             env.Layer.fp_invalidate ();
              t.token_gen <- gen;
              t.holder <- to_rank;
              t.requests <- List.filter (fun r -> r <> to_rank) t.requests;

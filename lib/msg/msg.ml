@@ -172,6 +172,38 @@ let replace t b =
   t.off <- default_headroom;
   t.len <- n
 
+(* --- positions, for speculative parsing ---
+
+   Pops only move [off]/[len]; they never write into the buffer. A
+   caller may therefore save the position, pop ahead to inspect
+   headers, and restore to undo the pops exactly — the fast-path
+   engine's check phase relies on this to fall back to the full stack
+   without perturbing the message. Pushes DO write before [off], so a
+   mark taken before a push must not be restored across it. *)
+
+type pos = int * int
+
+let mark t = (t.off, t.len)
+
+let restore t (off, len) =
+  if off < 0 || len < 0 || off + len > Bytes.length t.buf then
+    invalid_arg "Msg.restore";
+  t.off <- off;
+  t.len <- len
+
+(* The live bytes as of a saved position, without moving the message —
+   how a layer snapshots "the message as I saw it" during a check
+   phase whose later stages keep popping. *)
+let to_string_at t (off, len) =
+  if off < 0 || len < 0 || off + len > Bytes.length t.buf then
+    invalid_arg "Msg.to_string_at";
+  Bytes.sub_string t.buf off len
+
+(* Aliasing read view (buffer, offset, length) of the live bytes. The
+   segment-list message uses it to reference a payload without
+   blitting; the view is invalidated by any mutation of [t]. *)
+let view t = (t.buf, t.off, t.len)
+
 let equal a b = to_string a = to_string b
 
 let pp fmt t =

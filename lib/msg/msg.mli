@@ -56,5 +56,23 @@ val append : t -> Bytes.t -> unit
 val replace : t -> Bytes.t -> unit
 (** Replace the live bytes wholesale (compression, encryption). *)
 
+type pos = int * int
+(** A saved read position. Pops never write into the buffer, so a
+    position taken before a run of pops restores them exactly; do not
+    restore across a push (pushes write before the offset). *)
+
+val mark : t -> pos
+
+val restore : t -> pos -> unit
+(** Undo the pops performed since [mark]. *)
+
+val to_string_at : t -> pos -> string
+(** The live bytes as of a saved position, without moving the
+    message. *)
+
+val view : t -> Bytes.t * int * int
+(** Aliasing (buffer, offset, length) view of the live bytes; no copy.
+    Invalidated by any mutation of the message. *)
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -39,7 +39,8 @@ let sleep_for ?max_wait ~max_tick ~min_sleep ~until_timer () =
   let w = Float.min max_tick (Float.max min_sleep until_timer) in
   match max_wait with Some m -> Float.min w (Float.max 0.0 m) | None -> w
 
-let create ?(max_tick = 0.05) ?(min_sleep = 0.0005) engine backends =
+let create ?(max_tick = Defaults.max_tick) ?(min_sleep = Defaults.min_sleep) engine
+    backends =
   if max_tick <= 0.0 then invalid_arg "Driver.create: max_tick must be positive";
   if min_sleep < 0.0 || min_sleep > max_tick then
     invalid_arg "Driver.create: min_sleep must be within [0, max_tick]";

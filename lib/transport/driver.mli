@@ -10,9 +10,10 @@ type t
 
 val create :
   ?max_tick:float -> ?min_sleep:float -> Horus_sim.Engine.t -> Backend.t list -> t
-(** [max_tick] (default 0.05 s) caps any single sleep, bounding the
-    poll latency of fd-less backends such as loopback. [min_sleep]
-    (default 0.5 ms) floors it, so engine events stuck in the past
+(** [max_tick] (default {!Defaults.max_tick}) caps any single sleep,
+    bounding the poll latency of fd-less backends such as loopback.
+    [min_sleep] (default {!Defaults.min_sleep}) floors it, so engine
+    events stuck in the past
     (e.g. a heavy chaos delay queue) cannot degrade the idle loop into
     a 0-timeout busy spin. *)
 

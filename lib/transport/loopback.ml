@@ -28,7 +28,7 @@ type entry = {
 
 (* Arrivals held for a not-yet-attached receiver; beyond this they are
    dropped oldest-first, like a full kernel receive buffer. *)
-let pending_limit = 1024
+let pending_limit = Defaults.pending_limit
 
 type hub = {
   engine : Horus_sim.Engine.t;

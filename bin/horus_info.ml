@@ -385,7 +385,7 @@ let explore_cmd =
              if caster <> None && caster <> Some i then []
              else
                List.init casts (fun k ->
-                   { C.Scenario.op_member = i; op_at = 0.02 +. (0.04 *. float_of_int k) })))
+                   { C.Scenario.op_member = i; op_at = 0.02 +. (0.04 *. float_of_int k); op_pad = 0 })))
     in
     let faults =
       (match crash with
@@ -568,6 +568,112 @@ let soak_cmd =
           $ delay_arg $ corrupt_arg $ profile_arg $ report_arg $ save_arg
           $ fastpath_arg)
 
+(* The property-algebra conformance sweep: synthesize well-formed
+   stacks, derive each one's contract, run them under a chaos matrix,
+   and check exactly the invariant slice the algebra promises. Exit 1
+   when any stack falsifies its contract (each failure ships a shrunk
+   repro and a layer-bug vs encoding-bug classification). *)
+let conformance_cmd =
+  let stacks_arg =
+    Arg.(value & opt int 100
+         & info [ "stacks" ] ~doc:"Distinct synthesized stacks to sweep.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 11
+         & info [ "seed" ] ~doc:"Generator + scenario seed (the sweep is a pure \
+                                 function of it).")
+  in
+  let depth_arg =
+    Arg.(value & opt int 5 & info [ "max-depth" ] ~doc:"Max layers per stack.")
+  in
+  let profiles_arg =
+    Arg.(value & opt string "clean,drop,reorder"
+         & info [ "profiles" ]
+             ~doc:"Comma-separated chaos profiles (clean, drop, reorder).")
+  in
+  let report_arg =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE" ~doc:"Write the full JSON report here.")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~doc:"Directory for shrunk repro files on violation.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No per-run progress lines.")
+  in
+  let run stacks seed depth profiles report save quiet =
+    let module C = Horus_check in
+    let module P = Horus_props.Property in
+    let cf_profiles =
+      List.map
+        (fun name ->
+           match C.Conformance.profile_named name with
+           | Some p -> (name, p)
+           | None ->
+             Format.eprintf "conformance: unknown profile %s (have: %s)@." name
+               (String.concat ", " (List.map fst C.Conformance.profiles));
+             exit 2)
+        (String.split_on_char ',' profiles)
+    in
+    let cf =
+      { C.Conformance.cf_seed = seed;
+        cf_stacks = stacks;
+        cf_max_depth = depth;
+        cf_profiles;
+        cf_save = save }
+    in
+    let progress =
+      if quiet then None else Some (fun line -> Format.printf "%s@." line)
+    in
+    let r = C.Conformance.sweep ?progress cf in
+    Format.printf "conformance: %d stacks x %d profiles = %d runs, %d failures@."
+      r.C.Conformance.rp_stacks (List.length cf_profiles) r.C.Conformance.rp_runs
+      r.C.Conformance.rp_failures;
+    Format.printf "sweep fingerprint %016Lx@." r.C.Conformance.rp_fingerprint;
+    List.iter
+      (fun v ->
+         if not (C.Conformance.verdict_ok v) then begin
+           Format.printf "FALSIFIED %s under %s (contract %s)@."
+             v.C.Conformance.vd_spec v.C.Conformance.vd_profile
+             (P.Set.to_string v.C.Conformance.vd_props);
+           List.iter
+             (fun (p, vs) ->
+                Format.printf "  %a: %d violation(s)@." P.pp p (List.length vs);
+                List.iter
+                  (fun viol -> Format.printf "    %a@." C.Invariant.pp_violation viol)
+                  vs)
+             v.C.Conformance.vd_violations;
+           List.iter
+             (fun (_, b) ->
+                Format.printf "  %s@." (Horus_props.Contract.classification b))
+             v.C.Conformance.vd_blames;
+           match v.C.Conformance.vd_repro with
+           | Some path -> Format.printf "  repro written to %s@." path
+           | None -> ()
+         end)
+      r.C.Conformance.rp_verdicts;
+    (match report with
+     | Some path ->
+       let oc = open_out path in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () ->
+            output_string oc
+              (Horus_obs.Json.to_string ~indent:true
+                 (C.Conformance.report_json r));
+            output_string oc "\n");
+       Format.printf "report written to %s@." path
+     | None -> ());
+    if C.Conformance.ok r then Format.printf "all contracts held@." else exit 1
+  in
+  Cmd.v
+    (Cmd.info "conformance"
+       ~doc:"Fuzz synthesized stacks against their algebra-derived contracts \
+             (exit 1 when a contract is falsified)")
+    Term.(const run $ stacks_arg $ seed_arg $ depth_arg $ profiles_arg $ report_arg
+          $ save_arg $ quiet_arg)
+
 (* One member of a real multi-OS-process deployment over UDP: bind the
    rank's address from the shared peer book, join the group (rank 0
    founds it, the rest join via rank 0 as contact — MBRSHIP's merge
@@ -648,7 +754,7 @@ let node_cmd =
     if formed then
       for k = 0 to casts - 1 do
         World.after world ~delay:(interval *. float_of_int (k + 1)) (fun () ->
-            Group.cast gr (I.payload ~tag:'o' ~origin:rank ~k))
+            Group.cast gr (I.payload ~tag:'o' ~origin:rank ~k ()))
       done;
     let expect = n * casts in
     let complete =
@@ -816,5 +922,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ layers_cmd; table3_cmd; table4_cmd; check_cmd; synth_cmd; order_cmd;
-            simulate_cmd; metrics_cmd; replay_cmd; explore_cmd; soak_cmd; node_cmd;
-            ping_cmd ]))
+            simulate_cmd; metrics_cmd; replay_cmd; explore_cmd; soak_cmd;
+            conformance_cmd; node_cmd; ping_cmd ]))

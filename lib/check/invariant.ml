@@ -39,7 +39,19 @@ let pp_violation fmt v = Format.fprintf fmt "%s: %s" v.v_property v.v_detail
    only to prefix properties. *)
 let survivors obs = List.filter (fun o -> not (o.o_crashed || o.o_left || o.o_exited)) obs
 
-(* Payloads are "<tag><origin>-<k>"; parse the origin and rank. *)
+(* Payloads are "<tag><origin>-<k>" with optional padding
+   "<tag><origin>-<k>+xxx..." (a '+' then filler) used to drive casts
+   past fragmentation thresholds. The parse is strict on the tail —
+   digits, or digits '+' then only 'x's — so a garbled byte anywhere
+   in a payload still makes it unparseable rather than aliasing to a
+   different rank. *)
+(* Decimal digits only: int_of_string_opt also accepts hex/octal/
+   binary prefixes and '_' separators, which would let a garbled
+   "0x7" alias to rank 7. *)
+let decimal_opt s =
+  if s = "" || not (String.for_all (fun c -> c >= '0' && c <= '9') s) then None
+  else int_of_string_opt s
+
 let parse_payload ~tag p =
   let len = String.length p in
   if len < 4 || p.[0] <> tag then None
@@ -47,14 +59,26 @@ let parse_payload ~tag p =
     match String.index_opt p '-' with
     | None -> None
     | Some dash ->
-      (match
-         ( int_of_string_opt (String.sub p 1 (dash - 1)),
-           int_of_string_opt (String.sub p (dash + 1) (len - dash - 1)) )
-       with
+      let body = String.sub p (dash + 1) (len - dash - 1) in
+      let rank =
+        match String.index_opt body '+' with
+        | None -> decimal_opt body
+        | Some plus ->
+          let digits = String.sub body 0 plus in
+          let filler_ok =
+            let ok = ref true in
+            String.iteri (fun i c -> if i > plus && c <> 'x' then ok := false) body;
+            !ok
+          in
+          if filler_ok then decimal_opt digits else None
+      in
+      (match (decimal_opt (String.sub p 1 (dash - 1)), rank) with
        | Some origin, Some k -> Some (origin, k)
        | _ -> None)
 
-let payload ~tag ~origin ~k = Printf.sprintf "%c%d-%03d" tag origin k
+let payload ?(pad = 0) ~tag ~origin ~k () =
+  let base = Printf.sprintf "%c%d-%03d" tag origin k in
+  if pad <= 0 then base else base ^ "+" ^ String.make (max 0 (pad - 1)) 'x'
 
 let stream_of ~tag ~origin o =
   List.filter_map
@@ -63,6 +87,33 @@ let stream_of ~tag ~origin o =
        | Some (og, k) when og = origin -> Some k
        | _ -> None)
     o.o_casts
+
+(* P12 over best-effort stacks: delivery is not guaranteed, but
+   whatever *is* delivered must be a faithfully reassembled payload —
+   it parses, and names a cast the origin actually issued. A torn or
+   misordered reassembly fails the parse (the pad filler is strict);
+   a fabricated rank lands out of bounds. *)
+let reassembly_integrity ~tag ~sent obs =
+  List.concat_map
+    (fun o ->
+       List.filter_map
+         (fun (p, _) ->
+            if String.length p = 0 || p.[0] <> tag then None
+            else
+              match parse_payload ~tag p with
+              | None ->
+                Some
+                  (violation "reassembly-integrity"
+                     "member %d delivered unparseable payload %S" o.o_member p)
+              | Some (origin, k) ->
+                if k < 0 || k >= sent origin then
+                  Some
+                    (violation "reassembly-integrity"
+                       "member %d delivered %S but origin %d issued only %d casts"
+                       o.o_member p origin (sent origin))
+                else None)
+         o.o_casts)
+    obs
 
 (* P15: two members that install a view with the same id agree on its
    membership. *)

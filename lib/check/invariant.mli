@@ -33,10 +33,17 @@ val survivors : obs list -> obs list
 (** Members not crashed, left, or exited. *)
 
 val parse_payload : tag:char -> string -> (int * int) option
-(** Parse ["<tag><origin>-<k>"] into [(origin, k)]. *)
+(** Parse ["<tag><origin>-<k>"] into [(origin, k)]. Padded payloads
+    (["<tag><origin>-<k>+xxx..."], a ['+'] then ['x'] filler) parse to
+    the same pair; any other trailing bytes — including a corrupted
+    filler — make the payload unparseable rather than aliasing it to a
+    different rank. *)
 
-val payload : tag:char -> origin:int -> k:int -> string
-(** The canonical payload for origin's k-th cast (0-based). *)
+val payload : ?pad:int -> tag:char -> origin:int -> k:int -> unit -> string
+(** The canonical payload for origin's k-th cast (0-based). [pad]
+    appends a ['+'] and ['x'] filler so the payload is at least [pad]
+    bytes past the base form — how conformance runs push casts over
+    fragmentation thresholds. *)
 
 (** {1 Predicates}
 
@@ -52,6 +59,12 @@ val final_view_agreement : obs list -> violation list
 val per_origin_fifo : tag:char -> obs list -> violation list
 (** P3/P4/P12: each member's deliveries from each origin are an
     in-order, gap-free prefix [0, 1, ..., m]. *)
+
+val reassembly_integrity : tag:char -> sent:(int -> int) -> obs list -> violation list
+(** P12 over best-effort stacks: delivery is not guaranteed, but every
+    delivered payload carrying [tag] must parse back to a cast its
+    origin actually issued — a torn or misordered reassembly fails the
+    strict parse, a fabricated rank lands out of bounds. *)
 
 val survivor_completeness : tag:char -> sent:(int -> int) -> obs list -> violation list
 (** Every survivor delivered every cast issued by a surviving member. *)

@@ -48,6 +48,11 @@ let attach gr =
 let spec_is_total spec =
   List.exists (fun l -> l.Horus_hcpi.Spec.name = "TOTAL") (Horus_hcpi.Spec.parse spec)
 
+let spec_has_membership spec =
+  List.exists
+    (fun l -> l.Horus_hcpi.Spec.name = "MBRSHIP" || l.Horus_hcpi.Spec.name = "BMS")
+    (Horus_hcpi.Spec.parse spec)
+
 (* With a chaos section, the run goes over the real-transport waist
    instead of the simulator net: every member gets a loopback backend
    (latency from the scenario's net section) wrapped by one shared
@@ -132,6 +137,21 @@ let run ?(skip_inert = false) ?(fastpath = false) ?observe (sc : Scenario.t) =
         m)
   in
   let members = Array.of_list (founder :: rest) in
+  (* Stacks without a membership layer never install destination
+     views, so casts would have nowhere to go: give every member the
+     full group as a hand-installed ltime-0 view, the same way an
+     application embedding a bare reliable stack would. Installed
+     before the recorders attach, so o_views stays a record of
+     protocol-installed views only. *)
+  if not (spec_has_membership sc.Scenario.spec) then begin
+    let v =
+      View.create ~group:g ~ltime:0
+        ~members:
+          (List.sort Addr.compare_endpoint
+             (Array.to_list (Array.map Group.addr members)))
+    in
+    Array.iter (fun m -> Group.install_view m v) members
+  end;
   World.run_for world ~duration:sc.Scenario.settle;
   let recorders = Array.map attach members in
   (* Everything below is relative to t0, the traffic origin. *)
@@ -150,15 +170,15 @@ let run ?(skip_inert = false) ?(fastpath = false) ?observe (sc : Scenario.t) =
   List.iter
     (fun o ->
        per_member.(o.Scenario.op_member) <-
-         o.Scenario.op_at :: per_member.(o.Scenario.op_member))
+         (o.Scenario.op_at, o.Scenario.op_pad) :: per_member.(o.Scenario.op_member))
     sc.Scenario.ops;
   Array.iteri
     (fun i ats ->
        List.iteri
-         (fun k at ->
+         (fun k (at, pad) ->
             World.at world ~time:(t0 +. at) (fun () ->
-                Group.cast members.(i) (Invariant.payload ~tag ~origin:i ~k)))
-         (List.sort Float.compare (List.rev ats)))
+                Group.cast members.(i) (Invariant.payload ~pad ~tag ~origin:i ~k ())))
+         (List.sort (fun (a, _) (b, _) -> Float.compare a b) (List.rev ats)))
     per_member;
   (* Faults. *)
   List.iter

@@ -50,6 +50,7 @@ type timed_fault = {
 type op = {
   op_member : int;
   op_at : float;
+  op_pad : int;  (* extra payload bytes past the canonical form; 0 = none *)
 }
 
 type sched = {
@@ -135,7 +136,12 @@ let to_json t =
   let ops =
     Json.List
       (List.map
-         (fun o -> Json.Obj [ ("member", Json.Int o.op_member); ("at", Json.Float o.op_at) ])
+         (fun o ->
+            (* "pad" is emitted only when set, so pre-pad repro files
+               round-trip byte-identically. *)
+            Json.Obj
+              ([ ("member", Json.Int o.op_member); ("at", Json.Float o.op_at) ]
+               @ (if o.op_pad > 0 then [ ("pad", Json.Int o.op_pad) ] else [])))
          t.ops)
   in
   let faults =
@@ -295,7 +301,8 @@ let of_json j =
           (fun oj ->
              let* m = jint "member" oj in
              let* at = jfloat "at" oj in
-             Ok { op_member = m; op_at = at })
+             let* pad = jint ~default:0 "pad" oj in
+             Ok { op_member = m; op_at = at; op_pad = pad })
           ops
       | Some _ -> Error "ops must be a list"
     in

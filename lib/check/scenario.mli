@@ -33,10 +33,15 @@ type timed_fault = {
 type op = {
   op_member : int;  (** who casts *)
   op_at : float;    (** seconds after traffic start *)
+  op_pad : int;
+      (** extra payload bytes past the canonical form (0 = none) —
+          used to push casts over fragmentation thresholds; serialized
+          as ["pad"], omitted when zero *)
 }
-(** Payloads are not stored: the runner derives ["o<member>-<k>"] with
-    [k] the op's rank in the member's time-sorted stream, so shrinking
-    ops never creates artificial gaps. *)
+(** Payloads are not stored: the runner derives ["o<member>-<k>"]
+    (plus ['+x...] filler when [op_pad > 0]) with [k] the op's rank in
+    the member's time-sorted stream, so shrinking ops never creates
+    artificial gaps. *)
 
 type sched = {
   s_horizon : float;    (** chooser window, seconds *)

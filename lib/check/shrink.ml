@@ -77,6 +77,17 @@ let candidates (sc : Scenario.t) =
     List.init (List.length sc.Scenario.ops) (fun i ->
         Some { sc with Scenario.ops = nth_removed sc.Scenario.ops i })
   in
+  let pads =
+    (* Padded (fragmented) casts: try the whole schedule at canonical
+       size — a repro that survives this edit doesn't need P12
+       traffic. *)
+    if List.exists (fun o -> o.Scenario.op_pad > 0) sc.Scenario.ops then
+      [ Some
+          { sc with
+            Scenario.ops =
+              List.map (fun o -> { o with Scenario.op_pad = 0 }) sc.Scenario.ops } ]
+    else []
+  in
   let links =
     List.init (List.length sc.Scenario.links) (fun i ->
         Some { sc with Scenario.links = nth_removed sc.Scenario.links i })
@@ -131,7 +142,7 @@ let candidates (sc : Scenario.t) =
               with_choices (List.filteri (fun i _ -> i < len - 1) s.Scenario.s_choices) ]
           else [])
   in
-  List.filter_map Fun.id (members @ faults @ ops @ links @ net @ chaos @ sched)
+  List.filter_map Fun.id (members @ faults @ ops @ pads @ links @ net @ chaos @ sched)
 
 let shrink ~fails (sc : Scenario.t) =
   let attempts = ref 0 and accepted = ref 0 in

@@ -59,7 +59,7 @@ let scenario_of_config c =
       (fun i ->
          let at = float_of_int i *. c.c_cast_period in
          if c.c_duration > 0.0 && at > c.c_duration then None
-         else Some { Scenario.op_member = i mod c.c_n; op_at = at })
+         else Some { Scenario.op_member = i mod c.c_n; op_at = at; op_pad = 0 })
       (List.init c.c_casts Fun.id)
   in
   let last_at = List.fold_left (fun acc o -> Float.max acc o.Scenario.op_at) 0.0 ops in

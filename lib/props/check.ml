@@ -11,20 +11,32 @@
 
 type error = {
   layer : string;
-  missing : Property.Set.t;  (* required but not guaranteed below *)
-  below : Property.Set.t;    (* what was available below the layer *)
+  missing : Property.Set.t;      (* required but not guaranteed below *)
+  conflicting : Property.Set.t;  (* held below but not tolerated by the layer *)
+  below : Property.Set.t;        (* what was available below the layer *)
 }
 
 let pp_error fmt e =
-  Format.fprintf fmt "layer %s requires %a but only %a is available below" e.layer
-    Property.Set.pp e.missing Property.Set.pp e.below
+  if not (Property.Set.is_empty e.conflicting) then
+    Format.fprintf fmt "layer %s conflicts with %a already provided below" e.layer
+      Property.Set.pp e.conflicting
+  else
+    Format.fprintf fmt "layer %s requires %a but only %a is available below" e.layer
+      Property.Set.pp e.missing Property.Set.pp e.below
 
 (* One composition step: [below] is the property set under the layer. *)
 let step below (spec : Layer_spec.t) =
-  if Property.Set.subset spec.requires below then
+  let conflicting = Property.Set.inter spec.conflicts below in
+  if not (Property.Set.is_empty conflicting) then
+    Error { layer = spec.name; missing = Property.Set.empty; conflicting; below }
+  else if Property.Set.subset spec.requires below then
     Ok (Property.Set.union spec.provides (Property.Set.inter spec.inherits below))
   else
-    Error { layer = spec.name; missing = Property.Set.diff spec.requires below; below }
+    Error
+      { layer = spec.name;
+        missing = Property.Set.diff spec.requires below;
+        conflicting = Property.Set.empty;
+        below }
 
 (* [derive ~net layers] folds from the network upward. [layers] is
    top-first, matching stack spec strings (TOTAL:...:COM means COM is

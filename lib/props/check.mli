@@ -3,7 +3,8 @@
 
 type error = {
   layer : string;
-  missing : Property.Set.t;
+  missing : Property.Set.t;      (** required but not guaranteed below *)
+  conflicting : Property.Set.t;  (** held below but not tolerated by the layer *)
   below : Property.Set.t;
 }
 
@@ -11,7 +12,9 @@ val pp_error : Format.formatter -> error -> unit
 
 val step : Property.Set.t -> Layer_spec.t -> (Property.Set.t, error) result
 (** [step below spec] = [provides ∪ (inherits ∩ below)], or the unmet
-    requirements. *)
+    requirements / violated conflicts ([spec.conflicts ∩ below] must
+    be empty — e.g. a membership layer cannot stack above a layer that
+    already provides P15). *)
 
 val derive : net:Property.Set.t -> Layer_spec.t list -> (Property.Set.t, error) result
 (** Property set above the top of the stack, folding up from the

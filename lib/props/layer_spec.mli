@@ -10,6 +10,13 @@ type t = {
   requires : Property.Set.t;
   provides : Property.Set.t;
   inherits : Property.Set.t;
+  conflicts : Property.Set.t;
+      (** properties that must NOT hold below the layer. An extension
+          to the paper's Table 3, found by conformance fuzzing: a
+          second membership service stacked above an existing one
+          (e.g. BMS:MBRSHIP:...) derives a plausible property set yet
+          blackholes all delivery, so membership layers conflict with
+          P15 — at most one layer owns the view protocol. *)
   cost : int;
 }
 

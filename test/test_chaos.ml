@@ -124,7 +124,7 @@ let short_partition_no_exclusion () =
   in
   let sc =
     C.Scenario.make ~name:"chaos-short-partition" ~seed:11 ~chaos:profile
-      ~ops:(List.init 6 (fun i -> { C.Scenario.op_member = i mod 2; op_at = 0.05 *. float_of_int i }))
+      ~ops:(List.init 6 (fun i -> { C.Scenario.op_member = i mod 2; op_at = 0.05 *. float_of_int i; op_pad = 0 }))
       ~run_for:4.0 ~spec ~n:2 ()
   in
   let r = C.Runner.run sc in
@@ -149,7 +149,7 @@ let shrink_quiets_chaos () =
     C.Scenario.make ~name:"shrink-me" ~seed:1
       ~chaos:{ acceptance_profile with T.Chaos.partitions =
                  [ { T.Chaos.pt_from = 0; pt_to = 1; pt_start = 1.0; pt_stop = None } ] }
-      ~ops:[ { C.Scenario.op_member = 0; op_at = 0.0 } ]
+      ~ops:[ { C.Scenario.op_member = 0; op_at = 0.0; op_pad = 0 } ]
       ~spec ~n:2 ()
   in
   let cands = C.Shrink.candidates sc in

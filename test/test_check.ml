@@ -93,7 +93,7 @@ let full_scenario () =
   Scenario.make ~name:"round-trip" ~seed:7
     ~net:{ Scenario.default_net with Scenario.drop = 0.1; jitter = 0.001 }
     ~links:[ (2, 0, 50.0) ]
-    ~ops:[ { Scenario.op_member = 0; op_at = 0.1 }; { Scenario.op_member = 1; op_at = 0.2 } ]
+    ~ops:[ { Scenario.op_member = 0; op_at = 0.1; op_pad = 0 }; { Scenario.op_member = 1; op_at = 0.2; op_pad = 0 } ]
     ~faults:
       [ { Scenario.f_at = 0.3; f_fault = Scenario.Crash 2 };
         { Scenario.f_at = 0.31; f_fault = Scenario.Suspect (0, 2) };
@@ -115,7 +115,7 @@ let test_scenario_roundtrip () =
 
 let test_scenario_rejects_bad_member () =
   let sc = full_scenario () in
-  let bad = { sc with Scenario.ops = [ { Scenario.op_member = 9; op_at = 0.0 } ] } in
+  let bad = { sc with Scenario.ops = [ { Scenario.op_member = 9; op_at = 0.0; op_pad = 0 } ] } in
   match Scenario.of_string (Scenario.to_string bad) with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "out-of-range member index accepted"
@@ -132,7 +132,7 @@ let fig2 ?(rule_on = true) ?sched () =
     ~name:(if rule_on then "figure2-rule-on" else "figure2-straggler")
     ~seed:1
     ~links:[ (3, 0, 100.0); (3, 1, 100.0) ]
-    ~ops:[ { Scenario.op_member = 3; op_at = 0.02 } ]
+    ~ops:[ { Scenario.op_member = 3; op_at = 0.02; op_pad = 0 } ]
     ~faults:
       [ { Scenario.f_at = 0.0201; f_fault = Scenario.Crash 3 };
         { Scenario.f_at = 0.0203; f_fault = Scenario.Suspect (0, 3) } ]
@@ -225,7 +225,7 @@ let test_shrink_seeded_failure () =
     List.concat_map
       (fun m ->
          List.init 3 (fun k ->
-             { Scenario.op_member = m; op_at = 1.0 +. (0.1 *. float_of_int (m + k)) }))
+             { Scenario.op_member = m; op_at = 1.0 +. (0.1 *. float_of_int (m + k)); op_pad = 0 }))
       [ 0; 1 ]
   in
   let seeded =

@@ -43,7 +43,7 @@ let crash_scenario ~seed =
     List.concat
       (List.init n (fun i ->
            List.init casts_per_member (fun _ ->
-               { Scenario.op_member = i; op_at = Horus_util.Prng.float prng 1.5 })))
+               { Scenario.op_member = i; op_at = Horus_util.Prng.float prng 1.5; op_pad = 0 })))
   in
   (* 1..2 crashes among the younger members, at random times. *)
   let crash_count = Int.min (1 + Horus_util.Prng.int prng 2) (n - 2) in
@@ -153,7 +153,7 @@ let test_partition_fuzz seed () =
     (fun i gr ->
        for k = 0 to 4 do
          World.after world ~delay:(0.5 +. (0.1 *. float_of_int k)) (fun () ->
-             Group.cast gr (Invariant.payload ~tag:'p' ~origin:i ~k))
+             Group.cast gr (Invariant.payload ~tag:'p' ~origin:i ~k ()))
        done)
     members;
   World.run_for world ~duration:4.0;
@@ -202,7 +202,7 @@ let test_churn_fuzz seed () =
        List.iteri
          (fun k at ->
             World.after world ~delay:at (fun () ->
-                Group.cast gr (Invariant.payload ~tag:'c' ~origin:i ~k)))
+                Group.cast gr (Invariant.payload ~tag:'c' ~origin:i ~k ())))
          times)
     (List.filteri (fun i _ -> i < 2) members);
   (* Churn among the younger members: one crashes, one leaves, and a

@@ -1,0 +1,249 @@
+(* Isolation tests for the Invariant predicate library: one positive
+   (clean) and at least one negative (violating) observation fixture
+   per predicate, so a predicate that silently stops firing — or
+   starts firing on clean runs — is caught without going through a
+   full Runner scenario. *)
+
+module I = Horus_check.Invariant
+
+let tag = 'o'
+
+let obs ?(crashed = false) ?(left = false) ?(exited = false) ?(views = []) ?(final = None)
+    ~member ~casts () =
+  { I.o_member = member;
+    o_eid = member;
+    o_crashed = crashed;
+    o_left = left;
+    o_exited = exited;
+    o_casts = casts;
+    o_views = views;
+    o_final = final }
+
+let pay ?pad ~origin ~k () = I.payload ?pad ~tag ~origin ~k ()
+
+(* Three members, two casts each, all delivered everywhere in origin
+   order, one shared view — the fixture every predicate must accept. *)
+let clean =
+  let casts =
+    List.concat_map (fun origin -> [ (pay ~origin ~k:0 (), 1); (pay ~origin ~k:1 (), 1) ]) [ 0; 1; 2 ]
+  in
+  let views = [ ((1, 0), [ 0; 1; 2 ]) ] in
+  List.map (fun m -> obs ~member:m ~casts ~views ~final:(Some (1, [ 0; 1; 2 ])) ()) [ 0; 1; 2 ]
+
+let sent = function 0 | 1 | 2 -> 2 | _ -> 0
+
+let check_clean name pred = Alcotest.(check int) (name ^ " holds on clean") 0 (List.length (pred clean))
+let check_fires name pred fixture =
+  Alcotest.(check bool) (name ^ " fires") true (List.length (pred fixture) > 0)
+
+(* --- parse_payload / payload --- *)
+
+let test_payload_parse () =
+  Alcotest.(check (option (pair int int))) "plain" (Some (1, 7))
+    (I.parse_payload ~tag (pay ~origin:1 ~k:7 ()));
+  Alcotest.(check (option (pair int int))) "padded parses to the same pair" (Some (0, 7))
+    (I.parse_payload ~tag (pay ~pad:40 ~origin:0 ~k:7 ()));
+  Alcotest.(check bool) "padded payload is actually padded" true
+    (String.length (pay ~pad:40 ~origin:0 ~k:7 ()) >= 40);
+  Alcotest.(check (option (pair int int))) "wrong tag" None (I.parse_payload ~tag:'z' (pay ~origin:1 ~k:7 ()));
+  Alcotest.(check (option (pair int int))) "garbled rank" None (I.parse_payload ~tag "o0-0x7");
+  Alcotest.(check (option (pair int int))) "corrupt filler does not alias" None
+    (I.parse_payload ~tag "o0-007+xxyxx");
+  Alcotest.(check (option (pair int int))) "truncated filler still parses" (Some (0, 7))
+    (I.parse_payload ~tag "o0-007+x");
+  Alcotest.(check (option (pair int int))) "trailing junk without plus" None
+    (I.parse_payload ~tag "o0-007abc");
+  Alcotest.(check (option (pair int int))) "foreign payload" None (I.parse_payload ~tag "conformance")
+
+(* --- view agreement (P15) --- *)
+
+let test_view_agreement () =
+  check_clean "view-agreement" I.view_agreement;
+  let split =
+    [ obs ~member:0 ~casts:[] ~views:[ ((1, 0), [ 0; 1 ]) ] ();
+      obs ~member:1 ~casts:[] ~views:[ ((1, 0), [ 0; 1; 2 ]) ] () ]
+  in
+  check_fires "view-agreement on same id, different membership" I.view_agreement split
+
+let test_final_view_agreement () =
+  check_clean "final-view" I.final_view_agreement;
+  let disagree =
+    [ obs ~member:0 ~casts:[] ~final:(Some (2, [ 0; 1 ])) ();
+      obs ~member:1 ~casts:[] ~final:(Some (3, [ 0; 1 ])) () ]
+  in
+  check_fires "final-view on disagreement" I.final_view_agreement disagree;
+  let excludes_survivor =
+    [ obs ~member:0 ~casts:[] ~final:(Some (2, [ 0 ])) ();
+      obs ~member:1 ~casts:[] ~final:(Some (2, [ 0 ])) () ]
+  in
+  check_fires "final-view on excluded survivor" I.final_view_agreement excludes_survivor;
+  (* A crashed member's stale final view is not held against it. *)
+  let crashed_ok =
+    [ obs ~member:0 ~casts:[] ~final:(Some (2, [ 0 ])) ();
+      obs ~member:1 ~crashed:true ~casts:[] ~final:(Some (1, [ 0; 1 ])) () ]
+  in
+  Alcotest.(check int) "crashed member exempt" 0 (List.length (I.final_view_agreement crashed_ok))
+
+(* --- per-origin FIFO (P3/P4) --- *)
+
+let test_per_origin_fifo () =
+  check_clean "per-origin-fifo" (I.per_origin_fifo ~tag);
+  let gap =
+    [ obs ~member:0 ~casts:[ (pay ~origin:1 ~k:0 (), 1); (pay ~origin:1 ~k:2 (), 1) ] () ]
+  in
+  check_fires "fifo on gap" (I.per_origin_fifo ~tag) gap;
+  let reorder =
+    [ obs ~member:0 ~casts:[ (pay ~origin:1 ~k:1 (), 1); (pay ~origin:1 ~k:0 (), 1) ] () ]
+  in
+  check_fires "fifo on reorder" (I.per_origin_fifo ~tag) reorder;
+  let dup =
+    [ obs ~member:0 ~casts:[ (pay ~origin:1 ~k:0 (), 1); (pay ~origin:1 ~k:0 (), 1) ] () ]
+  in
+  check_fires "fifo on duplicate" (I.per_origin_fifo ~tag) dup;
+  (* Streams from different origins are independent. *)
+  let interleaved =
+    [ obs ~member:0
+        ~casts:
+          [ (pay ~origin:2 ~k:0 (), 1); (pay ~origin:1 ~k:0 (), 1); (pay ~origin:2 ~k:1 (), 1) ]
+        () ]
+  in
+  Alcotest.(check int) "interleaved origins fine" 0
+    (List.length (I.per_origin_fifo ~tag interleaved))
+
+(* --- reassembly integrity (P12 over best-effort) --- *)
+
+let test_reassembly_integrity () =
+  check_clean "reassembly-integrity" (I.reassembly_integrity ~tag ~sent);
+  let torn = [ obs ~member:0 ~casts:[ ("o1-0\000\000", 1); (pay ~origin:1 ~k:0 (), 1) ] () ] in
+  check_fires "integrity on torn payload" (I.reassembly_integrity ~tag ~sent) torn;
+  let fabricated = [ obs ~member:0 ~casts:[ (pay ~origin:1 ~k:9 (), 1) ] () ] in
+  check_fires "integrity on out-of-bounds rank" (I.reassembly_integrity ~tag ~sent) fabricated;
+  let corrupt_filler = [ obs ~member:0 ~casts:[ ("o1-001+xxAxx", 1) ] () ] in
+  check_fires "integrity on corrupt filler" (I.reassembly_integrity ~tag ~sent) corrupt_filler;
+  (* Losing messages is within contract for this predicate. *)
+  let lossy = [ obs ~member:0 ~casts:[ (pay ~origin:1 ~k:1 (), 1) ] () ] in
+  Alcotest.(check int) "loss alone is fine" 0
+    (List.length (I.reassembly_integrity ~tag ~sent lossy));
+  (* Payloads not carrying the tag belong to someone else. *)
+  let foreign = [ obs ~member:0 ~casts:[ ("zzz", 1) ] () ] in
+  Alcotest.(check int) "foreign payloads ignored" 0
+    (List.length (I.reassembly_integrity ~tag ~sent foreign))
+
+(* --- completeness and self-delivery --- *)
+
+let test_survivor_completeness () =
+  check_clean "survivor-completeness" (I.survivor_completeness ~tag ~sent);
+  let missing =
+    [ obs ~member:0 ~casts:[ (pay ~origin:0 ~k:0 (), 1); (pay ~origin:0 ~k:1 (), 1) ] ();
+      obs ~member:1 ~casts:[ (pay ~origin:0 ~k:0 (), 1) ] () ]
+  in
+  let sent = function 0 -> 2 | _ -> 0 in
+  check_fires "completeness on partial delivery" (I.survivor_completeness ~tag ~sent) missing;
+  (* A crashed origin's casts are not owed to anyone. *)
+  let crashed_origin =
+    [ obs ~member:0 ~casts:[] (); obs ~member:1 ~crashed:true ~casts:[] () ]
+  in
+  let sent = function 1 -> 2 | _ -> 0 in
+  Alcotest.(check int) "crashed origin exempt" 0
+    (List.length (I.survivor_completeness ~tag ~sent crashed_origin))
+
+let test_self_delivery () =
+  check_clean "self-delivery" (I.self_delivery ~tag ~sent);
+  let dropped_own = [ obs ~member:0 ~casts:[ (pay ~origin:0 ~k:0 (), 1) ] () ] in
+  check_fires "self-delivery on own loss" (I.self_delivery ~tag ~sent) dropped_own;
+  let crashed = [ obs ~member:0 ~crashed:true ~casts:[] () ] in
+  Alcotest.(check int) "crashed member exempt" 0
+    (List.length (I.self_delivery ~tag ~sent crashed))
+
+(* --- virtual synchrony (P9) and delivery-in-view --- *)
+
+let test_virtual_synchrony () =
+  check_clean "virtual-synchrony" I.virtual_synchrony;
+  let different_cuts =
+    [ obs ~member:0 ~casts:[ (pay ~origin:1 ~k:0 (), 1) ] ();
+      obs ~member:1 ~casts:[] () ]
+  in
+  check_fires "vs on different cuts" I.virtual_synchrony different_cuts;
+  let different_epochs =
+    [ obs ~member:0 ~casts:[ (pay ~origin:1 ~k:0 (), 1) ] ();
+      obs ~member:1 ~casts:[ (pay ~origin:1 ~k:0 (), 2) ] () ]
+  in
+  check_fires "vs on same message in different views" I.virtual_synchrony different_epochs;
+  (* Delivery order may differ — P9 is about cuts, not order. *)
+  let reordered =
+    [ obs ~member:0 ~casts:[ (pay ~origin:1 ~k:0 (), 1); (pay ~origin:2 ~k:0 (), 1) ] ();
+      obs ~member:1 ~casts:[ (pay ~origin:2 ~k:0 (), 1); (pay ~origin:1 ~k:0 (), 1) ] () ]
+  in
+  Alcotest.(check int) "reordered cuts equal" 0 (List.length (I.virtual_synchrony reordered))
+
+let test_delivery_in_view () =
+  check_clean "delivery-in-view" (I.delivery_in_view ~tag);
+  let excluded =
+    [ obs ~member:0
+        ~casts:[ (pay ~origin:1 ~k:0 (), 2) ]
+        ~views:[ ((2, 0), [ 0; 2 ]) ] (* origin eid 1 not in the epoch-2 view *)
+        ();
+      obs ~member:1 ~casts:[] () (* present so the origin's eid is known *) ]
+  in
+  check_fires "delivery in a view excluding the origin" (I.delivery_in_view ~tag) excluded;
+  (* Unknown epoch (view not recorded) is not a violation. *)
+  let unknown_epoch = [ obs ~member:0 ~casts:[ (pay ~origin:1 ~k:0 (), 9) ] () ] in
+  Alcotest.(check int) "unrecorded epoch fine" 0
+    (List.length (I.delivery_in_view ~tag unknown_epoch))
+
+(* --- total order (P6) --- *)
+
+let test_total_order () =
+  check_clean "total-order" I.total_order;
+  let swapped =
+    [ obs ~member:0 ~casts:[ (pay ~origin:1 ~k:0 (), 1); (pay ~origin:2 ~k:0 (), 1) ] ();
+      obs ~member:1 ~casts:[ (pay ~origin:2 ~k:0 (), 1); (pay ~origin:1 ~k:0 (), 1) ] () ]
+  in
+  check_fires "total order on swapped sequence" I.total_order swapped;
+  let crashed_prefix =
+    [ obs ~member:0 ~casts:[ (pay ~origin:1 ~k:0 (), 1); (pay ~origin:2 ~k:0 (), 1) ] ();
+      obs ~member:1 ~crashed:true ~casts:[ (pay ~origin:2 ~k:0 (), 1) ] () ]
+  in
+  Alcotest.(check int) "crashed member exempt from order" 0
+    (List.length (I.total_order crashed_prefix))
+
+(* --- survivors and the standard bundle --- *)
+
+let test_survivors () =
+  let mixed =
+    [ obs ~member:0 ~casts:[] ();
+      obs ~member:1 ~crashed:true ~casts:[] ();
+      obs ~member:2 ~left:true ~casts:[] ();
+      obs ~member:3 ~exited:true ~casts:[] () ]
+  in
+  Alcotest.(check (list int)) "only the live member survives" [ 0 ]
+    (List.map (fun o -> o.I.o_member) (I.survivors mixed))
+
+let test_standard_bundle () =
+  Alcotest.(check int) "standard bundle holds on clean" 0
+    (List.length (I.standard ~total:true ~tag ~sent clean));
+  let broken =
+    [ obs ~member:0 ~casts:[ (pay ~origin:0 ~k:1 (), 1) ] ();
+      obs ~member:1 ~casts:[] () ]
+  in
+  check_fires "standard bundle catches a broken run" (I.standard ~tag ~sent) broken
+
+let () =
+  Alcotest.run "invariants"
+    [ ( "payload",
+        [ Alcotest.test_case "parse/print with padding and garbling" `Quick test_payload_parse ] );
+      ( "membership",
+        [ Alcotest.test_case "view agreement" `Quick test_view_agreement;
+          Alcotest.test_case "final view agreement" `Quick test_final_view_agreement ] );
+      ( "streams",
+        [ Alcotest.test_case "per-origin fifo" `Quick test_per_origin_fifo;
+          Alcotest.test_case "reassembly integrity" `Quick test_reassembly_integrity;
+          Alcotest.test_case "survivor completeness" `Quick test_survivor_completeness;
+          Alcotest.test_case "self delivery" `Quick test_self_delivery ] );
+      ( "synchrony",
+        [ Alcotest.test_case "virtual synchrony" `Quick test_virtual_synchrony;
+          Alcotest.test_case "delivery in view" `Quick test_delivery_in_view;
+          Alcotest.test_case "total order" `Quick test_total_order ] );
+      ( "plumbing",
+        [ Alcotest.test_case "survivors filter" `Quick test_survivors;
+          Alcotest.test_case "standard bundle" `Quick test_standard_bundle ] ) ]

@@ -141,6 +141,88 @@ let test_order_matters_verdicts () =
    | Check.Neither_works -> ()
    | v -> Alcotest.failf "over empty net: %a" Check.pp_order_verdict v)
 
+(* --- Stacking-order sweep (Section 8), golden summary ---
+
+   Every unordered pair of Table 3 rows, over three representative
+   networks: the bare net {P1}, the set above COM {P1,P10,P11}, and
+   the reliable-FIFO platform {P3,P4,P10,P11,P12}. The verdicts are
+   committed as test/golden/order_matters.txt; regenerate with
+     HORUS_GOLDEN_UPDATE=test/golden/order_matters.txt \
+       dune exec test/test_props.exe -- test golden
+   from the repository root after an intentional Table 3 change. *)
+let order_matters_summary () =
+  let nets =
+    [ ("net", [ 1 ]); ("above-COM", [ 1; 10; 11 ]); ("reliable-fifo", [ 3; 4; 10; 11; 12 ]) ]
+  in
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (net_name, net_n) ->
+       let net = Property.Set.of_numbers net_n in
+       Buffer.add_string buf
+         (Format.asprintf "# over %s = %a@." net_name Property.Set.pp net);
+       let rec pairs = function
+         | [] -> []
+         | a :: rest -> List.map (fun b -> (a, b)) rest @ pairs rest
+       in
+       List.iter
+         (fun ((a : Layer_spec.t), (b : Layer_spec.t)) ->
+            let v = Check.order_matters ~net ~upper:a ~lower:b in
+            Buffer.add_string buf
+              (Format.asprintf "%s/%s: %a@." a.name b.name Check.pp_order_verdict v))
+         (pairs Layer_spec.table3))
+    nets;
+  Buffer.contents buf
+
+let test_order_matters_golden () =
+  let got = order_matters_summary () in
+  match Sys.getenv_opt "HORUS_GOLDEN_UPDATE" with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc got;
+    close_out oc
+  | None ->
+    (* dune runtest runs in test/; dune exec from the repo root. *)
+    let path =
+      if Sys.file_exists "golden/order_matters.txt" then "golden/order_matters.txt"
+      else "test/golden/order_matters.txt"
+    in
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let want = really_input_string ic n in
+    close_in ic;
+    if got <> want then
+      Alcotest.failf
+        "order_matters sweep diverged from %s (regenerate with HORUS_GOLDEN_UPDATE after an \
+         intentional Table 3 change);@.got:@.%s"
+        path got
+
+(* The conflicts column: a second membership service cannot stack
+   above one already providing P15 (found by the conformance sweep —
+   BMS:MBRSHIP:NAK:NFRAG:COM derives a plausible set but delivers
+   nothing). *)
+let test_membership_exclusive () =
+  (match Check.derive_names ~net:p1 [ "BMS"; "MBRSHIP"; "NAK"; "NFRAG"; "COM" ] with
+   | Ok props -> Alcotest.failf "expected conflict, got %a" Property.Set.pp props
+   | Error e ->
+     Alcotest.(check string) "failing layer" "BMS" e.layer;
+     Alcotest.check pset "conflicting" (Property.Set.of_numbers [ 15 ]) e.conflicting;
+     Alcotest.(check bool) "error message names the conflict" true
+       (let s = Format.asprintf "%a" Check.pp_error e in
+        let has sub =
+          let ls = String.length s and lsub = String.length sub in
+          let rec go i = i + lsub <= ls && (String.sub s i lsub = sub || go (i + 1)) in
+          go 0
+        in
+        has "conflicts"));
+  (* ... and the same the other way round. *)
+  Alcotest.(check bool) "MBRSHIP over BMS ill-formed" false
+    (Check.well_formed ~net:p1
+       (List.map Layer_spec.find_exn [ "MBRSHIP"; "BMS"; "NAK"; "NFRAG"; "COM" ]));
+  (* Each alone still works. *)
+  Alcotest.(check bool) "MBRSHIP stack fine" true
+    (Check.well_formed ~net:p1
+       (List.map Layer_spec.find_exn [ "MBRSHIP"; "FRAG"; "NAK"; "COM" ]))
+
 let test_property_numbers_roundtrip () =
   List.iter
     (fun p -> Alcotest.(check bool) "roundtrip" true (Property.of_number (Property.number p) = p))
@@ -177,6 +259,71 @@ let prop_search_sound =
        | Some r ->
          Check.well_formed ~net r.layers && Property.Set.subset required r.provides)
 
+(* --- bitset laws --- *)
+
+let propset = QCheck.map Property.Set.of_numbers QCheck.(list (int_range 1 16))
+
+let prop_set_roundtrip =
+  QCheck.Test.make ~name:"set: of_list . to_list = id" ~count:500 propset (fun s ->
+      Property.Set.equal (Property.Set.of_list (Property.Set.to_list s)) s)
+
+let prop_set_union_inter_absorb =
+  QCheck.Test.make ~name:"set: absorption a ∪ (a ∩ b) = a" ~count:500
+    (QCheck.pair propset propset)
+    (fun (a, b) ->
+       Property.Set.equal (Property.Set.union a (Property.Set.inter a b)) a
+       && Property.Set.equal (Property.Set.inter a (Property.Set.union a b)) a)
+
+let prop_set_diff_laws =
+  QCheck.Test.make ~name:"set: diff splits union, disjoint from inter" ~count:500
+    (QCheck.pair propset propset)
+    (fun (a, b) ->
+       let d = Property.Set.diff a b and i = Property.Set.inter a b in
+       Property.Set.equal (Property.Set.union d i) a
+       && Property.Set.is_empty (Property.Set.inter d b)
+       && (Property.Set.subset a b
+           = Property.Set.is_empty (Property.Set.diff a b)))
+
+let prop_set_subset_order =
+  QCheck.Test.make ~name:"set: ⊆ is a partial order with ∪/∩ bounds" ~count:500
+    (QCheck.pair propset propset)
+    (fun (a, b) ->
+       Property.Set.subset a (Property.Set.union a b)
+       && Property.Set.subset (Property.Set.inter a b) a
+       && ((Property.Set.subset a b && Property.Set.subset b a) = Property.Set.equal a b)
+       && Property.Set.cardinal a = List.length (Property.Set.to_list a))
+
+(* Check.step is monotone in [below] (for conflict-free rows — richer
+   guarantees below never weaken what a layer exports above). *)
+let prop_step_monotone_in_below =
+  QCheck.Test.make ~name:"check: step monotone in below" ~count:500
+    (QCheck.pair propset propset)
+    (fun (below, extra) ->
+       let richer = Property.Set.union below extra in
+       List.for_all
+         (fun (row : Layer_spec.t) ->
+            if not (Property.Set.is_empty (Property.Set.inter row.conflicts richer)) then
+              true (* a conflict below legitimately breaks monotonicity *)
+            else
+              match (Check.step below row, Check.step richer row) with
+              | Ok a, Ok b -> Property.Set.subset a b
+              | Error _, _ -> true (* poorer below may fail where richer passes *)
+              | Ok _, Error _ -> false)
+         Layer_spec.table3)
+
+(* Every enumerated stack is well-formed and satisfies the request —
+   the synthesis engine never emits an ill-formed candidate. *)
+let prop_enumerate_sound =
+  QCheck.Test.make ~name:"search: every enumerated stack well-formed and satisfying" ~count:60
+    QCheck.(pair (list_of_size Gen.(0 -- 2) (int_range 1 16)) (list_of_size Gen.(1 -- 2) (int_range 1 16)))
+    (fun (net_n, req_n) ->
+       let net = Property.Set.of_numbers (1 :: net_n) in
+       let required = Property.Set.of_numbers req_n in
+       List.for_all
+         (fun stack ->
+            Check.well_formed ~net stack && Check.satisfies ~net ~required stack)
+         (Search.enumerate ~net ~required ~max_depth:4 ()))
+
 let () =
   Alcotest.run "props"
     [ ( "table4",
@@ -189,8 +336,11 @@ let () =
           Alcotest.test_case "section 7 intermediate sets" `Quick test_section7_trace;
           Alcotest.test_case "missing requirement reported" `Quick test_missing_requirement;
           Alcotest.test_case "stacking order matters" `Quick test_order_matters;
+          Alcotest.test_case "membership layers are exclusive" `Quick test_membership_exclusive;
           Alcotest.test_case "empty stack" `Quick test_empty_stack;
           Alcotest.test_case "COM needs a network" `Quick test_com_requires_network ] );
+      ( "golden",
+        [ Alcotest.test_case "all-pairs order_matters sweep" `Quick test_order_matters_golden ] );
       ( "search",
         [ Alcotest.test_case "finds virtual synchrony + total order" `Quick test_search_finds_section7_class;
           Alcotest.test_case "minimality vs canonical" `Quick test_search_minimality;
@@ -200,4 +350,10 @@ let () =
           Alcotest.test_case "stacking order verdicts" `Quick test_order_matters_verdicts ] );
       ( "qcheck",
         [ QCheck_alcotest.to_alcotest prop_monotone;
-          QCheck_alcotest.to_alcotest prop_search_sound ] ) ]
+          QCheck_alcotest.to_alcotest prop_search_sound;
+          QCheck_alcotest.to_alcotest prop_set_roundtrip;
+          QCheck_alcotest.to_alcotest prop_set_union_inter_absorb;
+          QCheck_alcotest.to_alcotest prop_set_diff_laws;
+          QCheck_alcotest.to_alcotest prop_set_subset_order;
+          QCheck_alcotest.to_alcotest prop_step_monotone_in_below;
+          QCheck_alcotest.to_alcotest prop_enumerate_sound ] ) ]

@@ -145,6 +145,7 @@ let layer_row =
          requires = r;
          provides = p;
          inherits = i;
+         conflicts = Horus_props.Property.Set.empty;
          cost = 1 })
     (QCheck.pair propset (QCheck.pair propset propset))
 

@@ -280,7 +280,7 @@ let loopback_full_stack () =
     (fun origin gr ->
        for k = 0 to casts_each - 1 do
          World.after world ~delay:(0.002 *. float_of_int (k + 1)) (fun () ->
-             Group.cast gr (I.payload ~tag:'o' ~origin ~k))
+             Group.cast gr (I.payload ~tag:'o' ~origin ~k ()))
        done)
     groups;
   World.run_for world ~duration:(0.002 *. float_of_int casts_each);
@@ -497,7 +497,7 @@ let udp_full_stack () =
   let casts = 100 in
   for k = 0 to casts - 1 do
     World.after world ~delay:(0.001 *. float_of_int (k + 1)) (fun () ->
-        Group.cast a (I.payload ~tag:'o' ~origin:0 ~k))
+        Group.cast a (I.payload ~tag:'o' ~origin:0 ~k ()))
   done;
   let complete =
     T.Driver.run_until ~timeout:15.0 driver (fun () ->

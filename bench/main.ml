@@ -745,6 +745,55 @@ let t3_fastpath () =
      climbing means steady-state casts stopped allocating header blocks.@."
 
 (* ------------------------------------------------------------------ *)
+(* M4: hierarchical churn — directory + HIER + mux at bench scale      *)
+(* ------------------------------------------------------------------ *)
+
+(* The M4 soak (EXPERIMENTS.md) shrunk to a deterministic smoke shape:
+   64 endpoints in 8 HIER sub-groups over 8 multiplexed sockets with
+   the directory, one leave+rejoin wave. Everything recorded is a pure
+   function of the seed, so it sits under the bench gate: a change
+   that slows convergence past the poll slice, starts retransmitting,
+   leaks leases or perturbs the fingerprint turns the build red. *)
+let m4_churn () =
+  section "M4" "hierarchical churn: directory + HIER + mux (bench shape)";
+  Horus_layers.Init.register_all ();
+  let module C = Horus_check.Churn in
+  let config =
+    { C.ci_config with
+      C.h_name = "bench-m4";
+      h_endpoints = 64;
+      h_subgroups = 8;
+      h_waves = 1;
+      h_casts_per_wave = 4 }
+  in
+  let r = C.run config in
+  let phases = Option.to_list r.C.r_setup_converge
+               @ List.filter_map (fun w -> w.C.w_converge) r.C.r_waves in
+  let all_converged =
+    Option.is_some r.C.r_setup_converge
+    && List.for_all (fun w -> Option.is_some w.C.w_converge) r.C.r_waves
+  in
+  let worst = List.fold_left Float.max 0.0 phases in
+  Format.printf
+    "  %d endpoints / %d sub-groups / %d sockets: %d phases, worst converge \
+     %.2fs, nak.retransmits %d, unknown_gid %d, fingerprint %016Lx@."
+    r.C.r_endpoints r.C.r_subgroups r.C.r_sockets (List.length phases) worst
+    r.C.r_nak_retransmits r.C.r_unknown_gid r.C.r_fingerprint;
+  record_sim "m4_churn"
+    (J.Obj
+       [ ("endpoints", J.Int r.C.r_endpoints);
+         ("subgroups", J.Int r.C.r_subgroups);
+         ("sockets", J.Int r.C.r_sockets);
+         ("ok", J.Bool (C.ok r));
+         ("all_phases_converged", J.Bool all_converged);
+         ("worst_converge", J.Float worst);
+         ("parent_casts", J.Int r.C.r_parent_casts);
+         ("nak_retransmits", J.Int r.C.r_nak_retransmits);
+         ("unknown_gid", J.Int r.C.r_unknown_gid);
+         ("dir_evictions", J.Int r.C.r_dir_evictions);
+         ("fingerprint", J.String (Printf.sprintf "%016Lx" r.C.r_fingerprint)) ])
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -767,6 +816,7 @@ let experiments =
     ("MBRSHIP", true, e_mbrship_metrics);
     ("T1", true, t1_transport);
     ("T3", true, t3_fastpath);
+    ("M4", true, m4_churn);
     ("M1", false, m1_models) ]
 
 let () =

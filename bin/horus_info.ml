@@ -499,8 +499,15 @@ let soak_cmd =
              ~doc:"Enable the fused steady-state fast path (outcome-equivalent; \
                    the soak invariants hold either way).")
   in
+  let churn_arg =
+    Arg.(value & opt int 0
+         & info [ "churn" ]
+             ~doc:"Membership churn: this many members leave and the same number \
+                   of distinct members join late, interleaved across the traffic \
+                   span (requires 2*churn < n). Casts come from the stable core.")
+  in
   let run spec n seed casts period duration check drop dup reorder window delay corrupt
-      profile report save fastpath =
+      profile report save fastpath churn =
     let module C = Horus_check in
     let module Ch = Horus.Transport.Chaos in
     let profile =
@@ -531,12 +538,13 @@ let soak_cmd =
         c_casts = casts;
         c_cast_period = period;
         c_duration = duration;
-        c_check_every = check }
+        c_check_every = check;
+        c_churn = churn }
     in
     let r = C.Soak.run ?repro_dir:save ~fastpath config in
     Format.printf
-      "soak %s: %d casts, %d members, %d online checks, %.1f virtual seconds@." spec
-      r.C.Soak.rp_casts n r.C.Soak.rp_checks r.C.Soak.rp_elapsed;
+      "soak %s: %d casts, %d members (%d churned), %d online checks, %.1f virtual seconds@."
+      spec r.C.Soak.rp_casts n (2 * churn) r.C.Soak.rp_checks r.C.Soak.rp_elapsed;
     Format.printf "outcome fingerprint %016Lx, metrics fingerprint %016Lx@."
       r.C.Soak.rp_outcome_fingerprint r.C.Soak.rp_metrics_fingerprint;
     List.iter
@@ -566,7 +574,137 @@ let soak_cmd =
     Term.(const run $ spec_arg $ n_arg $ seed_arg $ casts_arg $ period_arg
           $ duration_arg $ check_arg $ drop_arg $ dup_arg $ reorder_arg $ window_arg
           $ delay_arg $ corrupt_arg $ profile_arg $ report_arg $ save_arg
-          $ fastpath_arg)
+          $ fastpath_arg $ churn_arg)
+
+(* The hierarchical churn soak: HIER sub-groups over multiplexed
+   loopback sockets with a live directory service, mass join/leave
+   waves, and convergence/nak/directory bounds — the M4 acceptance
+   experiment, in virtual time. *)
+let churn_cmd =
+  let module C = Horus_check in
+  let endpoints_arg =
+    Arg.(value & opt (some int) None
+         & info [ "endpoints" ] ~doc:"Total population across sub-groups.")
+  in
+  let subgroups_arg =
+    Arg.(value & opt (some int) None
+         & info [ "subgroups" ] ~doc:"Sub-group count (each gets a HIER stack).")
+  in
+  let seed_arg =
+    Arg.(value & opt (some int) None
+         & info [ "seed" ] ~doc:"World seed; the run is a pure function of the \
+                                 config and this.")
+  in
+  let spec_arg =
+    Arg.(value & opt (some string) None
+         & info [ "stack" ] ~doc:"Sub-group stack below HIER, top first.")
+  in
+  let waves_arg =
+    Arg.(value & opt (some int) None
+         & info [ "waves" ] ~doc:"Leave+rejoin churn waves.")
+  in
+  let fraction_arg =
+    Arg.(value & opt (some float) None
+         & info [ "fraction" ]
+             ~doc:"Youngest fraction of each sub-group churned per wave.")
+  in
+  let casts_arg =
+    Arg.(value & opt (some int) None
+         & info [ "casts" ] ~doc:"Parent-group casts per wave.")
+  in
+  let lease_arg =
+    Arg.(value & opt (some float) None
+         & info [ "lease" ] ~doc:"Directory lease in virtual seconds.")
+  in
+  let bound_arg =
+    Arg.(value & opt (some float) None
+         & info [ "converge-bound" ]
+             ~doc:"View-convergence budget per churn phase, virtual seconds.")
+  in
+  let nak_arg =
+    Arg.(value & opt (some int) None
+         & info [ "nak-ceiling" ] ~doc:"Whole-run nak.retransmits budget.")
+  in
+  let ci_arg =
+    Arg.(value & flag
+         & info [ "ci" ] ~doc:"Start from the bounded CI shape (256 endpoints x \
+                               8 sub-groups, 2 waves) instead of the full M4 one.")
+  in
+  let double_arg =
+    Arg.(value & flag
+         & info [ "double-run" ]
+             ~doc:"Run twice and require identical fingerprints (the \
+                   determinism gate).")
+  in
+  let report_arg =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE" ~doc:"Write the full JSON report here.")
+  in
+  let run endpoints subgroups seed spec waves fraction casts lease bound nak ci
+      double report =
+    let base = if ci then C.Churn.ci_config else C.Churn.default_config in
+    let dfl v = function Some x -> x | None -> v in
+    let config =
+      { base with
+        C.Churn.h_endpoints = dfl base.C.Churn.h_endpoints endpoints;
+        h_subgroups = dfl base.C.Churn.h_subgroups subgroups;
+        h_seed = dfl base.C.Churn.h_seed seed;
+        h_spec = dfl base.C.Churn.h_spec spec;
+        h_waves = dfl base.C.Churn.h_waves waves;
+        h_wave_fraction = dfl base.C.Churn.h_wave_fraction fraction;
+        h_casts_per_wave = dfl base.C.Churn.h_casts_per_wave casts;
+        h_lease = dfl base.C.Churn.h_lease lease;
+        h_converge_bound = dfl base.C.Churn.h_converge_bound bound;
+        h_nak_ceiling = dfl base.C.Churn.h_nak_ceiling nak }
+    in
+    let r = C.Churn.run config in
+    Format.printf
+      "churn: %d endpoints in %d sub-groups over %d sockets, %d waves, %.1f \
+       virtual seconds@."
+      r.C.Churn.r_endpoints r.C.Churn.r_subgroups r.C.Churn.r_sockets
+      config.C.Churn.h_waves r.C.Churn.r_elapsed;
+    List.iter
+      (fun w ->
+         Format.printf "  wave %d %s: %d members, converged %s@."
+           w.C.Churn.w_index w.C.Churn.w_kind w.C.Churn.w_members
+           (match w.C.Churn.w_converge with
+            | Some t -> Printf.sprintf "in %.2fs" t
+            | None -> "NEVER (bound exceeded)"))
+      r.C.Churn.r_waves;
+    Format.printf
+      "  nak.retransmits %d, unknown_gid %d, dir match %b, fingerprint %016Lx@."
+      r.C.Churn.r_nak_retransmits r.C.Churn.r_unknown_gid r.C.Churn.r_dir_match
+      r.C.Churn.r_fingerprint;
+    List.iter (fun v -> Format.printf "VIOLATION: %s@." v) r.C.Churn.r_violations;
+    (match report with
+     | Some path ->
+       let oc = open_out path in
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () ->
+            output_string oc (C.Churn.to_string r);
+            output_string oc "\n");
+       Format.printf "report written to %s@." path
+     | None -> ());
+    let ok = ref (C.Churn.ok r) in
+    if double then begin
+      let r2 = C.Churn.run config in
+      if r2.C.Churn.r_fingerprint <> r.C.Churn.r_fingerprint then begin
+        Format.printf "DETERMINISM VIOLATION: second run fingerprint %016Lx@."
+          r2.C.Churn.r_fingerprint;
+        ok := false
+      end
+      else Format.printf "double run: fingerprints agree@."
+    end;
+    if !ok then Format.printf "churn soak passed@." else exit 1
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:"Run the hierarchical churn soak: HIER sub-groups over multiplexed \
+             sockets with a directory service (exit 1 on violation)")
+    Term.(const run $ endpoints_arg $ subgroups_arg $ seed_arg $ spec_arg
+          $ waves_arg $ fraction_arg $ casts_arg $ lease_arg $ bound_arg $ nak_arg
+          $ ci_arg $ double_arg $ report_arg)
 
 (* The property-algebra conformance sweep: synthesize well-formed
    stacks, derive each one's contract, run them under a chaos matrix,
@@ -682,16 +820,91 @@ let conformance_cmd =
    casts arrived or the budget runs out. Emits a JSON report (final
    view, delivery sequence, local invariant verdicts, transport stats)
    that scripts/udp_smoke.sh cross-checks across processes. *)
+(* Serve the rank directory over real UDP: the membership bootstrap
+   for node/ping deployments that have no static peer book. *)
+let dir_cmd =
+  let bind_arg =
+    Arg.(value & opt string "127.0.0.1:7400"
+         & info [ "bind" ] ~doc:"Local HOST:PORT to serve on.")
+  in
+  let max_lease_arg =
+    Arg.(value & opt float 30.0
+         & info [ "max-lease" ] ~doc:"Ceiling on granted lease durations, seconds.")
+  in
+  let sweep_arg =
+    Arg.(value & opt float 0.5
+         & info [ "sweep-period" ] ~doc:"Lease-eviction sweep period, seconds.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 0.0
+         & info [ "duration" ]
+             ~doc:"Serve this many wall-clock seconds, print stats and exit \
+                   (0 = serve until interrupted).")
+  in
+  let run bind max_lease sweep_period duration =
+    let open Horus in
+    let module D = Horus_dir in
+    let engine = Horus_sim.Engine.create () in
+    let backend = Transport.Udp.create ~bind () in
+    let dir = D.Dir_service.create ~sweep_period ~max_lease ~engine backend in
+    let driver = Transport.Driver.create engine [ backend ] in
+    Format.printf "directory serving on %s@." (D.Dir_service.addr dir);
+    if duration > 0.0 then Transport.Driver.run_for driver ~duration
+    else
+      while true do
+        Transport.Driver.run_for driver ~duration:3600.0
+      done;
+    let st = D.Dir_service.stats dir in
+    Format.printf
+      "requests %d, replies %d, notifies %d, evictions %d, errors %d, bad %d@."
+      st.D.Dir_service.s_requests st.D.Dir_service.s_replies
+      st.D.Dir_service.s_notifies st.D.Dir_service.s_evictions
+      st.D.Dir_service.s_errors st.D.Dir_service.s_bad;
+    List.iter
+      (fun g ->
+         Format.printf "group %d: version %d, %d bindings@." g
+           (D.Dir_service.version dir ~group:g)
+           (List.length (D.Dir_service.entries dir ~group:g)))
+      (D.Dir_service.groups dir);
+    D.Dir_service.stop dir;
+    backend.Transport.Backend.close ()
+  in
+  Cmd.v
+    (Cmd.info "dir"
+       ~doc:"Serve the rank directory over UDP (membership bootstrap for node and \
+             ping)")
+    Term.(const run $ bind_arg $ max_lease_arg $ sweep_arg $ duration_arg)
+
 let node_cmd =
   let rank_arg =
     Arg.(required & opt (some int) None
          & info [ "rank" ] ~doc:"This process's rank in the peer book.")
   in
   let peers_arg =
-    Arg.(required & opt (some string) None
+    Arg.(value & opt (some string) None
          & info [ "peers" ] ~docv:"BOOK"
-             ~doc:"Peer book shared by all processes, e.g. \
-                   0=127.0.0.1:7001,1=127.0.0.1:7002.")
+             ~doc:"Static peer book shared by all processes, e.g. \
+                   0=127.0.0.1:7001,1=127.0.0.1:7002. Optional when --dir is \
+                   given (and the fallback if the directory cannot assemble \
+                   the group).")
+  in
+  let dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dir" ] ~docv:"ADDR"
+             ~doc:"Directory service HOST:PORT: register this member and \
+                   resolve the peer book dynamically instead of --peers.")
+  in
+  let bind_addr_arg =
+    Arg.(value & opt (some string) None
+         & info [ "bind" ]
+             ~doc:"Local HOST:PORT when using --dir without a static book \
+                   (default 127.0.0.1:0, an ephemeral port).")
+  in
+  let n_arg =
+    Arg.(value & opt (some int) None
+         & info [ "n" ]
+             ~doc:"Expected membership size when using --dir (defaults to the \
+                   static book's size when one is given).")
   in
   let spec_arg =
     Arg.(value & opt string "TOTAL:MBRSHIP:FRAG:NAK:COM"
@@ -706,32 +919,120 @@ let node_cmd =
   let timeout_arg =
     Arg.(value & opt float 60.0 & info [ "timeout" ] ~doc:"Wall-clock budget in seconds.")
   in
-  let run rank peers_s spec casts interval timeout =
+  let run rank peers_s dir_addr bind_s n_opt spec casts interval timeout =
     let open Horus in
     let module I = Horus_check.Invariant in
     let module J = Json in
-    let peers =
-      match Transport.Peers.parse peers_s with
-      | Ok p -> p
-      | Error e ->
-        Format.eprintf "node: %s@." e;
+    let module D = Horus_dir in
+    let static =
+      match peers_s with
+      | None -> None
+      | Some s ->
+        (match Transport.Peers.parse s with
+         | Ok p -> Some p
+         | Error e ->
+           Format.eprintf "node: %s@." e;
+           exit 2)
+    in
+    if dir_addr = None && static = None then begin
+      Format.eprintf "node: need --peers, --dir, or both@.";
+      exit 2
+    end;
+    let n =
+      match (n_opt, static) with
+      | Some n, _ -> n
+      | None, Some p -> Transport.Peers.size p
+      | None, None ->
+        Format.eprintf "node: --dir without a static book needs --n@.";
         exit 2
     in
     let bind =
-      match Transport.Peers.find peers ~rank with
-      | Some a -> a
-      | None ->
-        Format.eprintf "node: rank %d not in peer book@." rank;
-        exit 2
+      match (static, bind_s) with
+      | Some p, _ ->
+        (match Transport.Peers.find p ~rank with
+         | Some a -> a
+         | None ->
+           Format.eprintf "node: rank %d not in peer book@." rank;
+           exit 2)
+      | None, Some b -> b
+      | None, None -> "127.0.0.1:0"
     in
-    let n = Transport.Peers.size peers in
     let world = World.create () in
     let backend = Transport.Udp.create ~bind () in
     let link = Transport_link.create world in
-    let ep = Transport_link.endpoint link ~backend ~peers ~rank ~spec in
     let g = World.fresh_group_addr world in  (* gid 0 in every process *)
-    let driver = Transport.Driver.create (World.engine world) [ backend ] in
-    let contact = if rank = 0 then None else Some (Addr.endpoint 0) in
+    (* Membership bootstrap: with --dir, register this member's socket
+       under its rank and poll the listing until the expected
+       population is present; the static book (when also given) is the
+       fallback if the directory cannot assemble the group in time. *)
+    let dir_ctx =
+      match dir_addr with
+      | None -> None
+      | Some da ->
+        let host =
+          match String.rindex_opt bind ':' with
+          | Some i -> String.sub bind 0 i
+          | None -> "127.0.0.1"
+        in
+        let db = Transport.Udp.create ~bind:(host ^ ":0") () in
+        let cl =
+          D.Dir_client.create ~eid:rank ~engine:(World.engine world) (fun frame ->
+              db.Transport.Backend.send ~dest:da frame)
+        in
+        db.Transport.Backend.set_rx (fun ~src frame ->
+            D.Dir_client.rx_frame cl ~src frame);
+        Some (db, cl)
+    in
+    let driver =
+      Transport.Driver.create (World.engine world)
+        (backend :: (match dir_ctx with Some (db, _) -> [ db ] | None -> []))
+    in
+    let resolved =
+      match dir_ctx with
+      | None -> None
+      | Some (_, cl) ->
+        let stop =
+          D.Dir_client.auto_renew cl ~group:(Addr.group_id g) ~rank
+            ~addr:backend.Transport.Backend.local_addr ~lease:10.0
+        in
+        let assembled = ref None in
+        let rec poll () =
+          D.Dir_client.list_group cl ~group:(Addr.group_id g) (fun r ->
+              match r with
+              | Ok (_, es) when List.length es >= n -> assembled := Some es
+              | _ -> World.after world ~delay:0.25 (fun () -> poll ()))
+        in
+        poll ();
+        ignore
+          (Transport.Driver.run_until ~timeout:(timeout /. 4.0) driver (fun () ->
+               !assembled <> None));
+        (match !assembled with
+         | Some es -> Some (D.Dir_client.peers_of es, stop)
+         | None ->
+           stop ();
+           None)
+    in
+    let peers, source =
+      match (resolved, static) with
+      | Some (p, _), _ -> (p, "directory")
+      | None, Some p ->
+        if dir_addr <> None then
+          Format.eprintf
+            "node: directory did not assemble %d members in time; falling back \
+             to the static book@."
+            n;
+        (p, "static")
+      | None, None ->
+        Format.eprintf "node: directory unavailable and no --peers fallback@.";
+        exit 2
+    in
+    Format.eprintf "membership source: %s@." source;
+    let ep = Transport_link.endpoint link ~backend ~peers ~rank ~spec in
+    let contact =
+      match Transport.Peers.ranks peers with
+      | lowest :: _ when lowest <> rank -> Some (Addr.endpoint lowest)
+      | _ -> None
+    in
     let gr = Group.join ?contact ~record:false ep g in
     (* Runner-style observations: delivery stream with epochs, views. *)
     let rec_casts = ref [] and rec_views = ref [] and n_casts = ref 0 in
@@ -788,6 +1089,7 @@ let node_cmd =
         [ ("rank", J.Int rank);
           ("n", J.Int n);
           ("local_addr", J.String backend.Transport.Backend.local_addr);
+          ("membership_source", J.String source);
           ("formed", J.Bool formed);
           ("complete", J.Bool complete);
           ("delivered", J.Int !n_casts);
@@ -816,14 +1118,21 @@ let node_cmd =
                 ("bytes_received", J.Int st.Transport.Backend.bytes_received) ] ) ]
     in
     print_string (J.to_string ~indent:true out);
+    (* Graceful directory departure: unregister and let the frame out. *)
+    (match resolved with
+     | Some (_, stop) ->
+       stop ();
+       Transport.Driver.run_for driver ~duration:0.2
+     | None -> ());
+    (match dir_ctx with Some (db, _) -> db.Transport.Backend.close () | None -> ());
     backend.Transport.Backend.close ();
     if formed && complete && violations = [] then exit 0 else exit 1
   in
   Cmd.v
     (Cmd.info "node"
        ~doc:"Run one member of a real multi-process UDP deployment (JSON report on stdout)")
-    Term.(const run $ rank_arg $ peers_arg $ spec_arg $ casts_arg $ interval_arg
-          $ timeout_arg)
+    Term.(const run $ rank_arg $ peers_arg $ dir_arg $ bind_addr_arg $ n_arg
+          $ spec_arg $ casts_arg $ interval_arg $ timeout_arg)
 
 (* Transport-level reachability: frames over UDP, no protocol stack.
    One side echoes ([--listen]); the other sends numbered pings and
@@ -840,16 +1149,38 @@ let ping_cmd =
     Arg.(value & opt (some string) None
          & info [ "to" ] ~docv:"ADDR" ~doc:"Peer to ping (HOST:PORT).")
   in
+  let to_rank_arg =
+    Arg.(value & opt (some int) None
+         & info [ "to-rank" ]
+             ~doc:"Peer to ping by rank, resolved via --dir (falling back to \
+                   --peers).")
+  in
+  let dir_ping_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dir" ] ~docv:"ADDR"
+             ~doc:"Directory service HOST:PORT for --to-rank resolution.")
+  in
+  let peers_ping_arg =
+    Arg.(value & opt (some string) None
+         & info [ "peers" ] ~docv:"BOOK"
+             ~doc:"Static peer book for --to-rank resolution, used when no \
+                   directory answers.")
+  in
+  let group_ping_arg =
+    Arg.(value & opt int 0
+         & info [ "group" ] ~doc:"Group id for directory rank resolution.")
+  in
   let count_arg = Arg.(value & opt int 5 & info [ "count" ] ~doc:"Pings to send.") in
   let timeout_arg =
     Arg.(value & opt float 30.0
          & info [ "timeout" ]
              ~doc:"Wall budget in seconds (listen duration; split across pings).")
   in
-  let run bind listen to_ count timeout =
+  let run bind listen to_ to_rank dir_addr peers_s gid count timeout =
     let open Horus in
     let backend = Transport.Udp.create ~bind () in
-    let driver = Transport.Driver.create (Horus_sim.Engine.create ()) [ backend ] in
+    let engine = Horus_sim.Engine.create () in
+    let driver = Transport.Driver.create engine [ backend ] in
     let group = Addr.group 0xEC80 in  (* diagnostic frames, outside any real gid *)
     if listen then begin
       Format.printf "listening on %s@." backend.Transport.Backend.local_addr;
@@ -864,12 +1195,63 @@ let ping_cmd =
       Transport.Driver.run_for driver ~duration:timeout
     end
     else begin
+      (* Destination: an explicit address wins; otherwise resolve the
+         rank via the directory, then via the static book — and say
+         which one answered. *)
       let dest =
-        match to_ with
-        | Some a -> a
-        | None ->
-          Format.eprintf "ping: --to required (or use --listen)@.";
+        match (to_, to_rank) with
+        | Some a, _ -> a
+        | None, None ->
+          Format.eprintf "ping: --to or --to-rank required (or use --listen)@.";
           exit 2
+        | None, Some r ->
+          let module D = Horus_dir in
+          let via_dir =
+            match dir_addr with
+            | None -> None
+            | Some da ->
+              let answer = ref None in
+              let cl =
+                D.Dir_client.create ~eid:0 ~engine (fun frame ->
+                    backend.Transport.Backend.send ~dest:da frame)
+              in
+              backend.Transport.Backend.set_rx (fun ~src frame ->
+                  D.Dir_client.rx_frame cl ~src frame);
+              D.Dir_client.lookup cl ~group:gid ~rank:r (fun res ->
+                  answer := Some res);
+              ignore
+                (Transport.Driver.run_until ~timeout:5.0 driver (fun () ->
+                     !answer <> None));
+              (match !answer with
+               | Some (Ok a) -> Some a
+               | Some (Error e) ->
+                 Format.eprintf "ping: directory lookup failed: %s@." e;
+                 None
+               | None -> None)
+          in
+          (match (via_dir, peers_s) with
+           | Some a, _ ->
+             Format.printf "resolved rank %d via directory: %s@." r a;
+             a
+           | None, Some book ->
+             (match Transport.Peers.parse book with
+              | Ok p ->
+                (match Transport.Peers.find p ~rank:r with
+                 | Some a ->
+                   Format.printf "resolved rank %d via static peer book: %s@." r a;
+                   a
+                 | None ->
+                   Format.eprintf "ping: rank %d not in peer book@." r;
+                   exit 2)
+              | Error e ->
+                Format.eprintf "ping: %s@." e;
+                exit 2)
+           | None, None ->
+             Format.eprintf
+               "ping: could not resolve rank %d (no directory answer, no \
+                --peers fallback)@."
+               r;
+             exit 2)
       in
       let got = ref None in
       backend.Transport.Backend.set_rx (fun ~src:_ frame ->
@@ -913,7 +1295,8 @@ let ping_cmd =
   Cmd.v
     (Cmd.info "ping"
        ~doc:"Transport-level reachability check: echo or ping framed UDP datagrams")
-    Term.(const run $ bind_arg $ listen_arg $ to_arg $ count_arg $ timeout_arg)
+    Term.(const run $ bind_arg $ listen_arg $ to_arg $ to_rank_arg $ dir_ping_arg
+          $ peers_ping_arg $ group_ping_arg $ count_arg $ timeout_arg)
 
 let () =
   let doc = "Horus protocol-composition framework: catalogue and property algebra" in
@@ -923,4 +1306,4 @@ let () =
        (Cmd.group info
           [ layers_cmd; table3_cmd; table4_cmd; check_cmd; synth_cmd; order_cmd;
             simulate_cmd; metrics_cmd; replay_cmd; explore_cmd; soak_cmd;
-            conformance_cmd; node_cmd; ping_cmd ]))
+            churn_cmd; conformance_cmd; dir_cmd; node_cmd; ping_cmd ]))

@@ -1,0 +1,519 @@
+(* The hierarchical churn soak: the acceptance experiment for scaling
+   membership past one flat group.
+
+   A population of [h_endpoints] members is split into [h_subgroups]
+   sub-groups of bounded size, each running
+   HIER(parent,sub):<h_spec> over a grid of shared loopback sockets:
+   socket [s] hosts member [s] of every sub-group (the frame header
+   cannot distinguish two local members of one group, so a socket may
+   carry at most one member per gid — see {!Horus.Transport_link}).
+   Sub-group [j] is rotated by [j] slots, which lands its founder —
+   the oldest member, hence the coordinator, hence the HIER
+   representative — on slot [j mod k], so all representatives sit on
+   distinct sockets and can additionally join the parent group over
+   the same socket pair.
+
+   A {!Horus_dir.Dir_service} on its own socket is the membership
+   bootstrap: every member registers its (gid, eid) -> socket-address
+   binding with a lease on join and unregisters on leave, via one
+   shared {!Horus_dir.Dir_client} per socket riding the reserved
+   directory gid ({!Horus.Transport_link.route_raw}).
+
+   The soak then drives [h_waves] churn waves: in each, the youngest
+   [h_wave_fraction] of every sub-group leaves (gracefully — so
+   representatives never move), the survivors must re-converge within
+   [h_converge_bound] virtual seconds, the representatives exchange a
+   burst of parent-group casts, and the leavers rejoin and the full
+   membership must re-converge again. At the end the run is held to:
+   every wave converged, parent casts all delivered, [nak.retransmits]
+   under the ceiling, and the directory's live bindings equal to the
+   union of installed views — with an FNV-1a fingerprint over the
+   canonical report for the CI double-run determinism gate. *)
+
+open Horus
+module Json = Horus_obs.Json
+module Metrics = Horus_obs.Metrics
+module T = Horus_transport
+module D = Horus_dir
+
+type config = {
+  h_name : string;
+  h_endpoints : int;       (* total population *)
+  h_subgroups : int;       (* must be <= the sub-group size ceiling *)
+  h_seed : int;
+  h_spec : string;         (* sub-group stack below HIER, top first *)
+  h_latency : float;       (* loopback hub latency, seconds *)
+  h_join_spacing : float;  (* settle after each join *)
+  h_op_gap : float;        (* gap between leaves within a wave *)
+  h_settle : float;        (* settle after setup, before the waves *)
+  h_waves : int;
+  h_wave_fraction : float; (* youngest fraction of each sub-group churned *)
+  h_casts_per_wave : int;  (* parent-group casts per wave *)
+  h_lease : float;         (* directory lease, seconds *)
+  h_converge_bound : float;(* per-phase view-convergence budget *)
+  h_check_every : float;   (* convergence poll slice *)
+  h_nak_ceiling : int;     (* whole-run nak.retransmits budget *)
+}
+
+let default_config =
+  { h_name = "churn";
+    h_endpoints = 1000;
+    h_subgroups = 32;
+    h_seed = 7;
+    h_spec = "MBRSHIP:NAK:COM";
+    h_latency = 0.0005;
+    h_join_spacing = 0.05;
+    h_op_gap = 0.02;
+    h_settle = 2.0;
+    h_waves = 3;
+    h_wave_fraction = 0.25;
+    h_casts_per_wave = 8;
+    h_lease = 10.0;
+    h_converge_bound = 5.0;
+    h_check_every = 0.05;
+    h_nak_ceiling = 100 }
+
+let ci_config =
+  { default_config with
+    h_name = "churn-ci";
+    h_endpoints = 256;
+    h_subgroups = 8;
+    h_waves = 2 }
+
+type wave_report = {
+  w_index : int;
+  w_kind : string;          (* "leave" | "rejoin" *)
+  w_members : int;          (* members churned in this phase *)
+  w_converge : float option;(* virtual seconds to convergence *)
+}
+
+type report = {
+  r_name : string;
+  r_endpoints : int;
+  r_subgroups : int;
+  r_sockets : int;
+  r_setup_converge : float option;
+  r_waves : wave_report list;
+  r_parent_casts : int;        (* deliveries expected per parent member *)
+  r_parent_delivered : int list;(* per-representative totals *)
+  r_nak_retransmits : int;
+  r_unknown_gid : int;         (* in-flight frames for just-left gids *)
+  r_dir_versions : (int * int) list;  (* (gid, directory version) *)
+  r_dir_match : bool;
+  r_dir_notifies : int;        (* seen by the one subscribed client *)
+  r_dir_evictions : int;       (* graceful churn: should stay 0 *)
+  r_violations : string list;
+  r_elapsed : float;           (* virtual seconds *)
+  r_fingerprint : int64;
+}
+
+let ok r = r.r_violations = []
+
+let fnv s =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+       h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001b3L)
+    s;
+  !h
+
+(* One member slot of one sub-group. Rejoining after a leave creates a
+   fresh endpoint incarnation (new eid) on the same socket: endpoint
+   ids double as age order and the NAK layer's pair lanes survive view
+   changes by design, so an eid must never be reused by a later
+   incarnation — exactly the rule a real deployment follows. *)
+type member = {
+  mutable m_eid : int;
+  m_slot : int;                              (* socket index *)
+  mutable m_endpoint : Endpoint.t;
+  mutable m_handle : Group.t option;         (* current group handle *)
+  mutable m_stop_renew : (unit -> unit) option;
+}
+
+let run c =
+  if c.h_subgroups < 1 then invalid_arg "Churn: subgroups must be >= 1";
+  if c.h_endpoints < 2 * c.h_subgroups then
+    invalid_arg "Churn: need at least two members per sub-group";
+  if c.h_wave_fraction < 0.0 || c.h_wave_fraction >= 1.0 then
+    invalid_arg "Churn: wave_fraction must be in [0, 1)";
+  let n = c.h_endpoints and g = c.h_subgroups in
+  let sizes = Array.init g (fun j -> (n / g) + if j < n mod g then 1 else 0) in
+  let k = Array.fold_left max 0 sizes in
+  if g > k then
+    invalid_arg
+      "Churn: more sub-groups than sockets — representatives would collide";
+  let world = World.create ~seed:c.h_seed () in
+  let engine = World.engine world in
+  let hub = T.Loopback.hub ~latency:c.h_latency engine in
+  let link = Transport_link.create world in
+  let peers = T.Peers.create () in
+  let sockets =
+    Array.init k (fun s -> T.Loopback.create ~addr:(Printf.sprintf "mem:%d" s) hub)
+  in
+  let sock_addr s = sockets.(s).T.Backend.local_addr in
+  (* The directory fabric: the service on its own socket, one client
+     per member socket, multiplexed over the reserved directory gid. *)
+  let dir_backend = T.Loopback.create ~addr:"dir" hub in
+  let dir = D.Dir_service.create ~max_lease:(2.0 *. c.h_lease) ~engine dir_backend in
+  World.add_metrics_exporter world (fun m -> D.Dir_service.export_metrics dir m);
+  let muxes = Array.map (fun b -> Transport_link.mux link ~backend:b ~peers) sockets in
+  let clients =
+    Array.mapi
+      (fun s m ->
+         let cl =
+           D.Dir_client.create ~eid:(1_000_000 + s) ~engine (fun frame ->
+               sockets.(s).T.Backend.send ~dest:(D.Dir_service.addr dir) frame)
+         in
+         Transport_link.route_raw m ~gid:D.Dir_protocol.gid (D.Dir_client.rx cl);
+         cl)
+      muxes
+  in
+  let sub_gid = Array.init g (fun _ -> World.fresh_group_addr world) in
+  let parent_gid = World.fresh_group_addr world in
+  let pgid = Addr.group_id parent_gid in
+  (* The grid: member (j, i) starts with eid j*k + i (so the founder
+     i=0 is the oldest, stable coordinator) and lives on socket
+     (i + j) mod k (so founders occupy distinct slots). Later
+     incarnations draw fresh, strictly higher eids from [next_eid]. *)
+  let spec_of j = Printf.sprintf "HIER(parent=%d,sub=%d):%s" pgid j c.h_spec in
+  let next_eid = ref (g * k) in
+  let members =
+    Array.init g (fun j ->
+        Array.init sizes.(j) (fun i ->
+            let eid = (j * k) + i and slot = (i + j) mod k in
+            T.Peers.add peers ~rank:eid ~addr:(sock_addr slot);
+            { m_eid = eid;
+              m_slot = slot;
+              m_endpoint =
+                Transport_link.mux_endpoint link muxes.(slot) ~rank:eid
+                  ~spec:(spec_of j);
+              m_handle = None;
+              m_stop_renew = None }))
+  in
+  let join_member ?contact j i =
+    let m = members.(j).(i) in
+    m.m_handle <- Some (Group.join ?contact ~record:false m.m_endpoint sub_gid.(j));
+    m.m_stop_renew <-
+      Some
+        (D.Dir_client.auto_renew clients.(m.m_slot)
+           ~group:(Addr.group_id sub_gid.(j))
+           ~rank:m.m_eid ~addr:(sock_addr m.m_slot) ~lease:c.h_lease)
+  in
+  let leave_member j i =
+    let m = members.(j).(i) in
+    (match m.m_handle with Some gr -> Group.leave gr | None -> ());
+    (match m.m_stop_renew with Some stop -> stop () | None -> ());
+    m.m_stop_renew <- None
+  in
+  (* Convergence: every present member of every sub-group holds a view
+     whose membership is exactly the present set, and every departing
+     handle has fully exited (so its endpoint can rejoin). *)
+  let eids_of v = List.sort compare (List.map Addr.endpoint_id (View.members v)) in
+  let subgroup_settled j =
+    let expected =
+      Array.to_list members.(j)
+      |> List.filter_map (fun m ->
+             match (m.m_handle, m.m_stop_renew) with
+             | Some _, Some _ -> Some m.m_eid
+             | _ -> None)
+      |> List.sort compare
+    in
+    Array.for_all
+      (fun m ->
+         match m.m_handle with
+         | None -> true
+         | Some gr ->
+           if m.m_stop_renew = None then Group.exited gr
+           else (match Group.view gr with
+                 | Some v -> eids_of v = expected
+                 | None -> false))
+      members.(j)
+  in
+  let all_settled () =
+    let rec go j = j >= g || (subgroup_settled j && go (j + 1)) in
+    go 0
+  in
+  let wait_converged pred =
+    let start = World.now world in
+    let rec go () =
+      if pred () then Some (World.now world -. start)
+      else if World.now world -. start >= c.h_converge_bound then None
+      else begin
+        World.run_for world ~duration:c.h_check_every;
+        go ()
+      end
+    in
+    go ()
+  in
+  let violations = ref [] in
+  let violate fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let debug_dump tag =
+    if Sys.getenv_opt "HORUS_CHURN_DEBUG" <> None then begin
+      Printf.eprintf "--- %s (t=%.2f) ---\n" tag (World.now world);
+      for j = 0 to min 1 (g - 1) do
+        Array.iteri
+          (fun i m ->
+             match m.m_handle with
+             | None -> Printf.eprintf "  g%d[%d] eid=%d: no handle\n" j i m.m_eid
+             | Some gr ->
+               Printf.eprintf "  g%d[%d] eid=%d live=%b exited=%b view=%s\n" j i
+                 m.m_eid (m.m_stop_renew <> None) (Group.exited gr)
+                 (match Group.view gr with
+                  | Some v ->
+                    Printf.sprintf "lt%d[%s]" (View.ltime v)
+                      (String.concat ","
+                         (List.map string_of_int (eids_of v)))
+                  | None -> "-"))
+          members.(j)
+      done;
+      List.iter
+        (fun e ->
+           let cat = e.Horus_sim.Trace.category in
+           let has s =
+             let ls = String.length s and lc = String.length cat in
+             lc >= ls && String.sub cat (lc - ls) ls = s
+           in
+           if has "merge" || has "stale" || has "suspect" then
+             Printf.eprintf "  [%.2f] %s: %s\n" e.Horus_sim.Trace.time
+               e.Horus_sim.Trace.category e.Horus_sim.Trace.detail)
+        (Horus_sim.Trace.entries (World.trace world))
+    end
+  in
+  (* Watch the notification feed through one subscribed client. *)
+  D.Dir_client.subscribe clients.(0) ~group:(Addr.group_id sub_gid.(0)) (fun _ -> ());
+  (* Phase 1: found every sub-group and stagger the joins. *)
+  for j = 0 to g - 1 do
+    join_member j 0;
+    World.run_for world ~duration:c.h_join_spacing
+  done;
+  for i = 1 to k - 1 do
+    for j = 0 to g - 1 do
+      if i < sizes.(j) then
+        join_member ~contact:(Group.addr (Option.get members.(j).(0).m_handle)) j i
+    done;
+    World.run_for world ~duration:c.h_join_spacing
+  done;
+  World.run_for world ~duration:c.h_settle;
+  let setup_converge = wait_converged all_settled in
+  if setup_converge = None then violate "setup: sub-groups failed to converge";
+  (* Phase 2: the representatives bridge into the parent group (their
+     HIER layer is elect-only inside the parent gid itself). *)
+  let parent_delivered = Array.make g 0 in
+  let parent_handles =
+    Array.init g (fun j ->
+        let m = members.(j).(0) in
+        let contact =
+          if j = 0 then None
+          else Some (Endpoint.addr members.(0).(0).m_endpoint)
+        in
+        let gr =
+          Group.join ?contact ~record:false
+            ~on_up:(fun ev ->
+                match ev with
+                | Horus_hcpi.Event.U_cast _ ->
+                  parent_delivered.(j) <- parent_delivered.(j) + 1
+                | _ -> ())
+            m.m_endpoint parent_gid
+        in
+        (* Representatives never leave, so the stop thunk is dropped:
+           the parent binding renews for the life of the run. *)
+        let (_stop : unit -> unit) =
+          D.Dir_client.auto_renew clients.(m.m_slot) ~group:pgid ~rank:m.m_eid
+            ~addr:(sock_addr m.m_slot) ~lease:c.h_lease
+        in
+        World.run_for world ~duration:c.h_join_spacing;
+        gr)
+  in
+  World.run_for world ~duration:c.h_settle;
+  let parent_settled () =
+    let expected =
+      List.sort compare (List.init g (fun j -> members.(j).(0).m_eid))
+    in
+    Array.for_all
+      (fun gr ->
+         match Group.view gr with Some v -> eids_of v = expected | None -> false)
+      parent_handles
+  in
+  (match wait_converged parent_settled with
+   | Some _ -> ()
+   | None -> violate "setup: parent group failed to converge");
+  (* Phase 3: the churn waves. *)
+  let waves = ref [] in
+  let churn_of j = max 1 (int_of_float (c.h_wave_fraction *. float_of_int sizes.(j))) in
+  let cast_seq = ref 0 in
+  for w = 0 to c.h_waves - 1 do
+    (* Leave wave: the youngest members of every sub-group go,
+       staggered — representatives (the oldest) never move. *)
+    let churned = ref 0 in
+    for j = 0 to g - 1 do
+      let cj = min (churn_of j) (sizes.(j) - 1) in
+      for i = sizes.(j) - cj to sizes.(j) - 1 do
+        leave_member j i;
+        incr churned
+      done;
+      World.run_for world ~duration:c.h_op_gap
+    done;
+    let conv = wait_converged all_settled in
+    if conv = None then violate "wave %d: leave phase failed to converge" w;
+    waves := { w_index = w; w_kind = "leave"; w_members = !churned; w_converge = conv }
+             :: !waves;
+    (* Parent traffic: the representatives gossip between waves. *)
+    for x = 0 to c.h_casts_per_wave - 1 do
+      incr cast_seq;
+      Group.cast parent_handles.(x mod g) (Printf.sprintf "w%d-%d" w !cast_seq);
+      World.run_for world ~duration:0.01
+    done;
+    World.run_for world ~duration:0.2;
+    (* Rejoin wave: the same members come back through their
+       sub-group's representative, and re-register. *)
+    let rejoined = ref 0 in
+    for j = 0 to g - 1 do
+      let cj = min (churn_of j) (sizes.(j) - 1) in
+      for i = sizes.(j) - cj to sizes.(j) - 1 do
+        (* The exited stack stays attached (and owns the gid route on
+           its socket) until destroyed; the comeback is a NEW endpoint
+           incarnation on the same socket slot. *)
+        let m = members.(j).(i) in
+        (match m.m_handle with Some gr -> Group.destroy gr | None -> ());
+        m.m_handle <- None;
+        let eid = !next_eid in
+        incr next_eid;
+        T.Peers.add peers ~rank:eid ~addr:(sock_addr m.m_slot);
+        m.m_eid <- eid;
+        m.m_endpoint <-
+          Transport_link.mux_endpoint link muxes.(m.m_slot) ~rank:eid
+            ~spec:(spec_of j);
+        join_member ~contact:(Group.addr (Option.get members.(j).(0).m_handle)) j i;
+        incr rejoined;
+        World.run_for world ~duration:c.h_op_gap
+      done
+    done;
+    let conv = wait_converged all_settled in
+    if conv = None then begin
+      violate "wave %d: rejoin phase failed to converge" w;
+      debug_dump (Printf.sprintf "wave %d rejoin" w)
+    end;
+    waves := { w_index = w; w_kind = "rejoin"; w_members = !rejoined; w_converge = conv }
+             :: !waves
+  done;
+  (* Final accounting: drain, sweep, and hold the run to its bounds. *)
+  World.run_for world ~duration:c.h_settle;
+  D.Dir_service.sweep_now dir;
+  let expected_casts = c.h_waves * c.h_casts_per_wave in
+  Array.iteri
+    (fun j d ->
+       if d <> expected_casts then
+         violate "parent: representative %d delivered %d of %d casts" j d
+           expected_casts)
+    parent_delivered;
+  let nak = Metrics.count (Metrics.counter (World.metrics world) "nak.retransmits") in
+  if nak > c.h_nak_ceiling then
+    violate "nak.retransmits %d exceeds ceiling %d" nak c.h_nak_ceiling;
+  (* The directory must agree with the installed views: every
+     sub-group's live bindings are exactly its final membership at its
+     member's socket addresses, and the parent's are the reps. *)
+  let dir_group_ok gid expected =
+    let entries =
+      List.map (fun (r, a, _) -> (r, a)) (D.Dir_service.entries dir ~group:gid)
+    in
+    let want =
+      List.sort compare
+        (List.map (fun (eid, slot) -> (eid, sock_addr slot)) expected)
+    in
+    entries = want
+  in
+  let dir_match = ref true in
+  for j = 0 to g - 1 do
+    let expected =
+      Array.to_list members.(j)
+      |> List.filter_map (fun m ->
+             if m.m_stop_renew <> None then Some (m.m_eid, m.m_slot) else None)
+    in
+    if not (dir_group_ok (Addr.group_id sub_gid.(j)) expected) then begin
+      dir_match := false;
+      violate "directory: sub-group %d bindings diverge from its view" j
+    end
+  done;
+  if not (dir_group_ok pgid
+            (List.init g (fun j -> (members.(j).(0).m_eid, members.(j).(0).m_slot))))
+  then begin
+    dir_match := false;
+    violate "directory: parent bindings diverge from the representative set"
+  end;
+  let dir_versions =
+    List.map (fun gid -> (gid, D.Dir_service.version dir ~group:gid))
+      (D.Dir_service.groups dir)
+  in
+  let dir_stats = D.Dir_service.stats dir in
+  if dir_stats.D.Dir_service.s_evictions > 0 then
+    violate "directory: %d lease evictions during graceful churn"
+      dir_stats.D.Dir_service.s_evictions;
+  let notifies =
+    (D.Dir_client.stats clients.(0)).D.Dir_client.c_notifies
+  in
+  let core = {
+    r_name = c.h_name;
+    r_endpoints = n;
+    r_subgroups = g;
+    r_sockets = k;
+    r_setup_converge = setup_converge;
+    r_waves = List.rev !waves;
+    r_parent_casts = expected_casts;
+    r_parent_delivered = Array.to_list parent_delivered;
+    r_nak_retransmits = nak;
+    r_unknown_gid = Transport_link.unknown_gid link;
+    r_dir_versions = dir_versions;
+    r_dir_match = !dir_match;
+    r_dir_notifies = notifies;
+    r_dir_evictions = dir_stats.D.Dir_service.s_evictions;
+    r_violations = List.rev !violations;
+    r_elapsed = World.now world;
+    r_fingerprint = 0L;
+  } in
+  core
+
+let wave_json w =
+  Json.Obj
+    [ ("wave", Json.Int w.w_index);
+      ("kind", Json.String w.w_kind);
+      ("members", Json.Int w.w_members);
+      ( "converge",
+        match w.w_converge with None -> Json.Null | Some t -> Json.Float t ) ]
+
+let core_json r =
+  Json.Obj
+    [ ("name", Json.String r.r_name);
+      ("ok", Json.Bool (ok r));
+      ("endpoints", Json.Int r.r_endpoints);
+      ("subgroups", Json.Int r.r_subgroups);
+      ("sockets", Json.Int r.r_sockets);
+      ( "setup_converge",
+        match r.r_setup_converge with None -> Json.Null | Some t -> Json.Float t );
+      ("waves", Json.List (List.map wave_json r.r_waves));
+      ("parent_casts", Json.Int r.r_parent_casts);
+      ("parent_delivered", Json.List (List.map (fun d -> Json.Int d) r.r_parent_delivered));
+      ("nak_retransmits", Json.Int r.r_nak_retransmits);
+      ("unknown_gid", Json.Int r.r_unknown_gid);
+      ( "dir_versions",
+        Json.Obj
+          (List.map (fun (gid, v) -> (string_of_int gid, Json.Int v)) r.r_dir_versions) );
+      ("dir_match", Json.Bool r.r_dir_match);
+      ("dir_notifies", Json.Int r.r_dir_notifies);
+      ("dir_evictions", Json.Int r.r_dir_evictions);
+      ("violations", Json.List (List.map (fun s -> Json.String s) r.r_violations));
+      ("elapsed_virtual", Json.Float r.r_elapsed) ]
+
+let fingerprint r = fnv (Json.to_string ~indent:false (core_json r))
+
+let run c =
+  let core = run c in
+  { core with r_fingerprint = fingerprint core }
+
+let to_json r =
+  match core_json r with
+  | Json.Obj fields ->
+    Json.Obj
+      (fields @ [ ("fingerprint", Json.String (Printf.sprintf "%016Lx" r.r_fingerprint)) ])
+  | j -> j
+
+let to_string r = Json.to_string ~indent:true (to_json r)

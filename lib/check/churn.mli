@@ -1,0 +1,86 @@
+(** The hierarchical churn soak — the acceptance experiment for
+    scaling membership past one flat group.
+
+    [h_endpoints] members split into [h_subgroups] sub-groups, each
+    running [HIER(parent,sub):<h_spec>] over a grid of shared loopback
+    sockets multiplexed by {!Horus.Transport_link} (socket [s] hosts
+    member [s] of every sub-group; sub-group [j] is rotated [j] slots
+    so every representative — the sub-group's oldest member — sits on
+    a distinct socket and can also join the parent group). A
+    {!Horus_dir.Dir_service} on its own socket tracks every live
+    member under a lease, through one shared {!Horus_dir.Dir_client}
+    per socket riding the reserved directory gid.
+
+    Each churn wave removes the youngest [h_wave_fraction] of every
+    sub-group, requires re-convergence within [h_converge_bound]
+    virtual seconds, drives a parent-group cast burst, rejoins the
+    leavers and requires convergence again. The run is held to: every
+    phase converged, all parent casts delivered everywhere,
+    [nak.retransmits] under [h_nak_ceiling], zero lease evictions, and
+    directory bindings equal to the union of installed views. Runs are
+    a pure function of the config: {!report.r_fingerprint} is the CI
+    double-run determinism gate. *)
+
+type config = {
+  h_name : string;
+  h_endpoints : int;       (** total population *)
+  h_subgroups : int;       (** must not exceed the sub-group size ceiling *)
+  h_seed : int;
+  h_spec : string;         (** sub-group stack below HIER, top first *)
+  h_latency : float;       (** loopback hub latency, seconds *)
+  h_join_spacing : float;  (** settle after each join *)
+  h_op_gap : float;        (** gap between leaves within a wave *)
+  h_settle : float;        (** settle after setup, before the waves *)
+  h_waves : int;
+  h_wave_fraction : float; (** youngest fraction of each sub-group churned *)
+  h_casts_per_wave : int;  (** parent-group casts per wave *)
+  h_lease : float;         (** directory lease, seconds *)
+  h_converge_bound : float;(** per-phase view-convergence budget *)
+  h_check_every : float;   (** convergence poll slice *)
+  h_nak_ceiling : int;     (** whole-run [nak.retransmits] budget *)
+}
+
+val default_config : config
+(** The M4 acceptance shape: 1000 endpoints in 32 sub-groups, 3 waves
+    churning the youngest quarter, seed 7. *)
+
+val ci_config : config
+(** The bounded CI shape: 256 endpoints in 8 sub-groups, 2 waves. *)
+
+type wave_report = {
+  w_index : int;
+  w_kind : string;          (** ["leave"] or ["rejoin"] *)
+  w_members : int;          (** members churned in this phase *)
+  w_converge : float option;(** virtual seconds to convergence; [None]
+                                = bound exceeded *)
+}
+
+type report = {
+  r_name : string;
+  r_endpoints : int;
+  r_subgroups : int;
+  r_sockets : int;          (** the shared-socket grid width *)
+  r_setup_converge : float option;
+  r_waves : wave_report list;
+  r_parent_casts : int;     (** deliveries expected per representative *)
+  r_parent_delivered : int list;
+  r_nak_retransmits : int;
+  r_unknown_gid : int;      (** in-flight frames for just-left gids *)
+  r_dir_versions : (int * int) list;
+  r_dir_match : bool;       (** directory == union of installed views *)
+  r_dir_notifies : int;
+  r_dir_evictions : int;    (** graceful churn: should stay 0 *)
+  r_violations : string list;
+  r_elapsed : float;        (** virtual seconds *)
+  r_fingerprint : int64;    (** FNV-1a over the canonical report JSON *)
+}
+
+val run : config -> report
+(** Execute the soak; raises [Invalid_argument] on a config whose grid
+    cannot host the representatives on distinct sockets. *)
+
+val ok : report -> bool
+(** No violations. *)
+
+val to_json : report -> Horus_obs.Json.t
+val to_string : report -> string

@@ -95,7 +95,12 @@ let stack_of_layers layers =
    delivery-stream conformance run. *)
 let safe_extra_names =
   [ "CHKSUM"; "SIGN"; "ENCRYPT"; "COMPRESS"; "FC"; "TRACE"; "ACCOUNT"; "BATCH";
-    "CLOCKSYNC"; "NOOP" ]
+    "CLOCKSYNC"; "NOOP"; "HIER" ]
+(* HIER is transparent within its sub-group but NOT interposable
+   anywhere: it requires consistent views beneath it. The grower may
+   still draw it anywhere; an ill-placed HIER fails [PCheck.derive]'s
+   requires check and the stack is discarded, so only
+   HIER-over-membership stacks survive into the sweep. *)
 
 let registered (l : Layer_spec.t) = Horus_hcpi.Registry.mem l.Layer_spec.name
 
@@ -223,11 +228,53 @@ let generate ~seed ~count ~max_depth =
 
 (* "clean" still runs over the chaos-wrapped loopback waist (zero
    probabilities), so every profile exercises the same code path. *)
+(* The conformance scenario's clock: 3 joins at 0.4 s spacing, then a
+   2 s settle, puts the traffic origin t0 near 3.2 s engine time; the
+   cast burst is over by t0 + 0.1. The windowed profiles below are
+   phrased against that clock (partition windows are timed from
+   controller creation, i.e. engine time 0) and always heal well
+   before the 5 s run_for ends, so reliable stacks must recover and
+   the sweep stays a falsifier of protocol bugs, not of physics. *)
 let profiles =
   [ ("clean", Chaos.default);
     ("drop", { Chaos.default with Chaos.drop = 0.05; duplicate = 0.01 });
     ("reorder",
-     { Chaos.default with Chaos.reorder = 0.10; reorder_window = 4; delay = 0.02 }) ]
+     { Chaos.default with Chaos.reorder = 0.10; reorder_window = 4; delay = 0.02 });
+    (* A full symmetric partition between the two surviving members,
+       opening just after the cast burst lands (last cast t0 + 0.08,
+       engine time ~3.28) and healing 80 ms later: background drop has
+       already torn ~1% of the burst, and the repair rounds for those
+       losses now stall mid-partition and must re-request after the
+       heal. The window is bracketed on both sides by design: it opens
+       after the burst because a cast torn in a full partition with no
+       successor traffic is unexposable tail loss (NAK is
+       receiver-driven — falsifying physics, not the protocol), and it
+       closes well before the scripted suspicion (t0 + 0.3, ~3.5) so
+       repair rounds complete and the crash-driven flush — whose view
+       install is itself a pair-lane tail message — runs over a healed
+       network. *)
+    ("partition-mid-sweep",
+     { Chaos.default with
+       Chaos.drop = 0.01;
+       partitions =
+         [ { Chaos.pt_from = 0; pt_to = 1; pt_start = 3.3; pt_stop = Some 3.38 };
+           { Chaos.pt_from = 1; pt_to = 0; pt_start = 3.3; pt_stop = Some 3.38 } ] });
+    (* An asymmetric link: member 1's frames toward member 0 vanish in
+       two flapping windows while the reverse direction keeps flowing
+       (plus mild delay everywhere) — the classic one-way-degraded
+       path that ack/nak protocols must survive without symmetry
+       assumptions. The first flap heals two NAK status periods before
+       the scripted suspicion (~3.5) so repair completes ahead of the
+       flush; the second flap tears post-flush repair traffic and must
+       be re-requested when it lifts. *)
+    ("asym-link",
+     { Chaos.default with
+       Chaos.delay = 0.05;
+       delay_mean = 0.002;
+       delay_max = 0.02;
+       partitions =
+         [ { Chaos.pt_from = 1; pt_to = 0; pt_start = 3.25; pt_stop = Some 3.38 };
+           { Chaos.pt_from = 1; pt_to = 0; pt_start = 3.9; pt_stop = Some 4.1 } ] }) ]
 
 let profile_named name = List.assoc_opt name profiles
 
@@ -254,8 +301,14 @@ let scenario_of ~seed ~profile_name ~profile (st : stack) =
   in
   let faults =
     if List.mem P.P15_consistent_views st.st_slice then
+      (* The suspicion trails the crash by ~0.25 s: late enough that
+         the windowed profiles below can open after the cast burst,
+         heal, and still leave NAK two full status periods (50 ms
+         each) to expose and repair torn casts before the flush cuts
+         the epoch — repair racing the view change is a physics loss,
+         not a protocol bug. *)
       [ { Scenario.f_at = 0.055; f_fault = Scenario.Crash (n - 1) };
-        { Scenario.f_at = 0.2; f_fault = Scenario.Suspect (0, n - 1) } ]
+        { Scenario.f_at = 0.3; f_fault = Scenario.Suspect (0, n - 1) } ]
     else []
   in
   (* ':' is legal in a POSIX filename but not in a CI artifact path,

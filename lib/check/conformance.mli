@@ -58,8 +58,14 @@ val generate : seed:int -> count:int -> max_depth:int -> stack list
 
 val profiles : (string * Horus_transport.Chaos.profile) list
 (** ["clean"] (zero probabilities, but still over the chaos-wrapped
-    loopback waist), ["drop"] (5% drop, 1% duplication) and
-    ["reorder"] (10% reorder in a window of 4, 2% delay). *)
+    loopback waist), ["drop"] (5% drop, 1% duplication), ["reorder"]
+    (10% reorder in a window of 4, 2% delay),
+    ["partition-mid-sweep"] (a symmetric partition between the two
+    surviving members that opens mid-cast-burst and heals 0.35 s
+    later) and ["asym-link"] (member 1's frames toward member 0
+    vanish in two flapping one-way windows while the reverse path
+    keeps flowing, plus mild delay). The windowed profiles always
+    heal well before the run ends, so reliable stacks must recover. *)
 
 val profile_named : string -> Horus_transport.Chaos.profile option
 

@@ -124,19 +124,41 @@ let run ?(skip_inert = false) ?(fastpath = false) ?observe (sc : Scenario.t) =
       chaos_fabric world sc.Scenario.spec sc.Scenario.n sc.Scenario.seed p
         sc.Scenario.net.Scenario.latency
   in
-  let g = World.fresh_group_addr world in
-  let founder = Group.join ~skip_inert ~fastpath (fabric.fb_endpoint 0) g in
-  World.run_for world ~duration:sc.Scenario.join_spacing;
-  let rest =
-    List.init (sc.Scenario.n - 1) (fun i ->
-        let m =
-          Group.join ~skip_inert ~fastpath ~contact:(Group.addr founder)
-            (fabric.fb_endpoint (i + 1)) g
-        in
-        World.run_for world ~duration:sc.Scenario.join_spacing;
-        m)
+  let n = sc.Scenario.n in
+  (* Members with a Join fault sit out the initial wave and join at
+     their fault time — the churn ingredient. Endpoints are cached per
+     member so fault handlers can name a member's address before (or
+     without) its join; for scenarios without Join faults the creation
+     points are exactly the historical ones, keeping old fingerprints
+     stable. *)
+  let late = Scenario.late_members sc in
+  let ep_cache : Endpoint.t option array = Array.make n None in
+  let endpoint_of i =
+    match ep_cache.(i) with
+    | Some e -> e
+    | None ->
+      let e = fabric.fb_endpoint i in
+      ep_cache.(i) <- Some e;
+      e
   in
-  let members = Array.of_list (founder :: rest) in
+  let g = World.fresh_group_addr world in
+  let members : Group.t option array = Array.make n None in
+  let recorders : recorder option array = Array.make n None in
+  let founder = Group.join ~skip_inert ~fastpath (endpoint_of 0) g in
+  members.(0) <- Some founder;
+  World.run_for world ~duration:sc.Scenario.join_spacing;
+  for i = 1 to n - 1 do
+    if not (List.mem i late) then begin
+      members.(i) <-
+        Some
+          (Group.join ~skip_inert ~fastpath ~contact:(Group.addr founder)
+             (endpoint_of i) g);
+      World.run_for world ~duration:sc.Scenario.join_spacing
+    end
+  done;
+  let joined () =
+    List.filter_map (fun m -> m) (Array.to_list members)
+  in
   (* Stacks without a membership layer never install destination
      views, so casts would have nowhere to go: give every member the
      full group as a hand-installed ltime-0 view, the same way an
@@ -146,19 +168,19 @@ let run ?(skip_inert = false) ?(fastpath = false) ?observe (sc : Scenario.t) =
   if not (spec_has_membership sc.Scenario.spec) then begin
     let v =
       View.create ~group:g ~ltime:0
-        ~members:
-          (List.sort Addr.compare_endpoint
-             (Array.to_list (Array.map Group.addr members)))
+        ~members:(List.sort Addr.compare_endpoint (List.map Group.addr (joined ())))
     in
-    Array.iter (fun m -> Group.install_view m v) members
+    List.iter (fun m -> Group.install_view m v) (joined ())
   end;
   World.run_for world ~duration:sc.Scenario.settle;
-  let recorders = Array.map attach members in
+  Array.iteri
+    (fun i gr -> match gr with Some gr -> recorders.(i) <- Some (attach gr) | None -> ())
+    members;
   (* Everything below is relative to t0, the traffic origin. *)
   let t0 = World.now world in
   (* Per-link latency overrides (the Figure 2 ingredient: a crashed
      member's copies slowed towards some members, not others). *)
-  let node m = Addr.endpoint_id (Group.addr members.(m)) in
+  let node m = Addr.endpoint_id (Endpoint.addr (endpoint_of m)) in
   List.iter
     (fun (s, d, lat) ->
        Horus_sim.Net.set_link_latency (World.net world) ~src:(node s) ~dst:(node d)
@@ -177,7 +199,9 @@ let run ?(skip_inert = false) ?(fastpath = false) ?observe (sc : Scenario.t) =
        List.iteri
          (fun k (at, pad) ->
             World.at world ~time:(t0 +. at) (fun () ->
-                Group.cast members.(i) (Invariant.payload ~pad ~tag ~origin:i ~k ())))
+                match members.(i) with
+                | Some gr -> Group.cast gr (Invariant.payload ~pad ~tag ~origin:i ~k ())
+                | None -> ()  (* not (yet) joined: the op is a no-op *)))
          (List.sort (fun (a, _) (b, _) -> Float.compare a b) (List.rev ats)))
     per_member;
   (* Faults. *)
@@ -185,18 +209,36 @@ let run ?(skip_inert = false) ?(fastpath = false) ?observe (sc : Scenario.t) =
     (fun f ->
        World.at world ~time:(t0 +. f.Scenario.f_at) (fun () ->
            match f.Scenario.f_fault with
-           | Scenario.Crash m -> Endpoint.crash (Group.endpoint members.(m))
-           | Scenario.Leave m -> Group.leave members.(m)
+           | Scenario.Crash m -> Endpoint.crash (endpoint_of m)
+           | Scenario.Leave m ->
+             (match members.(m) with Some gr -> Group.leave gr | None -> ())
+           | Scenario.Join m ->
+             (* Late (or re-) join: only when the member holds no live
+                group handle — an un-exited handle still owns the gid
+                route, so the fault is a deterministic no-op then. *)
+             let joinable =
+               match members.(m) with
+               | None -> true
+               | Some gr -> Group.exited gr
+             in
+             if joinable && not (Endpoint.is_crashed (endpoint_of m)) then begin
+               let gr =
+                 Group.join ~skip_inert ~fastpath ~contact:(Group.addr founder)
+                   (endpoint_of m) g
+               in
+               members.(m) <- Some gr;
+               recorders.(m) <- Some (attach gr)
+             end
            | Scenario.Suspect (a, b) ->
-             Group.suspect members.(a) [ Group.addr members.(b) ]
+             (match members.(a) with
+              | Some gr -> Group.suspect gr [ Endpoint.addr (endpoint_of b) ]
+              | None -> ())
            | Scenario.Partition groups ->
              (* Node ids: the simulator net keys on them; under chaos
                 the endpoints are pinned at their ranks, so the two
                 coincide with member indices there. *)
              fabric.fb_partition
-               (List.map
-                  (List.map (fun m -> Addr.endpoint_id (Group.addr members.(m))))
-                  groups)
+               (List.map (List.map (fun m -> node m)) groups)
            | Scenario.Heal -> fabric.fb_heal ()))
     sc.Scenario.faults;
   (* Dispatch schedule: replay the choice prefix, then default-0 (or a
@@ -231,33 +273,64 @@ let run ?(skip_inert = false) ?(fastpath = false) ?observe (sc : Scenario.t) =
      after the run for the final verdict. *)
   let snapshot () =
     List.init sc.Scenario.n (fun i ->
-        let gr = members.(i) and r = recorders.(i) in
-        { Invariant.o_member = i;
-          o_eid = Addr.endpoint_id (Group.addr gr);
-          o_crashed = List.mem i crashed;
-          o_left = List.mem i left;
-          o_exited = Group.exited gr;
-          o_casts = List.rev r.rec_casts;
-          o_views = List.rev r.rec_views;
-          o_final =
-            (match Group.view gr with
-             | Some v -> Some (View.ltime v, List.map Addr.endpoint_id (View.members v))
-             | None -> None) })
+        match members.(i) with
+        | None ->
+          (* Never joined (a Join fault still pending, or shrunk
+             away): not a survivor, nothing observed. *)
+          { Invariant.o_member = i;
+            o_eid = -1;
+            o_crashed = List.mem i crashed;
+            o_left = true;
+            o_exited = false;
+            o_casts = [];
+            o_views = [];
+            o_final = None }
+        | Some gr ->
+          let r =
+            match recorders.(i) with
+            | Some r -> r
+            | None -> { rec_casts = []; rec_views = [] }
+          in
+          { Invariant.o_member = i;
+            o_eid = Addr.endpoint_id (Group.addr gr);
+            o_crashed = List.mem i crashed;
+            o_left = List.mem i left;
+            o_exited = Group.exited gr;
+            o_casts = List.rev r.rec_casts;
+            o_views = List.rev r.rec_views;
+            o_final =
+              (match Group.view gr with
+               | Some v ->
+                 Some (View.ltime v, List.map Addr.endpoint_id (View.members v))
+               | None -> None) })
   in
   (match observe with Some f -> f world snapshot | None -> ());
   World.run_for world ~duration:sc.Scenario.run_for;
   if Sys.getenv_opt "HORUS_DEBUG_DUMP" <> None then
     Array.iteri
       (fun i gr ->
-         Printf.eprintf "=== member %d ===\n" i;
-         List.iter (fun l -> Printf.eprintf "  %s\n" l) (Group.dump gr))
+         match gr with
+         | Some gr ->
+           Printf.eprintf "=== member %d ===\n" i;
+           List.iter (fun l -> Printf.eprintf "  %s\n" l) (Group.dump gr)
+         | None -> Printf.eprintf "=== member %d === (never joined)\n" i)
       members;
   Horus_sim.Engine.clear_chooser (World.engine world);
   let obs = snapshot () in
+  (* Churn scenarios (any Join fault) are held to the churn-safe
+     slice: gap-free-prefix and identical-multiset invariants assume
+     every member saw the stream from cast 0, which a late joiner by
+     design did not. View agreement, final agreement and
+     delivery-in-view remain exact under churn. *)
   let violations =
-    Invariant.standard
-      ~total:(spec_is_total sc.Scenario.spec)
-      ~tag ~sent:(sent_of sc) obs
+    if late <> [] then
+      Invariant.view_agreement obs
+      @ Invariant.final_view_agreement obs
+      @ Invariant.delivery_in_view ~tag obs
+    else
+      Invariant.standard
+        ~total:(spec_is_total sc.Scenario.spec)
+        ~tag ~sent:(sent_of sc) obs
   in
   { r_scenario = sc;
     r_obs = obs;

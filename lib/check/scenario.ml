@@ -38,6 +38,9 @@ let net_config n =
 type fault =
   | Crash of int
   | Leave of int
+  | Join of int
+      (* churn: the member sits out the initial join wave and joins
+         (contacting member 0) at the fault time instead *)
   | Suspect of int * int
   | Partition of int list list
   | Heal
@@ -90,7 +93,7 @@ let make ?(name = "scenario") ?(seed = 1) ?(net = default_net) ?chaos ?(links = 
 
 (* Member indices a fault mentions. *)
 let fault_members = function
-  | Crash m | Leave m -> [ m ]
+  | Crash m | Leave m | Join m -> [ m ]
   | Suspect (a, b) -> [ a; b ]
   | Partition groups -> List.concat groups
   | Heal -> []
@@ -105,6 +108,12 @@ let left_members t =
     (fun f -> match f.f_fault with Leave m -> Some m | _ -> None)
     t.faults
 
+let late_members t =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun f -> match f.f_fault with Join m -> Some m | _ -> None)
+       t.faults)
+
 (* --- JSON (schema "horus-repro/1") --- *)
 
 let schema = "horus-repro/1"
@@ -112,6 +121,7 @@ let schema = "horus-repro/1"
 let fault_to_json = function
   | Crash m -> Json.Obj [ ("kind", Json.String "crash"); ("member", Json.Int m) ]
   | Leave m -> Json.Obj [ ("kind", Json.String "leave"); ("member", Json.Int m) ]
+  | Join m -> Json.Obj [ ("kind", Json.String "join"); ("member", Json.Int m) ]
   | Suspect (a, b) ->
     Json.Obj
       [ ("kind", Json.String "suspect"); ("by", Json.Int a); ("member", Json.Int b) ]
@@ -233,6 +243,9 @@ let fault_of_json j =
   | "leave" ->
     let* m = jint "member" j in
     Ok (Leave m)
+  | "join" ->
+    let* m = jint "member" j in
+    Ok (Join m)
   | "suspect" ->
     let* a = jint "by" j in
     let* b = jint "member" j in
@@ -373,6 +386,7 @@ let to_string t = Json.to_string ~indent:true (to_json t)
 let pp_fault fmt = function
   | Crash m -> Format.fprintf fmt "crash %d" m
   | Leave m -> Format.fprintf fmt "leave %d" m
+  | Join m -> Format.fprintf fmt "join %d" m
   | Suspect (a, b) -> Format.fprintf fmt "suspect %d->%d" a b
   | Partition groups ->
     Format.fprintf fmt "partition %s"

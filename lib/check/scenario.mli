@@ -21,6 +21,10 @@ val net_config : net -> Horus_sim.Net.config
 type fault =
   | Crash of int                 (** member index crashes *)
   | Leave of int                 (** member leaves gracefully *)
+  | Join of int
+      (** churn: the member sits out the initial join wave and joins
+          (contacting member 0) at the fault time instead; member 0 —
+          the founder — cannot join late *)
   | Suspect of int * int         (** [Suspect (a, b)]: a suspects b *)
   | Partition of int list list   (** isolate member-index groups *)
   | Heal
@@ -86,6 +90,10 @@ val make :
 
 val crashed_members : t -> int list
 val left_members : t -> int list
+
+val late_members : t -> int list
+(** Members with a {!Join} fault (sorted, deduplicated): they sit out
+    the initial join wave. *)
 
 val schema : string
 (** ["horus-repro/1"] *)

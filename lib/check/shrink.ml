@@ -38,6 +38,8 @@ let drop_member (sc : Scenario.t) m =
            | Scenario.Crash x -> Some { f with Scenario.f_fault = Scenario.Crash (shift x) }
            | Scenario.Leave x when x = m -> None
            | Scenario.Leave x -> Some { f with Scenario.f_fault = Scenario.Leave (shift x) }
+           | Scenario.Join x when x = m -> None
+           | Scenario.Join x -> Some { f with Scenario.f_fault = Scenario.Join (shift x) }
            | Scenario.Suspect (a, b) when a = m || b = m -> None
            | Scenario.Suspect (a, b) ->
              Some { f with Scenario.f_fault = Scenario.Suspect (shift a, shift b) }

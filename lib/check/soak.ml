@@ -29,6 +29,7 @@ type config = {
   c_check_every : float;
   c_settle : float;
   c_quiesce : float;
+  c_churn : int;
 }
 
 let default_config =
@@ -43,7 +44,8 @@ let default_config =
     c_duration = 0.0;
     c_check_every = 0.25;
     c_settle = 2.0;
-    c_quiesce = 3.0 }
+    c_quiesce = 3.0;
+    c_churn = 0 }
 
 (* The deterministic expansion: cast i issues from member [i mod n] at
    [i * period], truncated by the duration cap when one is set. The
@@ -54,18 +56,45 @@ let scenario_of_config c =
   if c.c_n < 1 then invalid_arg "Soak: n must be >= 1";
   if c.c_casts < 0 then invalid_arg "Soak: casts must be >= 0";
   if c.c_cast_period <= 0.0 then invalid_arg "Soak: cast_period must be positive";
+  if c.c_churn < 0 then invalid_arg "Soak: churn must be >= 0";
+  if c.c_churn > 0 && 2 * c.c_churn >= c.c_n then
+    invalid_arg "Soak: churn needs a stable core (2 * churn < n)";
+  (* With churn, only the stable core casts: the churned identities are
+     the last 2*churn member indices (see below), and a leaver's pending
+     casts would otherwise race its own departure. *)
+  let core = c.c_n - (2 * c.c_churn) in
   let ops =
     List.filter_map
       (fun i ->
          let at = float_of_int i *. c.c_cast_period in
          if c.c_duration > 0.0 && at > c.c_duration then None
-         else Some { Scenario.op_member = i mod c.c_n; op_at = at; op_pad = 0 })
+         else Some { Scenario.op_member = i mod core; op_at = at; op_pad = 0 })
       (List.init c.c_casts Fun.id)
   in
   let last_at = List.fold_left (fun acc o -> Float.max acc o.Scenario.op_at) 0.0 ops in
+  (* Membership churn: [c_churn] members (indices core..core+churn-1)
+     leave gracefully and a DISTINCT [c_churn] members (the last churn
+     indices) sit out the initial wave and join late, interleaved
+     across the traffic span. The two sets never overlap: reliable
+     pair lanes deliberately survive view changes, so a returning
+     endpoint must be a fresh incarnation — at the scenario level a
+     leaver never comes back under the same identity. *)
+  let faults =
+    if c.c_churn = 0 then []
+    else
+      let span = Float.max last_at c.c_cast_period in
+      let step = span /. float_of_int (c.c_churn + 1) in
+      List.concat
+        (List.init c.c_churn (fun x ->
+             let at = step *. float_of_int (x + 1) in
+             [ { Scenario.f_at = at; f_fault = Scenario.Leave (core + x) };
+               { Scenario.f_at = at +. (step /. 2.0);
+                 f_fault = Scenario.Join (core + c.c_churn + x) } ]))
+  in
   Scenario.make ~name:c.c_name ~seed:c.c_seed
     ~net:{ Scenario.default_net with Scenario.latency = c.c_latency }
-    ~chaos:c.c_profile ~settle:c.c_settle ~ops ~run_for:(last_at +. c.c_quiesce)
+    ~chaos:c.c_profile ~settle:c.c_settle ~ops ~faults
+    ~run_for:(last_at +. c.c_quiesce)
     ~spec:c.c_spec ~n:c.c_n ()
 
 type report = {
@@ -95,9 +124,14 @@ let fnv s =
     s;
   !h
 
-let prefix_violations obs =
+(* Under churn, per-origin FIFO is excluded from the online slice: it
+   asserts a gap-free prefix from cast 0, which a late joiner misses
+   by construction. View agreement (same view id => same membership)
+   and delivery-in-view stay exact — same split the Runner applies to
+   the final bundle. *)
+let prefix_violations ~churn obs =
   Invariant.view_agreement obs
-  @ Invariant.per_origin_fifo ~tag:Runner.tag obs
+  @ (if churn then [] else Invariant.per_origin_fifo ~tag:Runner.tag obs)
   @ Invariant.delivery_in_view ~tag:Runner.tag obs
 
 let run ?repro_dir ?(skip_inert = false) ?(fastpath = false) c =
@@ -117,7 +151,7 @@ let run ?repro_dir ?(skip_inert = false) ?(fastpath = false) c =
                 online :=
                   List.map
                     (fun v -> (Horus.World.now world, v))
-                    (prefix_violations (snapshot ()));
+                    (prefix_violations ~churn:(c.c_churn > 0) (snapshot ()));
               arm (t +. c.c_check_every))
       in
       arm (Horus.World.now world +. c.c_check_every)

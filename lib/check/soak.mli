@@ -23,6 +23,14 @@ type config = {
   c_check_every : float;(** online check slice, seconds; 0 = end only *)
   c_settle : float;     (** settle before traffic *)
   c_quiesce : float;    (** drain time after the last cast *)
+  c_churn : int;
+      (** membership churn: this many members leave gracefully and the
+          same number of {e distinct} members join late, interleaved
+          across the traffic span; casts come from the stable core
+          only. Requires [2 * c_churn < c_n]. Leavers never return:
+          pair lanes survive view changes by design, so a comeback
+          would need a fresh endpoint incarnation, which the flat
+          scenario member array cannot express. 0 = no churn. *)
 }
 
 val default_config : config
@@ -31,7 +39,11 @@ val default_config : config
 
 val scenario_of_config : config -> Scenario.t
 (** The deterministic expansion; raises [Invalid_argument] on a
-    non-positive member count or cast period. *)
+    non-positive member count or cast period, or a churn count with no
+    stable core. With churn the runner (and the online slices) hold
+    the run to the churn-safe invariant set: gap-free-prefix and
+    completeness invariants assume every member saw the stream from
+    cast 0, which a late joiner by design did not. *)
 
 type report = {
   rp_scenario : Scenario.t;

@@ -29,6 +29,9 @@ type t = {
   mutable attachment : attachment;
   mutable crashed : bool;
   mutable on_crash : (unit -> unit) list;  (* group handles register cleanup *)
+  mutable on_route : (bind:bool -> gid:int -> unit) option;
+      (* attachment hook: told whenever a group route (un)registers, so
+         a shared-socket link can maintain its gid demux table *)
 }
 
 let frame_gid gid payload =
@@ -38,12 +41,21 @@ let frame_gid gid payload =
   Bytes.blit payload 0 b 4 n;
   b
 
-(* Incoming packets from whatever attachment — route on group id. *)
-let deliver t ~gid ~src m =
-  if not t.crashed then
+(* Incoming packets from whatever attachment — route on group id.
+   Returns false only when the endpoint is alive but has no stack
+   joined to [gid]: the caller (a shared-socket link) counts those as
+   unknown-gid drops. Crashed endpoints swallow frames silently — a
+   dead process is not a routing error. *)
+let deliver_routed t ~gid ~src m =
+  if t.crashed then true
+  else
     match Hashtbl.find_opt t.routes gid with
-    | Some route -> route ~src m
-    | None -> ()
+    | Some route ->
+      route ~src m;
+      true
+    | None -> false
+
+let deliver t ~gid ~src m = ignore (deliver_routed t ~gid ~src m)
 
 let sim_attachment t =
   let net = World.net t.world in
@@ -81,7 +93,8 @@ let create ?addr ?attach world ~spec =
           a_xmit = (fun ~gid:_ ~dst:_ _ -> ());
           a_crash = (fun () -> ()) };
       crashed = false;
-      on_crash = [] }
+      on_crash = [];
+      on_route = None }
   in
   t.attachment <- (match attach with None -> sim_attachment t | Some f -> f t);
   t
@@ -98,12 +111,20 @@ let kind t = t.attachment.a_kind
 
 let is_crashed t = t.crashed
 
+(* Installed by shared-socket attachments (Transport_link.attach_mux)
+   before any group joins, so every subsequent route registration is
+   mirrored into the link's gid demux table. *)
+let set_route_hook t f = t.on_route <- Some f
+
 (* Used by Group.join. *)
 let register_route t ~gid route =
   if Hashtbl.mem t.routes gid then invalid_arg "Endpoint: group already joined";
-  Hashtbl.replace t.routes gid route
+  Hashtbl.replace t.routes gid route;
+  match t.on_route with Some f -> f ~bind:true ~gid | None -> ()
 
-let unregister_route t ~gid = Hashtbl.remove t.routes gid
+let unregister_route t ~gid =
+  Hashtbl.remove t.routes gid;
+  match t.on_route with Some f -> f ~bind:false ~gid | None -> ()
 
 let add_crash_hook t f = t.on_crash <- f :: t.on_crash
 

@@ -47,11 +47,23 @@ val deliver : t -> gid:int -> src:int -> Msg.t -> unit
     [gid] (dropped if none, or if the endpoint has crashed).
     Attachments call this from their receive path. *)
 
+val deliver_routed : t -> gid:int -> src:int -> Msg.t -> bool
+(** Like {!deliver}, but reports routability: [false] only when the
+    endpoint is alive and no stack is joined to [gid] — how a
+    shared-socket link counts unknown-gid frames. Crashed endpoints
+    swallow frames and return [true]. *)
+
 (**/**)
 
 (** Internal plumbing for {!Group}. *)
 
 val register_route : t -> gid:int -> (src:int -> Msg.t -> unit) -> unit
 val unregister_route : t -> gid:int -> unit
+
+val set_route_hook : t -> (bind:bool -> gid:int -> unit) -> unit
+(** Install the attachment's route observer (one slot; installed by
+    {!Transport_link} shared-socket attachments before any group
+    joins). Called on every {!register_route} / {!unregister_route}. *)
+
 val add_crash_hook : t -> (unit -> unit) -> unit
 val transport : t -> gid:int -> Horus_hcpi.Layer.transport

@@ -41,24 +41,31 @@ type t = {
 }
 
 let record_up t (ev : Event.up) =
+  (* Scalar state — the current view, lifecycle flags, counters — is
+     always tracked ([record:false] handles still answer {!view},
+     {!exited}, {!destroyed}); only the unbounded logs are gated, so
+     long-running benchmarks and soaks stay O(1) in memory. *)
   (match ev with
-   | _ when not t.record ->
-     (match ev with
-      | Event.U_view v -> t.view <- Some v
-      | _ -> ())
    | Event.U_view v ->
      t.view <- Some v;
-     t.views <- v :: t.views
+     if t.record then t.views <- v :: t.views
    | Event.U_cast (rank, m, meta) ->
-     t.deliveries <- { kind = `Cast; rank; payload = Msg.to_string m; meta } :: t.deliveries
+     if t.record then
+       t.deliveries <-
+         { kind = `Cast; rank; payload = Msg.to_string m; meta } :: t.deliveries
    | Event.U_send (rank, m, meta) ->
-     t.deliveries <- { kind = `Send; rank; payload = Msg.to_string m; meta } :: t.deliveries
+     if t.record then
+       t.deliveries <-
+         { kind = `Send; rank; payload = Msg.to_string m; meta } :: t.deliveries
    | Event.U_stable s -> t.stability <- Some s
-   | Event.U_problem e -> t.problems <- e :: t.problems
-   | Event.U_merge_request r -> t.merge_requests <- r :: t.merge_requests
-   | Event.U_merge_denied why -> t.merge_denials <- why :: t.merge_denials
+   | Event.U_problem e -> if t.record then t.problems <- e :: t.problems
+   | Event.U_merge_request r ->
+     if t.record then t.merge_requests <- r :: t.merge_requests
+   | Event.U_merge_denied why ->
+     if t.record then t.merge_denials <- why :: t.merge_denials
    | Event.U_lost_message _ -> t.lost_messages <- t.lost_messages + 1
-   | Event.U_system_error e -> t.system_errors <- e :: t.system_errors
+   | Event.U_system_error e ->
+     if t.record then t.system_errors <- e :: t.system_errors
    | Event.U_flush _ -> t.flushes <- t.flushes + 1
    | Event.U_exit -> t.exited <- true
    | Event.U_destroy -> t.destroyed <- true

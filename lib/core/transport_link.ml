@@ -1,61 +1,177 @@
 (* Binds endpoints to real transport backends: the glue between
    lib/core's world/endpoint model and lib/transport's narrow waist.
 
-   One link per world. Each [attach] wires one endpoint to one backend:
-   outgoing packets are framed (Frame codec: src endpoint, group
-   address, CRC) and sent to the destination rank's address from the
-   shared peer book; incoming datagrams are decoded and routed into the
-   endpoint, with garbled or truncated frames counted and dropped at
-   the door. The link registers one metrics exporter with the world, so
-   snapshots grow a [transport.*] section summing every backend it
-   manages. *)
+   One link per world. Two binding shapes:
+
+   - [attach]: the classic one-endpoint-per-socket wiring. Every frame
+     the socket receives belongs to that endpoint; the endpoint's own
+     per-gid route table finishes the demux.
+
+   - [mux] / [attach_mux]: one socket pair carries many endpoints and
+     many groups. Outgoing packets are framed as before (Frame codec:
+     src endpoint, group address, CRC); incoming frames are demuxed on
+     the frame [gid] through the link's group table — populated
+     automatically as stacks join groups (Endpoint.set_route_hook) —
+     and routed into whichever local endpoint owns that group. One
+     socket therefore holds at most one member of any given group,
+     which is exactly the hierarchical layout: a machine hosts one
+     member of each of many sub-groups. Raw (non-stack) protocols such
+     as the directory client can claim a gid on the same socket with
+     [route_raw].
+
+   Frames whose gid matches no local group are dropped and counted in
+   the [transport.unknown_gid] metric; garbled or truncated frames are
+   counted per-backend as before. The link registers one metrics
+   exporter with the world, so snapshots grow a [transport.*] section
+   summing every backend it manages. *)
 
 open Horus_msg
 module T = Horus_transport
+
+type mux = {
+  mx_backend : T.Backend.t;
+  mx_peers : T.Peers.t;
+  mx_groups : (int, Endpoint.t) Hashtbl.t;  (* gid -> owning local endpoint *)
+  mx_raw : (int, src:string -> Bytes.t -> unit) Hashtbl.t;
+      (* gid -> raw frame handler (directory client, diagnostics) *)
+  mutable mx_default : Endpoint.t option;
+      (* legacy single-endpoint socket: every gid routes here *)
+}
 
 type t = {
   world : World.t;
   prefix : string;
   mutable backends : T.Backend.t list;
+  mutable muxes : mux list;
+  mutable unknown_gid : int;  (* frames demuxed to no local group *)
 }
 
 let create ?(prefix = "transport") world =
-  let t = { world; prefix; backends = [] } in
+  let t = { world; prefix; backends = []; muxes = []; unknown_gid = 0 } in
   World.add_metrics_exporter world (fun m ->
-      T.Backend.export_metrics_sum ~prefix:t.prefix (List.rev t.backends) m);
+      T.Backend.export_metrics_sum ~prefix:t.prefix (List.rev t.backends) m;
+      Horus_obs.Metrics.(
+        set_counter (counter m (t.prefix ^ ".unknown_gid")) t.unknown_gid));
   t
 
 let world t = t.world
 
 let backends t = List.rev t.backends
 
-let attach t ~backend ~peers endpoint : Endpoint.attachment =
-  t.backends <- backend :: t.backends;
-  let stats = backend.T.Backend.stats in
-  backend.T.Backend.set_rx (fun ~src:_ frame ->
+let unknown_gid t = t.unknown_gid
+
+(* Shared rx for a socket: decode once, then demux on the frame gid —
+   a raw route, the owning endpoint from the group table, or the
+   legacy default endpoint. *)
+let install_rx t mux =
+  let stats = mux.mx_backend.T.Backend.stats in
+  mux.mx_backend.T.Backend.set_rx (fun ~src frame ->
       (* Trust the authenticated-by-CRC header's src over the socket
          address: the peer book names ranks, the kernel names ports. *)
       match T.Frame.decode frame with
-      | Ok (hdr, payload) ->
-        Endpoint.deliver endpoint
-          ~gid:(Addr.group_id hdr.T.Frame.h_group)
-          ~src:(Addr.endpoint_id hdr.T.Frame.h_src)
-          (Msg.of_bytes payload)
-      | Error _ -> stats.T.Backend.bad_frame <- stats.T.Backend.bad_frame + 1);
+      | Ok (hdr, payload) -> (
+        let gid = Addr.group_id hdr.T.Frame.h_group in
+        match Hashtbl.find_opt mux.mx_raw gid with
+        | Some handler -> handler ~src payload
+        | None -> (
+          let eid = Addr.endpoint_id hdr.T.Frame.h_src in
+          match Hashtbl.find_opt mux.mx_groups gid with
+          | Some endpoint ->
+            if not (Endpoint.deliver_routed endpoint ~gid ~src:eid (Msg.of_bytes payload))
+            then t.unknown_gid <- t.unknown_gid + 1
+          | None -> (
+            match mux.mx_default with
+            | Some endpoint ->
+              if
+                not
+                  (Endpoint.deliver_routed endpoint ~gid ~src:eid (Msg.of_bytes payload))
+              then t.unknown_gid <- t.unknown_gid + 1
+            | None -> t.unknown_gid <- t.unknown_gid + 1)))
+      | Error _ -> stats.T.Backend.bad_frame <- stats.T.Backend.bad_frame + 1)
+
+let mux t ~backend ~peers =
+  let m =
+    { mx_backend = backend;
+      mx_peers = peers;
+      mx_groups = Hashtbl.create 8;
+      mx_raw = Hashtbl.create 2;
+      mx_default = None }
+  in
+  t.backends <- backend :: t.backends;
+  t.muxes <- m :: t.muxes;
+  install_rx t m;
+  m
+
+let route_raw m ~gid handler =
+  if Hashtbl.mem m.mx_raw gid then
+    invalid_arg "Transport_link.route_raw: gid already claimed";
+  Hashtbl.replace m.mx_raw gid handler
+
+let unroute_raw m ~gid = Hashtbl.remove m.mx_raw gid
+
+let mux_backend m = m.mx_backend
+
+(* The per-endpoint attachment over a shared socket. Group routes the
+   endpoint registers are mirrored into the mux's group table; a crash
+   withdraws them (the socket stays open — it carries other
+   endpoints). *)
+let attach_mux _t mux endpoint : Endpoint.attachment =
+  let backend = mux.mx_backend in
+  let stats = backend.T.Backend.stats in
+  let bound = ref [] in
+  Endpoint.set_route_hook endpoint (fun ~bind ~gid ->
+      if bind then begin
+        (match Hashtbl.find_opt mux.mx_groups gid with
+         | Some other when other != endpoint ->
+           invalid_arg
+             (Printf.sprintf
+                "Transport_link: group %d already has a member on this socket" gid)
+         | _ -> ());
+        Hashtbl.replace mux.mx_groups gid endpoint;
+        bound := gid :: List.filter (fun g -> g <> gid) !bound
+      end
+      else begin
+        (match Hashtbl.find_opt mux.mx_groups gid with
+         | Some owner when owner == endpoint -> Hashtbl.remove mux.mx_groups gid
+         | _ -> ());
+        bound := List.filter (fun g -> g <> gid) !bound
+      end);
   { Endpoint.a_kind = backend.T.Backend.kind;
     a_mtu = backend.T.Backend.mtu - T.Frame.overhead;
     a_xmit =
       (fun ~gid ~dst payload ->
-         match T.Peers.find peers ~rank:(Addr.endpoint_id dst) with
+         match T.Peers.find mux.mx_peers ~rank:(Addr.endpoint_id dst) with
          | Some dest ->
            backend.T.Backend.send ~dest
              (T.Frame.encode ~src:(Endpoint.addr endpoint) ~group:(Addr.group gid)
                 payload)
          | None -> stats.T.Backend.dropped <- stats.T.Backend.dropped + 1);
-    a_crash = (fun () -> backend.T.Backend.close ()) }
+    a_crash =
+      (fun () ->
+         List.iter
+           (fun gid ->
+              match Hashtbl.find_opt mux.mx_groups gid with
+              | Some owner when owner == endpoint -> Hashtbl.remove mux.mx_groups gid
+              | _ -> ())
+           !bound;
+         bound := []) }
 
-(* The deployment one-liner: an endpoint pinned at [rank], bound to
-   [backend], addressing peers through [peers]. *)
+(* Legacy wiring: a dedicated socket whose every frame belongs to one
+   endpoint. Implemented as a mux with a default route, so the
+   unknown-gid accounting is shared; the crash path closes the socket
+   (nobody else is on it). *)
+let attach t ~backend ~peers endpoint : Endpoint.attachment =
+  let m = mux t ~backend ~peers in
+  m.mx_default <- Some endpoint;
+  { (attach_mux t m endpoint) with
+    Endpoint.a_crash = (fun () -> backend.T.Backend.close ()) }
+
+(* The deployment one-liners: an endpoint pinned at [rank], bound to
+   [backend] (exclusively, or sharing a mux), addressing peers through
+   the shared book. *)
 let endpoint t ~backend ~peers ~rank ~spec =
   Endpoint.create ~addr:(Addr.endpoint rank)
     ~attach:(attach t ~backend ~peers) t.world ~spec
+
+let mux_endpoint t m ~rank ~spec =
+  Endpoint.create ~addr:(Addr.endpoint rank) ~attach:(attach_mux t m) t.world ~spec

@@ -1,0 +1,197 @@
+(* The directory client: request/reply with timeout and retry over a
+   connectionless socket, plus the change-notification feed.
+
+   The client is transport-shape-agnostic: it is constructed from an
+   [xmit] thunk (raw frame bytes towards the server) and exposes its
+   receive path as a function, so it runs equally over a dedicated
+   socket (wire [rx_frame] into the backend's rx) or a shared
+   Transport_link mux (register [rx] as the raw route for the
+   directory gid). All timers ride the engine, so requests are
+   deterministic under virtual time and real under a wall-clock
+   driver. *)
+
+module T = Horus_transport
+module P = Dir_protocol
+module Engine = Horus_sim.Engine
+
+type pending = {
+  p_frame : Bytes.t;
+  mutable p_attempts : int;
+  mutable p_timer : Engine.handle option;
+  p_k : (P.reply, string) result -> unit;
+}
+
+type stats = {
+  mutable c_sent : int;
+  mutable c_retries : int;
+  mutable c_timeouts : int;
+  mutable c_replies : int;
+  mutable c_notifies : int;
+}
+
+type t = {
+  engine : Engine.t;
+  eid : int;
+  xmit : Bytes.t -> unit;
+  timeout : float;
+  retries : int;
+  pending : (int, pending) Hashtbl.t;
+  mutable next_req : int;
+  mutable on_notify :
+    (group:int -> version:int -> rank:int -> addr:string option -> unit) list;
+  stats : stats;
+}
+
+let create ?(timeout = 0.25) ?(retries = 3) ?(eid = 0) ~engine xmit =
+  { engine;
+    eid;
+    xmit;
+    timeout;
+    retries;
+    pending = Hashtbl.create 8;
+    next_req = 1;
+    on_notify = [];
+    stats = { c_sent = 0; c_retries = 0; c_timeouts = 0; c_replies = 0; c_notifies = 0 } }
+
+let on_notify t f = t.on_notify <- t.on_notify @ [ f ]
+
+let frame_of t ~req_id req =
+  T.Frame.encode
+    ~src:(Horus_msg.Addr.endpoint t.eid)
+    ~group:(Horus_msg.Addr.group P.gid)
+    (P.encode_request ~req_id req)
+
+let request t req k =
+  let req_id = t.next_req in
+  t.next_req <- t.next_req + 1;
+  let p = { p_frame = frame_of t ~req_id req; p_attempts = 0; p_timer = None; p_k = k } in
+  Hashtbl.replace t.pending req_id p;
+  let rec fire () =
+    p.p_attempts <- p.p_attempts + 1;
+    t.stats.c_sent <- t.stats.c_sent + 1;
+    if p.p_attempts > 1 then t.stats.c_retries <- t.stats.c_retries + 1;
+    t.xmit p.p_frame;
+    p.p_timer <-
+      Some
+        (Engine.schedule t.engine ~delay:t.timeout (fun () ->
+             if Hashtbl.mem t.pending req_id then
+               if p.p_attempts <= t.retries then fire ()
+               else begin
+                 Hashtbl.remove t.pending req_id;
+                 t.stats.c_timeouts <- t.stats.c_timeouts + 1;
+                 k (Error "directory request timed out")
+               end))
+  in
+  fire ()
+
+let rx t ~src:_ payload =
+  match P.decode_reply payload with
+  | Error _ -> ()
+  | Ok (req_id, reply) -> (
+    match reply with
+    | P.Notify { group; version; rank; addr } ->
+      t.stats.c_notifies <- t.stats.c_notifies + 1;
+      List.iter (fun f -> f ~group ~version ~rank ~addr) t.on_notify
+    | _ -> (
+      match Hashtbl.find_opt t.pending req_id with
+      | None -> ()  (* late duplicate of an answered request *)
+      | Some p ->
+        Hashtbl.remove t.pending req_id;
+        (match p.p_timer with Some h -> Engine.cancel h | None -> ());
+        t.stats.c_replies <- t.stats.c_replies + 1;
+        p.p_k (Ok reply)))
+
+let rx_frame t ~src frame =
+  match T.Frame.decode frame with
+  | Error _ -> ()
+  | Ok (hdr, payload) ->
+    if Horus_msg.Addr.group_id hdr.T.Frame.h_group = P.gid then rx t ~src payload
+
+let stats t = t.stats
+
+let err_of = function
+  | P.Error { code; detail } ->
+    Printf.sprintf "%s (%s)" (P.error_code_to_string code) detail
+  | r -> Format.asprintf "unexpected directory reply: %a" P.pp_reply r
+
+(* Typed wrappers: each maps the expected reply variant, turning a
+   service-side Error frame into a clean [Error] result — no caller
+   ever learns about an unknown rank via a timeout. *)
+
+let register t ~group ~rank ~addr ~lease k =
+  request t (P.Register { group; rank; addr; lease }) (function
+      | Error e -> k (Error e)
+      | Ok (P.Registered { version; expires; _ }) -> k (Ok (version, expires))
+      | Ok r -> k (Error (err_of r)))
+
+let renew t ~group ~rank ~lease k =
+  request t (P.Renew { group; rank; lease }) (function
+      | Error e -> k (Error e)
+      | Ok (P.Registered { expires; _ }) -> k (Ok expires)
+      | Ok r -> k (Error (err_of r)))
+
+let unregister t ~group ~rank k =
+  request t (P.Unregister { group; rank }) (function
+      | Error e -> k (Error e)
+      | Ok P.Done -> k (Ok ())
+      | Ok r -> k (Error (err_of r)))
+
+let lookup t ~group ~rank k =
+  request t (P.Lookup { group; rank }) (function
+      | Error e -> k (Error e)
+      | Ok (P.Found { addr; _ }) -> k (Ok addr)
+      | Ok r -> k (Error (err_of r)))
+
+let list_group t ~group k =
+  request t (P.List_group group) (function
+      | Error e -> k (Error e)
+      | Ok (P.Entries { version; entries; _ }) -> k (Ok (version, entries))
+      | Ok r -> k (Error (err_of r)))
+
+let list_groups t k =
+  request t P.List_groups (function
+      | Error e -> k (Error e)
+      | Ok (P.Groups gids) -> k (Ok gids)
+      | Ok r -> k (Error (err_of r)))
+
+let subscribe t ~group k =
+  request t (P.Subscribe group) (function
+      | Error e -> k (Error e)
+      | Ok (P.Subscribed { version; _ }) -> k (Ok version)
+      | Ok r -> k (Error (err_of r)))
+
+let unsubscribe t ~group k =
+  request t (P.Unsubscribe group) (function
+      | Error e -> k (Error e)
+      | Ok P.Done -> k (Ok ())
+      | Ok r -> k (Error (err_of r)))
+
+(* Keep a binding alive: register now, renew at half-lease cadence,
+   unregister on stop. Renewal failures re-register from scratch (the
+   lease may have lapsed across a partition). *)
+let auto_renew t ~group ~rank ~addr ~lease =
+  let stopped = ref false in
+  let timer = ref None in
+  let rec arm () =
+    if not !stopped then
+      timer :=
+        Some
+          (Engine.schedule t.engine ~delay:(lease /. 2.0) (fun () ->
+               if not !stopped then
+                 renew t ~group ~rank ~lease (function
+                     | Ok _ -> arm ()
+                     | Error _ ->
+                       register t ~group ~rank ~addr ~lease (fun _ -> arm ()))))
+  in
+  register t ~group ~rank ~addr ~lease (fun _ -> arm ());
+  fun () ->
+    if not !stopped then begin
+      stopped := true;
+      (match !timer with Some h -> Engine.cancel h | None -> ());
+      unregister t ~group ~rank (fun _ -> ())
+    end
+
+let peers_of entries =
+  let p = T.Peers.create () in
+  List.iter (fun (rank, addr) -> T.Peers.add p ~rank ~addr) entries;
+  p

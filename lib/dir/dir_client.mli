@@ -1,0 +1,83 @@
+(** The directory client: request/reply with timeout and retry, typed
+    wrappers per operation, and the change-notification feed.
+
+    Transport-shape-agnostic: built from an [xmit] thunk (raw frame
+    bytes towards the server); wire {!rx_frame} into a dedicated
+    backend's rx, or register {!rx} as a shared mux's raw route for
+    {!Dir_protocol.gid}. Timers ride the engine, so the client is
+    deterministic under virtual time. *)
+
+type t
+
+val create :
+  ?timeout:float ->
+  ?retries:int ->
+  ?eid:int ->
+  engine:Horus_sim.Engine.t ->
+  (Bytes.t -> unit) ->
+  t
+(** [create ~engine xmit]: [timeout] (default 0.25 s) per attempt,
+    [retries] (default 3) resends before giving up, [eid] the src
+    endpoint id stamped on request frames. *)
+
+val rx : t -> src:string -> Bytes.t -> unit
+(** Feed a frame payload already stripped by a shared demux. *)
+
+val rx_frame : t -> src:string -> Bytes.t -> unit
+(** Feed a raw datagram: decodes the frame, ignores non-directory
+    gids. *)
+
+val on_notify :
+  t -> (group:int -> version:int -> rank:int -> addr:string option -> unit) -> unit
+(** Change feed (requires a {!subscribe}); [addr = None] means the
+    binding was removed (unregister or lease eviction). *)
+
+(** {1 Operations}
+
+    Every callback fires exactly once: with the typed result, a
+    service-side error ([Error "unknown-rank (...)"] and friends), or
+    [Error "directory request timed out"] after the retry budget. *)
+
+val register :
+  t -> group:int -> rank:int -> addr:string -> lease:float ->
+  ((int * float, string) result -> unit) -> unit
+(** On success: (directory version, lease expiry time). *)
+
+val renew :
+  t -> group:int -> rank:int -> lease:float -> ((float, string) result -> unit) -> unit
+
+val unregister :
+  t -> group:int -> rank:int -> ((unit, string) result -> unit) -> unit
+
+val lookup :
+  t -> group:int -> rank:int -> ((string, string) result -> unit) -> unit
+
+val list_group :
+  t -> group:int -> ((int * (int * string) list, string) result -> unit) -> unit
+(** On success: (directory version, rank-sorted bindings). *)
+
+val list_groups : t -> ((int list, string) result -> unit) -> unit
+
+val subscribe : t -> group:int -> ((int, string) result -> unit) -> unit
+
+val unsubscribe : t -> group:int -> ((unit, string) result -> unit) -> unit
+
+val auto_renew :
+  t -> group:int -> rank:int -> addr:string -> lease:float -> (unit -> unit)
+(** Register now, renew at half-lease cadence (re-registering if a
+    renewal finds the lease lapsed); the returned thunk stops the
+    cadence and unregisters. *)
+
+val peers_of : (int * string) list -> Horus_transport.Peers.t
+(** A static peer book from a directory listing — the bridge back
+    into {!Horus_transport.Peers}-shaped APIs. *)
+
+type stats = {
+  mutable c_sent : int;
+  mutable c_retries : int;
+  mutable c_timeouts : int;
+  mutable c_replies : int;
+  mutable c_notifies : int;
+}
+
+val stats : t -> stats

@@ -1,0 +1,264 @@
+(* The directory service: the rank->address book as a network
+   endpoint instead of a static file.
+
+   State is per-group: a version counter, a table of leased bindings
+   and a subscriber list. Every mutation (a new or changed binding, an
+   unregister, a lease eviction) bumps the group's version and fans a
+   Notify frame out to the subscribers in sorted-address order; the
+   lease sweep walks groups in sorted-gid order and ranks in sorted
+   order, so under virtual time the whole notification stream is a
+   deterministic function of the request stream — the property the
+   directory soak fingerprints.
+
+   The service owns one backend socket. Requests and replies ride the
+   ordinary Frame codec on the reserved directory gid; replies go to
+   the datagram's socket source address — the directory is what
+   bootstraps the peer book, so it cannot rely on one. *)
+
+module T = Horus_transport
+module P = Dir_protocol
+module Engine = Horus_sim.Engine
+
+type entry = {
+  en_addr : string;
+  mutable en_expires : float;
+}
+
+type group_state = {
+  mutable g_version : int;
+  g_entries : (int, entry) Hashtbl.t;  (* rank -> binding *)
+  mutable g_subs : string list;        (* subscriber socket addrs, sorted *)
+}
+
+type stats = {
+  mutable s_requests : int;
+  mutable s_replies : int;
+  mutable s_notifies : int;
+  mutable s_evictions : int;
+  mutable s_errors : int;   (* error replies sent *)
+  mutable s_bad : int;      (* undecodable frames / messages *)
+}
+
+type t = {
+  engine : Engine.t;
+  backend : T.Backend.t;
+  max_lease : float;
+  groups : (int, group_state) Hashtbl.t;
+  stats : stats;
+  mutable sweep : Engine.handle option;
+  mutable stopped : bool;
+}
+
+let group_state t gid =
+  match Hashtbl.find_opt t.groups gid with
+  | Some g -> g
+  | None ->
+    let g = { g_version = 0; g_entries = Hashtbl.create 8; g_subs = [] } in
+    Hashtbl.replace t.groups gid g;
+    g
+
+let send t ~dest reply ~req_id =
+  t.stats.s_replies <- t.stats.s_replies + 1;
+  (match reply with P.Error _ -> t.stats.s_errors <- t.stats.s_errors + 1 | _ -> ());
+  t.backend.T.Backend.send ~dest
+    (T.Frame.encode
+       ~src:(Horus_msg.Addr.endpoint P.service_eid)
+       ~group:(Horus_msg.Addr.group P.gid)
+       (P.encode_reply ~req_id reply))
+
+(* A binding changed: bump the version and tell the subscribers, in
+   sorted-address order. *)
+let notify t gid g ~rank ~addr =
+  g.g_version <- g.g_version + 1;
+  List.iter
+    (fun sub ->
+       t.stats.s_notifies <- t.stats.s_notifies + 1;
+       send t ~dest:sub ~req_id:0
+         (P.Notify { group = gid; version = g.g_version; rank; addr }))
+    g.g_subs
+
+let sorted_entries g =
+  Hashtbl.fold (fun rank e acc -> (rank, e) :: acc) g.g_entries []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let handle t ~src ~req_id req =
+  match req with
+  | P.Register { group; rank; addr; lease } ->
+    let lease = Float.min (Float.max lease 0.001) t.max_lease in
+    let g = group_state t group in
+    let expires = Engine.now t.engine +. lease in
+    let changed =
+      match Hashtbl.find_opt g.g_entries rank with
+      | Some e when e.en_addr = addr ->
+        e.en_expires <- Float.max e.en_expires expires;
+        false
+      | _ ->
+        Hashtbl.replace g.g_entries rank { en_addr = addr; en_expires = expires };
+        true
+    in
+    if changed then notify t group g ~rank ~addr:(Some addr);
+    send t ~dest:src ~req_id
+      (P.Registered { group; rank; version = g.g_version; expires })
+  | P.Renew { group; rank; lease } -> (
+    let lease = Float.min (Float.max lease 0.001) t.max_lease in
+    match Hashtbl.find_opt t.groups group with
+    | None ->
+      send t ~dest:src ~req_id
+        (P.Error { code = P.Unknown_group; detail = Printf.sprintf "group %d" group })
+    | Some g -> (
+      match Hashtbl.find_opt g.g_entries rank with
+      | None ->
+        send t ~dest:src ~req_id
+          (P.Error
+             { code = P.Unknown_rank; detail = Printf.sprintf "g=%d r=%d" group rank })
+      | Some e ->
+        e.en_expires <- Float.max e.en_expires (Engine.now t.engine +. lease);
+        send t ~dest:src ~req_id
+          (P.Registered { group; rank; version = g.g_version; expires = e.en_expires })))
+  | P.Unregister { group; rank } -> (
+    match Hashtbl.find_opt t.groups group with
+    | None ->
+      send t ~dest:src ~req_id
+        (P.Error { code = P.Unknown_group; detail = Printf.sprintf "group %d" group })
+    | Some g ->
+      if Hashtbl.mem g.g_entries rank then begin
+        Hashtbl.remove g.g_entries rank;
+        notify t group g ~rank ~addr:None
+      end;
+      send t ~dest:src ~req_id P.Done)
+  | P.Lookup { group; rank } -> (
+    match Hashtbl.find_opt t.groups group with
+    | None ->
+      send t ~dest:src ~req_id
+        (P.Error { code = P.Unknown_group; detail = Printf.sprintf "group %d" group })
+    | Some g -> (
+      match Hashtbl.find_opt g.g_entries rank with
+      | Some e -> send t ~dest:src ~req_id (P.Found { group; rank; addr = e.en_addr })
+      | None ->
+        send t ~dest:src ~req_id
+          (P.Error
+             { code = P.Unknown_rank; detail = Printf.sprintf "g=%d r=%d" group rank })))
+  | P.List_group group -> (
+    match Hashtbl.find_opt t.groups group with
+    | None ->
+      send t ~dest:src ~req_id
+        (P.Error { code = P.Unknown_group; detail = Printf.sprintf "group %d" group })
+    | Some g ->
+      let entries = List.map (fun (r, e) -> (r, e.en_addr)) (sorted_entries g) in
+      send t ~dest:src ~req_id (P.Entries { group; version = g.g_version; entries }))
+  | P.List_groups ->
+    let gids =
+      Hashtbl.fold (fun gid _ acc -> gid :: acc) t.groups [] |> List.sort compare
+    in
+    send t ~dest:src ~req_id (P.Groups gids)
+  | P.Subscribe group ->
+    let g = group_state t group in
+    if not (List.mem src g.g_subs) then
+      g.g_subs <- List.sort compare (src :: g.g_subs);
+    send t ~dest:src ~req_id (P.Subscribed { group; version = g.g_version })
+  | P.Unsubscribe group ->
+    (match Hashtbl.find_opt t.groups group with
+     | Some g -> g.g_subs <- List.filter (fun a -> a <> src) g.g_subs
+     | None -> ());
+    send t ~dest:src ~req_id P.Done
+
+let rx t ~src frame =
+  if not t.stopped then
+    match T.Frame.decode frame with
+    | Error _ ->
+      t.backend.T.Backend.stats.T.Backend.bad_frame <-
+        t.backend.T.Backend.stats.T.Backend.bad_frame + 1
+    | Ok (hdr, payload) ->
+      if Horus_msg.Addr.group_id hdr.T.Frame.h_group <> P.gid then
+        t.stats.s_bad <- t.stats.s_bad + 1
+      else (
+        match P.decode_request payload with
+        | Error _ ->
+          t.stats.s_bad <- t.stats.s_bad + 1;
+          (* A syntactically sound frame carrying garbage still gets a
+             clean error reply — clients must never need a timeout to
+             learn they sent nonsense. *)
+          send t ~dest:src ~req_id:0
+            (P.Error { code = P.Bad_request; detail = "undecodable request" })
+        | Ok (req_id, req) ->
+          t.stats.s_requests <- t.stats.s_requests + 1;
+          handle t ~src ~req_id req)
+
+(* The lease sweep: evict expired bindings, deterministically —
+   groups in gid order, ranks in rank order. *)
+let sweep_now t =
+  let now = Engine.now t.engine in
+  let gids = Hashtbl.fold (fun gid _ acc -> gid :: acc) t.groups [] |> List.sort compare in
+  List.iter
+    (fun gid ->
+       let g = Hashtbl.find t.groups gid in
+       let expired =
+         Hashtbl.fold
+           (fun rank e acc -> if e.en_expires < now then rank :: acc else acc)
+           g.g_entries []
+         |> List.sort compare
+       in
+       List.iter
+         (fun rank ->
+            Hashtbl.remove g.g_entries rank;
+            t.stats.s_evictions <- t.stats.s_evictions + 1;
+            notify t gid g ~rank ~addr:None)
+         expired)
+    gids
+
+let create ?(sweep_period = 0.5) ?(max_lease = 30.0) ~engine backend =
+  let t =
+    { engine;
+      backend;
+      max_lease;
+      groups = Hashtbl.create 8;
+      stats =
+        { s_requests = 0; s_replies = 0; s_notifies = 0; s_evictions = 0; s_errors = 0;
+          s_bad = 0 };
+      sweep = None;
+      stopped = false }
+  in
+  backend.T.Backend.set_rx (fun ~src frame -> rx t ~src frame);
+  let rec tick () =
+    if not t.stopped then begin
+      sweep_now t;
+      t.sweep <- Some (Engine.schedule engine ~delay:sweep_period tick)
+    end
+  in
+  t.sweep <- Some (Engine.schedule engine ~delay:sweep_period tick);
+  t
+
+let stop t =
+  t.stopped <- true;
+  (match t.sweep with Some h -> Engine.cancel h | None -> ());
+  t.sweep <- None
+
+let addr t = t.backend.T.Backend.local_addr
+
+let stats t = t.stats
+
+let groups t =
+  Hashtbl.fold (fun gid _ acc -> gid :: acc) t.groups [] |> List.sort compare
+
+let entries t ~group =
+  match Hashtbl.find_opt t.groups group with
+  | None -> []
+  | Some g -> List.map (fun (r, e) -> (r, e.en_addr, e.en_expires)) (sorted_entries g)
+
+let version t ~group =
+  match Hashtbl.find_opt t.groups group with None -> 0 | Some g -> g.g_version
+
+let export_metrics ?(prefix = "dir") t m =
+  let c name v = Horus_obs.Metrics.(set_counter (counter m (prefix ^ "." ^ name)) v) in
+  c "requests" t.stats.s_requests;
+  c "replies" t.stats.s_replies;
+  c "notifies" t.stats.s_notifies;
+  c "evictions" t.stats.s_evictions;
+  c "errors" t.stats.s_errors;
+  c "bad" t.stats.s_bad;
+  let bindings =
+    Hashtbl.fold (fun _ g acc -> acc + Hashtbl.length g.g_entries) t.groups 0
+  in
+  Horus_obs.Metrics.(set (gauge m (prefix ^ ".bindings")) (float_of_int bindings));
+  Horus_obs.Metrics.(
+    set (gauge m (prefix ^ ".groups")) (float_of_int (Hashtbl.length t.groups)))

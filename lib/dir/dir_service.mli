@@ -1,0 +1,55 @@
+(** The directory service: leased rank->address bindings per group,
+    lookup, group listing and change notifications, served over one
+    {!Horus_transport.Backend} socket speaking {!Dir_protocol} frames.
+
+    Deterministic under virtual time: every mutation bumps the group's
+    version and notifies subscribers in sorted-address order; the
+    lease sweep evicts in sorted (gid, rank) order. Replies go to the
+    datagram's socket source address — the directory bootstraps the
+    peer book, so it does not rely on one. *)
+
+type t
+
+val create :
+  ?sweep_period:float ->
+  ?max_lease:float ->
+  engine:Horus_sim.Engine.t ->
+  Horus_transport.Backend.t ->
+  t
+(** Takes ownership of the backend's rx callback and schedules the
+    lease sweep (default every 0.5 s) on [engine]. Requested leases
+    are clamped to [(0, max_lease]] (default 30 s). *)
+
+val stop : t -> unit
+(** Cancel the sweep and ignore further traffic (the backend is the
+    caller's to close). *)
+
+val addr : t -> string
+(** The backend address clients should talk to. *)
+
+val sweep_now : t -> unit
+(** Run one eviction pass immediately (the periodic sweep also runs). *)
+
+val groups : t -> int list
+(** Sorted gids with state (bindings or subscribers, past or present). *)
+
+val entries : t -> group:int -> (int * string * float) list
+(** Live bindings, rank-sorted: (rank, addr, expiry time). *)
+
+val version : t -> group:int -> int
+(** The group's change counter (0 if never touched). *)
+
+type stats = {
+  mutable s_requests : int;
+  mutable s_replies : int;
+  mutable s_notifies : int;
+  mutable s_evictions : int;
+  mutable s_errors : int;
+  mutable s_bad : int;
+}
+
+val stats : t -> stats
+
+val export_metrics : ?prefix:string -> t -> Horus_obs.Metrics.t -> unit
+(** Mirror {!stats} plus binding/group gauges into the registry
+    ([prefix] defaults to ["dir"]); call at snapshot time. *)

@@ -1,0 +1,10 @@
+(** HIER: representative election for hierarchical composition. Runs
+    above a membership layer; the sub-group coordinator is the
+    representative, re-derived on every view change and announced
+    to/withdrawn from the rendezvous service under the parent group's
+    address so bridging harnesses can locate it. Transparent to data
+    and views within the sub-group. Parameters: [parent] (parent group
+    id; -1 = elect without advertising), [sub] (sub-group index, for
+    diagnostics). *)
+
+val create : Horus_hcpi.Params.t -> Horus_hcpi.Layer.ctor

@@ -43,6 +43,9 @@ let entries () =
      Pinwheel.create);
     ("MERGE", "resource location", "automatic view merging via the rendezvous service",
      Merge_layer.create);
+    ("HIER", "membership",
+     "hierarchical sub-grouping: coordinator-elected representatives bridge to a parent group",
+     Hier.create);
     ("FLUSH", "membership",
      "coordinator-driven unstable-message recovery over BMS (virtual synchrony, composed)",
      Flush_layer.create);

@@ -669,6 +669,8 @@ let heard_from t eid = Hashtbl.remove t.pending_suspects eid
 (* --- merging --- *)
 
 let send_merge_req t contact =
+  t.env.Layer.trace ~category:"merge"
+    (Format.asprintf "requesting merge into %a" Addr.pp_endpoint contact);
   let m = Msg.empty () in
   Wire.push_endpoint_list m (members t);
   Msg.push_u32 m (epoch t);
@@ -745,7 +747,10 @@ let handle_merge_req t m =
          one that is granted. *)
       ()
     else if blocked t || t.granted_peer <> None then
-      ()  (* busy with another reconfiguration; the requester retries *)
+      t.env.Layer.trace ~category:"merge"
+        (Format.asprintf "deferring merge req from %a (busy)" Addr.pp_endpoint
+           req_coord)
+      (* busy with another reconfiguration; the requester retries *)
     else begin
       (* If we had our own request outstanding, cancel it: we are now
          the granting (older) side of this merge. *)

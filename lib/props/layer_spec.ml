@@ -148,8 +148,19 @@ let transparent ~name ~requires ~cost () =
   spec ~name ~requires ~provides:[]
     ~inherits:[ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15; 16 ] ~cost ()
 
+(* HIER runs above a membership layer: it needs consistent views and
+   reliable FIFO below (the representative is deduced from the view,
+   so every member must see the same one) but adds no Table-4
+   property of its own — within its sub-group it is transparent, and
+   the parent-group bridge is a separate stack. No conflicts: exactly
+   one membership layer still owns P15 below it. *)
+let hier =
+  spec ~name:"HIER" ~requires:[ 3; 4; 8; 10; 11; 15 ] ~provides:[]
+    ~inherits:[ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15; 16 ] ~cost:2 ()
+
 let extras =
-  [ transparent ~name:"CHKSUM" ~requires:[ 1 ] ~cost:2 ();
+  [ hier;
+    transparent ~name:"CHKSUM" ~requires:[ 1 ] ~cost:2 ();
     transparent ~name:"SIGN" ~requires:[ 1 ] ~cost:2 ();
     transparent ~name:"ENCRYPT" ~requires:[ 1 ] ~cost:2 ();
     transparent ~name:"COMPRESS" ~requires:[ 1 ] ~cost:2 ();

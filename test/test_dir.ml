@@ -1,0 +1,165 @@
+(* The directory service under virtual time: lease expiry and
+   eviction, re-registration, clean errors for unknown ranks, and
+   deterministic change-notification ordering — the semantics the
+   hierarchical deployment leans on for membership bootstrap. *)
+
+module T = Horus_transport
+module D = Horus_dir
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* One service plus [n] clients, each on its own loopback socket. *)
+let fabric ?(n = 1) ?sweep_period ?(seed = 11) () =
+  let world = Horus.World.create ~seed () in
+  let engine = Horus.World.engine world in
+  let hub = T.Loopback.hub ~latency:0.0005 engine in
+  let dir_backend = T.Loopback.create ~addr:"dir" hub in
+  let dir = D.Dir_service.create ?sweep_period ~engine dir_backend in
+  let clients =
+    List.init n (fun i ->
+        let b = T.Loopback.create ~addr:(Printf.sprintf "cl:%d" i) hub in
+        let cl =
+          D.Dir_client.create ~eid:(100 + i) ~engine (fun frame ->
+              b.T.Backend.send ~dest:(D.Dir_service.addr dir) frame)
+        in
+        b.T.Backend.set_rx (fun ~src frame -> D.Dir_client.rx_frame cl ~src frame);
+        cl)
+  in
+  (world, dir, clients)
+
+let run world d = Horus.World.run_for world ~duration:d
+
+(* A binding registered with a short lease and never renewed is
+   evicted by the sweep; lookups then fail cleanly and subscribers see
+   the removal. *)
+let lease_expiry_evicts () =
+  let world, dir, clients = fabric ~sweep_period:0.1 () in
+  let cl = List.hd clients in
+  let registered = ref None in
+  D.Dir_client.subscribe cl ~group:7 (fun _ -> ());
+  D.Dir_client.register cl ~group:7 ~rank:3 ~addr:"mem:0" ~lease:0.5 (fun r ->
+      registered := Some r);
+  run world 0.1;
+  (match !registered with
+   | Some (Ok (version, expires)) ->
+     Alcotest.(check bool) "version bumped" true (version >= 1);
+     Alcotest.(check bool) "expiry in the future" true
+       (expires > Horus.World.now world)
+   | Some (Error e) -> Alcotest.failf "register failed: %s" e
+   | None -> Alcotest.fail "register never answered");
+  Alcotest.(check int) "binding live" 1
+    (List.length (D.Dir_service.entries dir ~group:7));
+  (* Outlive the lease with no renewal. *)
+  run world 1.0;
+  Alcotest.(check int) "binding evicted" 0
+    (List.length (D.Dir_service.entries dir ~group:7));
+  Alcotest.(check int) "eviction counted" 1 (D.Dir_service.stats dir).D.Dir_service.s_evictions;
+  (* The subscriber saw the removal as a notify with no address. *)
+  Alcotest.(check bool) "removal notified" true
+    ((D.Dir_client.stats cl).D.Dir_client.c_notifies >= 2);
+  let looked = ref None in
+  D.Dir_client.lookup cl ~group:7 ~rank:3 (fun r -> looked := Some r);
+  run world 0.1;
+  match !looked with
+  | Some (Error e) ->
+    Alcotest.(check bool) "unknown-rank error" true (contains e "unknown-rank")
+  | Some (Ok a) -> Alcotest.failf "evicted binding still resolves to %s" a
+  | None -> Alcotest.fail "lookup never answered"
+
+(* Re-registration after expiry restores the binding at a strictly
+   higher directory version (the version is a change counter, not a
+   membership count). *)
+let re_registration () =
+  let world, dir, clients = fabric ~sweep_period:0.1 () in
+  let cl = List.hd clients in
+  D.Dir_client.register cl ~group:9 ~rank:1 ~addr:"mem:4" ~lease:0.3 (fun _ -> ());
+  run world 0.1;
+  let v1 = D.Dir_service.version dir ~group:9 in
+  run world 1.0;
+  Alcotest.(check int) "lapsed" 0 (List.length (D.Dir_service.entries dir ~group:9));
+  let again = ref None in
+  D.Dir_client.register cl ~group:9 ~rank:1 ~addr:"mem:5" ~lease:5.0 (fun r ->
+      again := Some r);
+  run world 0.1;
+  (match !again with
+   | Some (Ok (v2, _)) ->
+     Alcotest.(check bool) "version strictly advanced" true (v2 > v1)
+   | Some (Error e) -> Alcotest.failf "re-register failed: %s" e
+   | None -> Alcotest.fail "re-register never answered");
+  match D.Dir_service.entries dir ~group:9 with
+  | [ (1, "mem:5", _) ] -> ()
+  | es -> Alcotest.failf "unexpected entries (%d)" (List.length es)
+
+(* Unknown rank and unknown group answer with typed errors, not
+   timeouts. *)
+let unknown_rank_error () =
+  let world, _dir, clients = fabric () in
+  let cl = List.hd clients in
+  D.Dir_client.register cl ~group:2 ~rank:0 ~addr:"mem:0" ~lease:5.0 (fun _ -> ());
+  run world 0.1;
+  let r1 = ref None and r2 = ref None in
+  D.Dir_client.lookup cl ~group:2 ~rank:99 (fun r -> r1 := Some r);
+  D.Dir_client.lookup cl ~group:424242 ~rank:0 (fun r -> r2 := Some r);
+  run world 0.1;
+  (match !r1 with
+   | Some (Error e) ->
+     Alcotest.(check bool) "unknown-rank" true (contains e "unknown-rank")
+   | Some (Ok _) -> Alcotest.fail "bogus rank resolved"
+   | None -> Alcotest.fail "rank lookup never answered");
+  match !r2 with
+  | Some (Error e) ->
+    Alcotest.(check bool) "unknown-group" true (contains e "unknown-group")
+  | Some (Ok _) -> Alcotest.fail "bogus group resolved"
+  | None -> Alcotest.fail "group lookup never answered"
+
+(* Two subscribers observe the same mutation stream in the same order,
+   and a second world with the same seed reproduces it byte for byte —
+   notification order is part of the deterministic surface. *)
+let notification_ordering () =
+  let observe () =
+    let world, _dir, clients = fabric ~n:2 () in
+    let logs = List.map (fun _ -> ref []) clients in
+    List.iter2
+      (fun cl log ->
+         D.Dir_client.on_notify cl (fun ~group ~version ~rank ~addr ->
+             log :=
+               Printf.sprintf "g%d v%d r%d %s" group version rank
+                 (Option.value addr ~default:"-")
+               :: !log);
+         D.Dir_client.subscribe cl ~group:5 (fun _ -> ()))
+      clients logs;
+    Horus.World.run_for world ~duration:0.1;
+    let cl = List.hd clients in
+    (* A burst of mutations in one engine turn: registrations landing
+       on ranks out of order, then an unregister. *)
+    List.iter
+      (fun (rank, addr) ->
+         D.Dir_client.register cl ~group:5 ~rank ~addr ~lease:5.0 (fun _ -> ()))
+      [ (3, "mem:3"); (1, "mem:1"); (2, "mem:2") ];
+    Horus.World.run_for world ~duration:0.2;
+    D.Dir_client.unregister cl ~group:5 ~rank:1 (fun _ -> ());
+    Horus.World.run_for world ~duration:0.2;
+    List.map (fun log -> List.rev !log) logs
+  in
+  match observe () with
+  | [ a; b ] ->
+    Alcotest.(check (list string)) "both subscribers, same order" a b;
+    Alcotest.(check int) "all four mutations seen" 4 (List.length a);
+    (match observe () with
+     | [ a'; _ ] ->
+       Alcotest.(check (list string)) "same world seed, same stream" a a'
+     | _ -> assert false)
+  | _ -> assert false
+
+let () =
+  Alcotest.run "dir"
+    [ ( "service",
+        [ Alcotest.test_case "lease expiry evicts" `Quick lease_expiry_evicts;
+          Alcotest.test_case "re-registration after expiry" `Quick re_registration;
+          Alcotest.test_case "unknown rank/group are clean errors" `Quick
+            unknown_rank_error;
+          Alcotest.test_case "deterministic notification ordering" `Quick
+            notification_ordering ] ) ]

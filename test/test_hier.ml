@@ -1,0 +1,107 @@
+(* The hierarchical layer and the churn harness at test scale: HIER
+   representatives bridge sub-groups into a parent group, and the
+   churn soak converges, matches the directory, and fingerprints
+   identically on a double run. *)
+
+open Horus
+module T = Horus_transport
+module C = Horus_check
+
+(* Two sub-groups of two on two shared sockets; the founders (the
+   coordinators, hence the HIER representatives) additionally join a
+   parent group, and a parent cast reaches both representatives — the
+   bridge the hierarchy is built from. *)
+let representatives_bridge () =
+  let world = World.create ~seed:21 () in
+  let hub = T.Loopback.hub ~latency:0.0005 (World.engine world) in
+  let link = Transport_link.create world in
+  let peers = T.Peers.create () in
+  let sockets =
+    Array.init 2 (fun s -> T.Loopback.create ~addr:(Printf.sprintf "mem:%d" s) hub)
+  in
+  let muxes = Array.map (fun b -> Transport_link.mux link ~backend:b ~peers) sockets in
+  let sub = Array.init 2 (fun _ -> World.fresh_group_addr world) in
+  let parent = World.fresh_group_addr world in
+  let pgid = Addr.group_id parent in
+  (* Member (j, i): eid j*2+i on socket (i + j) mod 2, so the two
+     founders live on distinct sockets. *)
+  let endpoints =
+    Array.init 2 (fun j ->
+        Array.init 2 (fun i ->
+            let eid = (j * 2) + i and slot = (i + j) mod 2 in
+            T.Peers.add peers ~rank:eid ~addr:sockets.(slot).T.Backend.local_addr;
+            Transport_link.mux_endpoint link muxes.(slot) ~rank:eid
+              ~spec:
+                (Printf.sprintf "HIER(parent=%d,sub=%d):MBRSHIP:NAK:COM" pgid j)))
+  in
+  let groups =
+    Array.init 2 (fun j ->
+        let founder = Group.join endpoints.(j).(0) sub.(j) in
+        let other = Group.join ~contact:(Group.addr founder) endpoints.(j).(1) sub.(j) in
+        [| founder; other |])
+  in
+  World.run_for world ~duration:2.0;
+  Array.iter
+    (fun grs ->
+       Array.iter
+         (fun gr ->
+            match Group.view gr with
+            | Some v -> Alcotest.(check int) "sub-group formed" 2 (View.size v)
+            | None -> Alcotest.fail "sub-group: no view")
+         grs)
+    groups;
+  (* The representatives bridge into the parent over the same sockets. *)
+  let rep0 = Group.join endpoints.(0).(0) parent in
+  let rep1 = Group.join ~contact:(Group.addr rep0) endpoints.(1).(0) parent in
+  World.run_for world ~duration:2.0;
+  (match Group.view rep1 with
+   | Some v -> Alcotest.(check int) "parent formed from representatives" 2 (View.size v)
+   | None -> Alcotest.fail "parent: no view");
+  Group.cast rep0 "summit";
+  World.run_for world ~duration:1.0;
+  Alcotest.(check (list string)) "parent cast reaches the other rep" [ "summit" ]
+    (Group.casts rep1);
+  Alcotest.(check int) "no unknown-gid drops" 0 (Transport_link.unknown_gid link)
+
+(* The churn harness at toy scale: every wave converges, the directory
+   matches the installed views, and a double run fingerprints
+   identically — the CI gate's logic, in-tree. *)
+let churn_config =
+  { C.Churn.default_config with
+    C.Churn.h_name = "churn-test";
+    h_endpoints = 24;
+    h_subgroups = 4;
+    h_waves = 2;
+    h_casts_per_wave = 4 }
+
+let churn_small () =
+  let r = C.Churn.run churn_config in
+  List.iter (fun v -> Printf.printf "violation: %s\n" v) r.C.Churn.r_violations;
+  Alcotest.(check bool) "no violations" true (C.Churn.ok r);
+  Alcotest.(check bool) "directory matches views" true r.C.Churn.r_dir_match;
+  Alcotest.(check int) "graceful churn: no evictions" 0 r.C.Churn.r_dir_evictions;
+  List.iter
+    (fun (w : C.Churn.wave_report) ->
+       match w.C.Churn.w_converge with
+       | Some _ -> ()
+       | None ->
+         Alcotest.failf "wave %d %s never converged" w.C.Churn.w_index w.C.Churn.w_kind)
+    r.C.Churn.r_waves
+
+let churn_deterministic () =
+  let a = C.Churn.run churn_config in
+  let b = C.Churn.run churn_config in
+  Alcotest.(check bool) "both runs pass" true (C.Churn.ok a && C.Churn.ok b);
+  Alcotest.(check string) "identical fingerprints"
+    (Printf.sprintf "%016Lx" a.C.Churn.r_fingerprint)
+    (Printf.sprintf "%016Lx" b.C.Churn.r_fingerprint)
+
+let () =
+  Alcotest.run "hier"
+    [ ( "hier",
+        [ Alcotest.test_case "representatives bridge sub-groups" `Quick
+            representatives_bridge ] );
+      ( "churn",
+        [ Alcotest.test_case "small churn soak passes" `Slow churn_small;
+          Alcotest.test_case "double run fingerprints agree" `Slow churn_deterministic ] )
+    ]

@@ -794,6 +794,63 @@ let m4_churn () =
          ("fingerprint", J.String (Printf.sprintf "%016Lx" r.C.r_fingerprint)) ])
 
 (* ------------------------------------------------------------------ *)
+(* M5: crash-fault campaign — ungraceful failover at bench scale       *)
+(* ------------------------------------------------------------------ *)
+
+(* The M5 campaign (EXPERIMENTS.md) shrunk to a deterministic smoke
+   shape: the M4 grid driven through one ungraceful wave — a
+   coordinator and the directory primary killed without a goodbye.
+   The recorded fingerprint pins the whole failover path: scripted
+   suspicion, HIER re-bridging, backup promotion and client failover.
+   The lease clears a worst-case renewal issued into the primary
+   outage (half-lease cadence + a full per-replica retry budget at the
+   RTO ceiling), so no survivor binding is ever evicted. *)
+let m5_failover () =
+  section "M5" "crash-fault campaign: ungraceful failover (bench shape)";
+  Horus_layers.Init.register_all ();
+  let module C = Horus_check.Churn in
+  let config =
+    { C.m5_ci_config with
+      C.h_name = "bench-m5";
+      h_endpoints = 64;
+      h_subgroups = 8;
+      h_waves = 1;
+      h_casts_per_wave = 4;
+      h_kill_coordinators = 1;
+      h_dir_replicas = 1;
+      h_kill_dir_wave = 0;
+      h_lease = 20.0;
+      h_nak_ceiling = 4000 }
+  in
+  let r = C.run config in
+  let worst_rebridge =
+    List.fold_left (fun a (_, dt) -> Float.max a dt) 0.0 r.C.r_rebridge
+  in
+  Format.printf
+    "  %d endpoints / %d sub-groups: killed %d (%d coordinators), worst \
+     re-bridge %.2fs, promotions %d, failovers %d, evictions %d, fingerprint \
+     %016Lx@."
+    r.C.r_endpoints r.C.r_subgroups r.C.r_killed r.C.r_killed_coordinators
+    worst_rebridge r.C.r_dir_promotions r.C.r_dir_failovers r.C.r_dir_evictions
+    r.C.r_fingerprint;
+  record_sim "m5_failover"
+    (J.Obj
+       [ ("endpoints", J.Int r.C.r_endpoints);
+         ("subgroups", J.Int r.C.r_subgroups);
+         ("ok", J.Bool (C.ok r));
+         ("killed", J.Int r.C.r_killed);
+         ("killed_coordinators", J.Int r.C.r_killed_coordinators);
+         ("worst_rebridge", J.Float worst_rebridge);
+         ("parent_lost", J.Int r.C.r_parent_lost);
+         ("dir_promotions", J.Int r.C.r_dir_promotions);
+         ("dir_epoch", J.Int r.C.r_dir_epoch);
+         ("dir_failovers", J.Int r.C.r_dir_failovers);
+         ("dir_redirects", J.Int r.C.r_dir_redirects);
+         ("dir_evictions", J.Int r.C.r_dir_evictions);
+         ("nak_retransmits", J.Int r.C.r_nak_retransmits);
+         ("fingerprint", J.String (Printf.sprintf "%016Lx" r.C.r_fingerprint)) ])
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -817,6 +874,7 @@ let experiments =
     ("T1", true, t1_transport);
     ("T3", true, t3_fastpath);
     ("M4", true, m4_churn);
+    ("M5", true, m5_failover);
     ("M1", false, m1_models) ]
 
 let () =

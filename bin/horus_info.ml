@@ -630,6 +630,34 @@ let churn_cmd =
          & info [ "ci" ] ~doc:"Start from the bounded CI shape (256 endpoints x \
                                8 sub-groups, 2 waves) instead of the full M4 one.")
   in
+  let ungraceful_arg =
+    Arg.(value & flag
+         & info [ "ungraceful" ]
+             ~doc:"Crash-fault campaign (M5): waves kill instead of leave — the \
+                   youngest quarter plus coordinators crash without a goodbye, \
+                   the directory primary is killed mid-wave, and re-bridging is \
+                   held to a bound.")
+  in
+  let kill_coords_arg =
+    Arg.(value & opt (some int) None
+         & info [ "kill-coordinators" ]
+             ~doc:"Sub-group coordinators killed per ungraceful wave.")
+  in
+  let rebridge_arg =
+    Arg.(value & opt (some float) None
+         & info [ "rebridge-bound" ]
+             ~doc:"Kill-to-re-bridged budget per beheaded sub-group, virtual \
+                   seconds.")
+  in
+  let replicas_arg =
+    Arg.(value & opt (some int) None
+         & info [ "replicas" ] ~doc:"Directory backups behind the primary.")
+  in
+  let kill_dir_arg =
+    Arg.(value & opt (some int) None
+         & info [ "kill-dir-wave" ]
+             ~doc:"Wave whose kills also take the directory primary (-1 never).")
+  in
   let double_arg =
     Arg.(value & flag
          & info [ "double-run" ]
@@ -641,8 +669,14 @@ let churn_cmd =
          & info [ "report" ] ~docv:"FILE" ~doc:"Write the full JSON report here.")
   in
   let run endpoints subgroups seed spec waves fraction casts lease bound nak ci
-      double report =
-    let base = if ci then C.Churn.ci_config else C.Churn.default_config in
+      ungraceful kill_coords rebridge replicas kill_dir double report =
+    let base =
+      match (ungraceful, ci) with
+      | false, false -> C.Churn.default_config
+      | false, true -> C.Churn.ci_config
+      | true, false -> C.Churn.m5_config
+      | true, true -> C.Churn.m5_ci_config
+    in
     let dfl v = function Some x -> x | None -> v in
     let config =
       { base with
@@ -655,7 +689,12 @@ let churn_cmd =
         h_casts_per_wave = dfl base.C.Churn.h_casts_per_wave casts;
         h_lease = dfl base.C.Churn.h_lease lease;
         h_converge_bound = dfl base.C.Churn.h_converge_bound bound;
-        h_nak_ceiling = dfl base.C.Churn.h_nak_ceiling nak }
+        h_nak_ceiling = dfl base.C.Churn.h_nak_ceiling nak;
+        h_kill_coordinators =
+          dfl base.C.Churn.h_kill_coordinators kill_coords;
+        h_rebridge_bound = dfl base.C.Churn.h_rebridge_bound rebridge;
+        h_dir_replicas = dfl base.C.Churn.h_dir_replicas replicas;
+        h_kill_dir_wave = dfl base.C.Churn.h_kill_dir_wave kill_dir }
     in
     let r = C.Churn.run config in
     Format.printf
@@ -671,6 +710,22 @@ let churn_cmd =
             | Some t -> Printf.sprintf "in %.2fs" t
             | None -> "NEVER (bound exceeded)"))
       r.C.Churn.r_waves;
+    if r.C.Churn.r_killed > 0 then begin
+      Format.printf
+        "  killed %d endpoints (%d coordinators); re-bridge bound %.2fs@."
+        r.C.Churn.r_killed r.C.Churn.r_killed_coordinators
+        r.C.Churn.r_rebridge_bound;
+      List.iter
+        (fun (j, t) -> Format.printf "    sub-group %d re-bridged in %.3fs@." j t)
+        r.C.Churn.r_rebridge
+    end;
+    if r.C.Churn.r_dir_replicas > 0 then
+      Format.printf
+        "  directory: %d replicas, %d promotions, epoch %d, %d client \
+         failovers, %d redirects, %d evictions@."
+        r.C.Churn.r_dir_replicas r.C.Churn.r_dir_promotions
+        r.C.Churn.r_dir_epoch r.C.Churn.r_dir_failovers
+        r.C.Churn.r_dir_redirects r.C.Churn.r_dir_evictions;
     Format.printf
       "  nak.retransmits %d, unknown_gid %d, dir match %b, fingerprint %016Lx@."
       r.C.Churn.r_nak_retransmits r.C.Churn.r_unknown_gid r.C.Churn.r_dir_match
@@ -704,7 +759,8 @@ let churn_cmd =
              sockets with a directory service (exit 1 on violation)")
     Term.(const run $ endpoints_arg $ subgroups_arg $ seed_arg $ spec_arg
           $ waves_arg $ fraction_arg $ casts_arg $ lease_arg $ bound_arg $ nak_arg
-          $ ci_arg $ double_arg $ report_arg)
+          $ ci_arg $ ungraceful_arg $ kill_coords_arg $ rebridge_arg
+          $ replicas_arg $ kill_dir_arg $ double_arg $ report_arg)
 
 (* The property-algebra conformance sweep: synthesize well-formed
    stacks, derive each one's contract, run them under a chaos matrix,
@@ -841,14 +897,53 @@ let dir_cmd =
              ~doc:"Serve this many wall-clock seconds, print stats and exit \
                    (0 = serve until interrupted).")
   in
-  let run bind max_lease sweep_period duration =
+  let replicas_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replicas" ] ~docv:"ADDRS"
+             ~doc:"Full ordered replica ring as HOST:PORT,HOST:PORT,... \
+                   (index 0 the initial primary, the rest the promotion \
+                   order). This process serves the slot named by \
+                   --replica-index; the others are its peers.")
+  in
+  let replica_index_arg =
+    Arg.(value & opt int 0
+         & info [ "replica-index" ] ~docv:"N"
+             ~doc:"This process's slot in --replicas (default 0, the primary).")
+  in
+  let promote_after_arg =
+    Arg.(value & opt float 1.5
+         & info [ "promote-after" ]
+             ~doc:"Promotion stagger slot width, seconds: backup N promotes \
+                   after N times this much primary silence.")
+  in
+  let run bind max_lease sweep_period duration replicas replica_index promote_after =
     let open Horus in
     let module D = Horus_dir in
+    let replicas =
+      match replicas with
+      | None -> []
+      | Some s -> String.split_on_char ',' s |> List.map String.trim
+                  |> List.filter (fun a -> a <> "")
+    in
+    (if replicas <> [] && (replica_index < 0 || replica_index >= List.length replicas)
+     then begin
+       Format.eprintf "dir: --replica-index %d out of range for %d replicas@."
+         replica_index (List.length replicas);
+       exit 2
+     end);
     let engine = Horus_sim.Engine.create () in
     let backend = Transport.Udp.create ~bind () in
-    let dir = D.Dir_service.create ~sweep_period ~max_lease ~engine backend in
+    let dir =
+      D.Dir_service.create ~sweep_period ~max_lease ~replicas ~replica_index
+        ~promote_after ~engine backend
+    in
     let driver = Transport.Driver.create engine [ backend ] in
-    Format.printf "directory serving on %s@." (D.Dir_service.addr dir);
+    (match replicas with
+     | [] -> Format.printf "directory serving on %s@." (D.Dir_service.addr dir)
+     | _ ->
+       Format.printf "directory %s on %s (replica %d/%d, epoch %d)@."
+         (D.Dir_service.role_string dir) (D.Dir_service.addr dir)
+         replica_index (List.length replicas) (D.Dir_service.epoch dir));
     if duration > 0.0 then Transport.Driver.run_for driver ~duration
     else
       while true do
@@ -860,6 +955,14 @@ let dir_cmd =
       st.D.Dir_service.s_requests st.D.Dir_service.s_replies
       st.D.Dir_service.s_notifies st.D.Dir_service.s_evictions
       st.D.Dir_service.s_errors st.D.Dir_service.s_bad;
+    if replicas <> [] then
+      Format.printf
+        "role %s, epoch %d, deltas out %d in %d, promotions %d, redirects %d, \
+         syncs %d@."
+        (D.Dir_service.role_string dir) (D.Dir_service.epoch dir)
+        st.D.Dir_service.s_deltas_out st.D.Dir_service.s_deltas_in
+        st.D.Dir_service.s_promotions st.D.Dir_service.s_redirects
+        st.D.Dir_service.s_syncs;
     List.iter
       (fun g ->
          Format.printf "group %d: version %d, %d bindings@." g
@@ -872,8 +975,9 @@ let dir_cmd =
   Cmd.v
     (Cmd.info "dir"
        ~doc:"Serve the rank directory over UDP (membership bootstrap for node and \
-             ping)")
-    Term.(const run $ bind_arg $ max_lease_arg $ sweep_arg $ duration_arg)
+             ping), optionally as one slot of a primary/backup replica ring")
+    Term.(const run $ bind_arg $ max_lease_arg $ sweep_arg $ duration_arg
+          $ replicas_arg $ replica_index_arg $ promote_after_arg)
 
 let node_cmd =
   let rank_arg =

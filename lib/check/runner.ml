@@ -64,6 +64,7 @@ type fabric = {
   fb_endpoint : int -> Endpoint.t;          (* member index -> endpoint *)
   fb_partition : int list list -> unit;
   fb_heal : unit -> unit;
+  fb_crash : int -> unit;                   (* crash aftermath at the waist *)
 }
 
 let sim_fabric world spec =
@@ -72,7 +73,8 @@ let sim_fabric world spec =
       (fun nodes ->
          (* member indices are resolved to node ids by the caller *)
          Horus_sim.Net.partition (World.net world) nodes);
-    fb_heal = (fun () -> Horus_sim.Net.heal (World.net world)) }
+    fb_heal = (fun () -> Horus_sim.Net.heal (World.net world));
+    fb_crash = (fun _ -> ()) }
 
 let chaos_fabric world spec n seed (profile : Horus_transport.Chaos.profile) latency =
   let module T = Horus_transport in
@@ -111,7 +113,12 @@ let chaos_fabric world spec n seed (profile : Horus_transport.Chaos.profile) lat
       (fun groups ->
          T.Chaos.heal chaos;
          block_groups groups);
-    fb_heal = (fun () -> T.Chaos.heal chaos) }
+    fb_heal = (fun () -> T.Chaos.heal chaos);
+    fb_crash =
+      (* A crashed rank is blocked at the waist permanently: senders
+         drop its frames on the spot instead of delivering them to a
+         socket that no longer hosts it. *)
+      (fun r -> T.Peers.block peers ~rank:r) }
 
 let run ?(skip_inert = false) ?(fastpath = false) ?observe (sc : Scenario.t) =
   let world =
@@ -209,7 +216,9 @@ let run ?(skip_inert = false) ?(fastpath = false) ?observe (sc : Scenario.t) =
     (fun f ->
        World.at world ~time:(t0 +. f.Scenario.f_at) (fun () ->
            match f.Scenario.f_fault with
-           | Scenario.Crash m -> Endpoint.crash (endpoint_of m)
+           | Scenario.Crash m ->
+             Endpoint.crash (endpoint_of m);
+             fabric.fb_crash m
            | Scenario.Leave m ->
              (match members.(m) with Some gr -> Group.leave gr | None -> ())
            | Scenario.Join m ->

@@ -71,6 +71,54 @@ let nth_removed l i = List.filteri (fun j _ -> j <> i) l
 (* All single-step reductions of a scenario, most aggressive first. *)
 let candidates (sc : Scenario.t) =
   let members = List.init sc.Scenario.n (fun m -> drop_member sc (sc.Scenario.n - 1 - m)) in
+  let kill_windows =
+    (* Crash faults from churn campaigns arrive in waves — many members
+       killed at one instant. Shed a whole window as one edit, and try
+       halving the crashed-member set, before falling back to the
+       one-fault-at-a-time drops below: a 50-crash repro that only
+       needs one wave minimizes in a handful of runs, not thousands. *)
+    let is_crash f =
+      match f.Scenario.f_fault with Scenario.Crash _ -> true | _ -> false
+    in
+    let crashes = List.filter is_crash sc.Scenario.faults in
+    let windows =
+      List.sort_uniq compare (List.map (fun f -> f.Scenario.f_at) crashes)
+    in
+    let drop_window at =
+      Some
+        { sc with
+          Scenario.faults =
+            List.filter
+              (fun f -> not (is_crash f && f.Scenario.f_at = at))
+              sc.Scenario.faults }
+    in
+    let multi_windows =
+      (* A window drop only beats the single-fault candidates when the
+         window holds several crashes (or there are several windows to
+         choose between). *)
+      List.filter
+        (fun at ->
+           List.length windows > 1
+           || List.length (List.filter (fun f -> f.Scenario.f_at = at) crashes) > 1)
+        windows
+    in
+    let halved =
+      if List.length crashes > 1 then begin
+        let keep = List.length crashes / 2 in
+        let seen = ref 0 in
+        [ Some
+            { sc with
+              Scenario.faults =
+                List.filter
+                  (fun f ->
+                     if is_crash f then begin incr seen; !seen <= keep end
+                     else true)
+                  sc.Scenario.faults } ]
+      end
+      else []
+    in
+    halved @ List.map drop_window multi_windows
+  in
   let faults =
     List.init (List.length sc.Scenario.faults) (fun i ->
         Some { sc with Scenario.faults = nth_removed sc.Scenario.faults i })
@@ -144,7 +192,8 @@ let candidates (sc : Scenario.t) =
               with_choices (List.filteri (fun i _ -> i < len - 1) s.Scenario.s_choices) ]
           else [])
   in
-  List.filter_map Fun.id (members @ faults @ ops @ pads @ links @ net @ chaos @ sched)
+  List.filter_map Fun.id
+    (members @ kill_windows @ faults @ ops @ pads @ links @ net @ chaos @ sched)
 
 let shrink ~fails (sc : Scenario.t) =
   let attempts = ref 0 and accepted = ref 0 in

@@ -5,7 +5,13 @@
     bytes towards the server); wire {!rx_frame} into a dedicated
     backend's rx, or register {!rx} as a shared mux's raw route for
     {!Dir_protocol.gid}. Timers ride the engine, so the client is
-    deterministic under virtual time. *)
+    deterministic under virtual time.
+
+    With [backups], the client fails over transparently: each replica
+    has its own RTT estimator ({!Horus_layers.Nak.Rto}), resends back
+    off per replica, an exhausted per-replica budget advances to the
+    next replica, and a {!Dir_protocol.Not_primary} redirect advances
+    immediately. The replica that last answered is sticky. *)
 
 type t
 
@@ -13,12 +19,18 @@ val create :
   ?timeout:float ->
   ?retries:int ->
   ?eid:int ->
+  ?backups:(Bytes.t -> unit) list ->
   engine:Horus_sim.Engine.t ->
   (Bytes.t -> unit) ->
   t
-(** [create ~engine xmit]: [timeout] (default 0.25 s) per attempt,
-    [retries] (default 3) resends before giving up, [eid] the src
-    endpoint id stamped on request frames. *)
+(** [create ~engine xmit]: [timeout] (default 0.25 s) seeds each
+    replica's RTO estimator, [retries] (default 3) resends per replica
+    before failing over (or giving up on the last), [eid] the src
+    endpoint id stamped on request frames, [backups] xmit thunks
+    towards the backup replicas in promotion order. *)
+
+val replicas : t -> int
+(** Replica count (1 with no backups). *)
 
 val rx : t -> src:string -> Bytes.t -> unit
 (** Feed a frame payload already stripped by a shared demux. *)
@@ -36,7 +48,8 @@ val on_notify :
 
     Every callback fires exactly once: with the typed result, a
     service-side error ([Error "unknown-rank (...)"] and friends), or
-    [Error "directory request timed out"] after the retry budget. *)
+    [Error "directory request timed out"] after the whole-ring retry
+    budget. *)
 
 val register :
   t -> group:int -> rank:int -> addr:string -> lease:float ->
@@ -62,11 +75,25 @@ val subscribe : t -> group:int -> ((int, string) result -> unit) -> unit
 
 val unsubscribe : t -> group:int -> ((unit, string) result -> unit) -> unit
 
+(** {1 Lease keepalive} *)
+
+type renewal
+(** A live register-and-renew cadence for one binding. *)
+
+val keepalive : t -> group:int -> rank:int -> addr:string -> lease:float -> renewal
+(** Register now and renew at half-lease cadence (re-registering if a
+    renewal finds the lease lapsed). *)
+
+val release : renewal -> unit
+(** Graceful stop: end the cadence and unregister the binding. *)
+
+val abandon : renewal -> unit
+(** Ungraceful stop: end the cadence but leave the binding to lapse by
+    lease expiry — the crash path, where no goodbye is ever sent. *)
+
 val auto_renew :
   t -> group:int -> rank:int -> addr:string -> lease:float -> (unit -> unit)
-(** Register now, renew at half-lease cadence (re-registering if a
-    renewal finds the lease lapsed); the returned thunk stops the
-    cadence and unregisters. *)
+(** {!keepalive} with the returned thunk performing {!release}. *)
 
 val peers_of : (int * string) list -> Horus_transport.Peers.t
 (** A static peer book from a directory listing — the bridge back
@@ -78,6 +105,16 @@ type stats = {
   mutable c_timeouts : int;
   mutable c_replies : int;
   mutable c_notifies : int;
+  mutable c_failovers : int;  (** replica advances after an exhausted budget *)
+  mutable c_redirects : int;  (** [Not_primary] redirects honoured *)
 }
 
 val stats : t -> stats
+
+val export_metrics : ?prefix:string -> t -> Horus_obs.Metrics.t -> unit
+(** Mirror {!stats} into the registry ([prefix] defaults to
+    ["dir.client"]); call at snapshot time. *)
+
+val export_metrics_sum : ?prefix:string -> t list -> Horus_obs.Metrics.t -> unit
+(** Like {!export_metrics}, summing over many clients — one logical
+    section for a harness with a client per socket. *)

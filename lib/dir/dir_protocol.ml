@@ -22,6 +22,23 @@ let service_eid = 0xD1C7  (* the src endpoint id stamped on service frames *)
 
 let version = 1
 
+(* Replication: one mutation of one group's state, as applied by the
+   primary. Leases travel as REMAINING duration, not absolute expiry —
+   each replica re-anchors the deadline on its own engine clock, so
+   the protocol never assumes replicas share a clock. *)
+type change =
+  | Ch_bind of { rank : int; addr : string; remaining : float }
+  | Ch_remove of int
+  | Ch_sub of string
+  | Ch_unsub of string
+
+type snapshot_group = {
+  sg_group : int;
+  sg_version : int;
+  sg_entries : (int * string * float) list;  (* rank, addr, remaining lease *)
+  sg_subs : string list;
+}
+
 type request =
   | Register of { group : int; rank : int; addr : string; lease : float }
   | Renew of { group : int; rank : int; lease : float }
@@ -31,8 +48,16 @@ type request =
   | List_groups
   | Subscribe of int
   | Unsubscribe of int
+  (* Primary -> backup replication stream (unacknowledged, req id 0).
+     [epoch] is the primary incarnation; [seq] orders the delta stream
+     within and across epochs, so a backup detects gaps and asks for a
+     snapshot. *)
+  | Repl_delta of { epoch : int; seq : int; group : int; version : int; change : change }
+  | Repl_heartbeat of { epoch : int; seq : int }
+  | Repl_sync of { from_seq : int }  (* backup -> primary: state please *)
+  | Repl_snapshot of { epoch : int; seq : int; groups : snapshot_group list }
 
-type error_code = Unknown_group | Unknown_rank | Bad_request
+type error_code = Unknown_group | Unknown_rank | Bad_request | Not_primary
 
 type reply =
   | Registered of { group : int; rank : int; version : int; expires : float }
@@ -54,6 +79,14 @@ let op_list_groups = 6
 let op_subscribe = 7
 let op_unsubscribe = 8
 
+(* Replication opcodes sit in their own sub-range of the request
+   space, so a v1 service that predates replication rejects them as
+   unknown requests rather than misparsing them. *)
+let op_repl_delta = 0x20
+let op_repl_heartbeat = 0x21
+let op_repl_sync = 0x22
+let op_repl_snapshot = 0x23
+
 let op_registered = 0x81
 let op_found = 0x82
 let op_entries = 0x83
@@ -67,17 +100,20 @@ let error_code_to_int = function
   | Unknown_group -> 1
   | Unknown_rank -> 2
   | Bad_request -> 3
+  | Not_primary -> 4
 
 let error_code_of_int = function
   | 1 -> Some Unknown_group
   | 2 -> Some Unknown_rank
   | 3 -> Some Bad_request
+  | 4 -> Some Not_primary
   | _ -> None
 
 let error_code_to_string = function
   | Unknown_group -> "unknown-group"
   | Unknown_rank -> "unknown-rank"
   | Bad_request -> "bad-request"
+  | Not_primary -> "not-primary"
 
 (* Leases and deadlines travel as microseconds in an i64: float
    seconds on the API, integers on the wire, so encodings are exact
@@ -125,6 +161,53 @@ let encode_request ~req_id req =
     | Unsubscribe group ->
       Msg.push_u32 m group;
       op_unsubscribe
+    | Repl_delta { epoch; seq; group; version; change } ->
+      (match change with
+       | Ch_bind { rank; addr; remaining } ->
+         push_time m remaining;
+         Msg.push_string m addr;
+         Msg.push_u32 m rank;
+         Msg.push_u8 m 1
+       | Ch_remove rank ->
+         Msg.push_u32 m rank;
+         Msg.push_u8 m 2
+       | Ch_sub addr ->
+         Msg.push_string m addr;
+         Msg.push_u8 m 3
+       | Ch_unsub addr ->
+         Msg.push_string m addr;
+         Msg.push_u8 m 4);
+      Msg.push_u32 m version;
+      Msg.push_u32 m group;
+      Msg.push_u32 m seq;
+      Msg.push_u32 m epoch;
+      op_repl_delta
+    | Repl_heartbeat { epoch; seq } ->
+      Msg.push_u32 m seq;
+      Msg.push_u32 m epoch;
+      op_repl_heartbeat
+    | Repl_sync { from_seq } ->
+      Msg.push_u32 m from_seq;
+      op_repl_sync
+    | Repl_snapshot { epoch; seq; groups } ->
+      List.iter
+        (fun sg ->
+           List.iter (fun a -> Msg.push_string m a) (List.rev sg.sg_subs);
+           Msg.push_u16 m (List.length sg.sg_subs);
+           List.iter
+             (fun (rank, addr, remaining) ->
+                push_time m remaining;
+                Msg.push_string m addr;
+                Msg.push_u32 m rank)
+             (List.rev sg.sg_entries);
+           Msg.push_u16 m (List.length sg.sg_entries);
+           Msg.push_u32 m sg.sg_version;
+           Msg.push_u32 m sg.sg_group)
+        (List.rev groups);
+      Msg.push_u16 m (List.length groups);
+      Msg.push_u32 m seq;
+      Msg.push_u32 m epoch;
+      op_repl_snapshot
   in
   envelope m ~req_id ~op
 
@@ -219,6 +302,52 @@ let decode_request payload =
         | o when o = op_list_groups -> Some List_groups
         | o when o = op_subscribe -> Some (Subscribe (Msg.pop_u32 m))
         | o when o = op_unsubscribe -> Some (Unsubscribe (Msg.pop_u32 m))
+        | o when o = op_repl_delta ->
+          let epoch = Msg.pop_u32 m in
+          let seq = Msg.pop_u32 m in
+          let group = Msg.pop_u32 m in
+          let version = Msg.pop_u32 m in
+          let change =
+            match Msg.pop_u8 m with
+            | 1 ->
+              let rank = Msg.pop_u32 m in
+              let addr = Msg.pop_string m in
+              let remaining = pop_time m in
+              Some (Ch_bind { rank; addr; remaining })
+            | 2 -> Some (Ch_remove (Msg.pop_u32 m))
+            | 3 -> Some (Ch_sub (Msg.pop_string m))
+            | 4 -> Some (Ch_unsub (Msg.pop_string m))
+            | _ -> None
+          in
+          Option.map
+            (fun change -> Repl_delta { epoch; seq; group; version; change })
+            change
+        | o when o = op_repl_heartbeat ->
+          let epoch = Msg.pop_u32 m in
+          let seq = Msg.pop_u32 m in
+          Some (Repl_heartbeat { epoch; seq })
+        | o when o = op_repl_sync -> Some (Repl_sync { from_seq = Msg.pop_u32 m })
+        | o when o = op_repl_snapshot ->
+          let epoch = Msg.pop_u32 m in
+          let seq = Msg.pop_u32 m in
+          let n = Msg.pop_u16 m in
+          let groups =
+            List.init n (fun _ ->
+                let sg_group = Msg.pop_u32 m in
+                let sg_version = Msg.pop_u32 m in
+                let ne = Msg.pop_u16 m in
+                let sg_entries =
+                  List.init ne (fun _ ->
+                      let rank = Msg.pop_u32 m in
+                      let addr = Msg.pop_string m in
+                      let remaining = pop_time m in
+                      (rank, addr, remaining))
+                in
+                let ns = Msg.pop_u16 m in
+                let sg_subs = List.init ns (fun _ -> Msg.pop_string m) in
+                { sg_group; sg_version; sg_entries; sg_subs })
+          in
+          Some (Repl_snapshot { epoch; seq; groups })
         | _ -> None
       in
       match req with
@@ -288,6 +417,17 @@ let pp_request fmt = function
   | List_groups -> Format.fprintf fmt "list-groups"
   | Subscribe g -> Format.fprintf fmt "subscribe g=%d" g
   | Unsubscribe g -> Format.fprintf fmt "unsubscribe g=%d" g
+  | Repl_delta { epoch; seq; group; version; change } ->
+    Format.fprintf fmt "repl-delta e=%d s=%d g=%d v=%d %s" epoch seq group version
+      (match change with
+       | Ch_bind { rank; addr; _ } -> Printf.sprintf "bind r=%d %s" rank addr
+       | Ch_remove rank -> Printf.sprintf "remove r=%d" rank
+       | Ch_sub a -> Printf.sprintf "sub %s" a
+       | Ch_unsub a -> Printf.sprintf "unsub %s" a)
+  | Repl_heartbeat { epoch; seq } -> Format.fprintf fmt "repl-heartbeat e=%d s=%d" epoch seq
+  | Repl_sync { from_seq } -> Format.fprintf fmt "repl-sync from=%d" from_seq
+  | Repl_snapshot { epoch; seq; groups } ->
+    Format.fprintf fmt "repl-snapshot e=%d s=%d groups=%d" epoch seq (List.length groups)
 
 let pp_reply fmt = function
   | Registered { group; rank; version; expires } ->

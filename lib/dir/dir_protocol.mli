@@ -13,6 +13,21 @@ val service_eid : int
 
 val version : int
 
+(** One replicated mutation. Leases travel as {e remaining} duration,
+    re-anchored on the receiving replica's clock. *)
+type change =
+  | Ch_bind of { rank : int; addr : string; remaining : float }
+  | Ch_remove of int
+  | Ch_sub of string
+  | Ch_unsub of string
+
+type snapshot_group = {
+  sg_group : int;
+  sg_version : int;
+  sg_entries : (int * string * float) list;  (** rank, addr, remaining lease *)
+  sg_subs : string list;
+}
+
 type request =
   | Register of { group : int; rank : int; addr : string; lease : float }
       (** bind [rank -> addr] in [group] for [lease] seconds *)
@@ -23,8 +38,16 @@ type request =
   | List_groups
   | Subscribe of int  (** change notifications for one group *)
   | Unsubscribe of int
+  | Repl_delta of { epoch : int; seq : int; group : int; version : int; change : change }
+      (** primary -> backup: one mutation; [seq] gap = ask for a snapshot *)
+  | Repl_heartbeat of { epoch : int; seq : int }
+      (** primary -> backup: liveness + high-water seq *)
+  | Repl_sync of { from_seq : int }
+      (** backup -> primary: resynchronize me from a snapshot *)
+  | Repl_snapshot of { epoch : int; seq : int; groups : snapshot_group list }
+      (** primary -> backup: the full state image at [seq] *)
 
-type error_code = Unknown_group | Unknown_rank | Bad_request
+type error_code = Unknown_group | Unknown_rank | Bad_request | Not_primary
 
 type reply =
   | Registered of { group : int; rank : int; version : int; expires : float }

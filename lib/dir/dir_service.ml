@@ -37,7 +37,14 @@ type stats = {
   mutable s_evictions : int;
   mutable s_errors : int;   (* error replies sent *)
   mutable s_bad : int;      (* undecodable frames / messages *)
+  mutable s_deltas_out : int;   (* replication deltas streamed (per backup) *)
+  mutable s_deltas_in : int;    (* replication deltas applied *)
+  mutable s_promotions : int;   (* backup -> primary transitions *)
+  mutable s_redirects : int;    (* Not_primary replies sent *)
+  mutable s_syncs : int;        (* snapshots served (primary) / requested (backup) *)
 }
+
+type role = Primary | Backup
 
 type t = {
   engine : Engine.t;
@@ -47,6 +54,18 @@ type t = {
   stats : stats;
   mutable sweep : Engine.handle option;
   mutable stopped : bool;
+  (* Replication: [replicas] is the full ordered replica address list
+     (index 0 = the initial primary, the rest promotion order);
+     [others] the peers this replica streams to or hears from. *)
+  replicas : string list;
+  replica_index : int;
+  others : string list;
+  promote_after : float;
+  mutable role : role;
+  mutable epoch : int;          (* primary incarnation counter *)
+  mutable repl_seq : int;       (* last delta sent (primary) / applied (backup) *)
+  mutable last_primary : float; (* engine time the primary was last heard *)
+  mutable syncing : bool;       (* a snapshot request is outstanding *)
 }
 
 let group_state t gid =
@@ -57,14 +76,41 @@ let group_state t gid =
     Hashtbl.replace t.groups gid g;
     g
 
+(* The fresh-eid incarnation rule, applied to the service itself:
+   every promotion bumps the epoch, and every frame of the new
+   incarnation is stamped with a fresh src eid — peers can always
+   order incarnations and discard a stale primary's traffic. *)
+let src_eid t = Horus_msg.Addr.endpoint (P.service_eid + t.epoch)
+
 let send t ~dest reply ~req_id =
   t.stats.s_replies <- t.stats.s_replies + 1;
   (match reply with P.Error _ -> t.stats.s_errors <- t.stats.s_errors + 1 | _ -> ());
   t.backend.T.Backend.send ~dest
-    (T.Frame.encode
-       ~src:(Horus_msg.Addr.endpoint P.service_eid)
+    (T.Frame.encode ~src:(src_eid t)
        ~group:(Horus_msg.Addr.group P.gid)
        (P.encode_reply ~req_id reply))
+
+let send_req t ~dest req =
+  t.backend.T.Backend.send ~dest
+    (T.Frame.encode ~src:(src_eid t)
+       ~group:(Horus_msg.Addr.group P.gid)
+       (P.encode_request ~req_id:0 req))
+
+(* Stream one mutation to every backup. Called after the mutation is
+   applied, so [g.g_version] is the post-mutation version the backup
+   must mirror. *)
+let replicate t ~group g change =
+  if t.role = Primary && t.others <> [] then begin
+    t.repl_seq <- t.repl_seq + 1;
+    List.iter
+      (fun dest ->
+         t.stats.s_deltas_out <- t.stats.s_deltas_out + 1;
+         send_req t ~dest
+           (P.Repl_delta
+              { epoch = t.epoch; seq = t.repl_seq; group; version = g.g_version;
+                change }))
+      t.others
+  end
 
 (* A binding changed: bump the version and tell the subscribers, in
    sorted-address order. *)
@@ -97,6 +143,10 @@ let handle t ~src ~req_id req =
         true
     in
     if changed then notify t group g ~rank ~addr:(Some addr);
+    let e = Hashtbl.find g.g_entries rank in
+    replicate t ~group g
+      (P.Ch_bind
+         { rank; addr; remaining = e.en_expires -. Engine.now t.engine });
     send t ~dest:src ~req_id
       (P.Registered { group; rank; version = g.g_version; expires })
   | P.Renew { group; rank; lease } -> (
@@ -113,6 +163,10 @@ let handle t ~src ~req_id req =
              { code = P.Unknown_rank; detail = Printf.sprintf "g=%d r=%d" group rank })
       | Some e ->
         e.en_expires <- Float.max e.en_expires (Engine.now t.engine +. lease);
+        replicate t ~group g
+          (P.Ch_bind
+             { rank; addr = e.en_addr;
+               remaining = e.en_expires -. Engine.now t.engine });
         send t ~dest:src ~req_id
           (P.Registered { group; rank; version = g.g_version; expires = e.en_expires })))
   | P.Unregister { group; rank } -> (
@@ -123,7 +177,8 @@ let handle t ~src ~req_id req =
     | Some g ->
       if Hashtbl.mem g.g_entries rank then begin
         Hashtbl.remove g.g_entries rank;
-        notify t group g ~rank ~addr:None
+        notify t group g ~rank ~addr:None;
+        replicate t ~group g (P.Ch_remove rank)
       end;
       send t ~dest:src ~req_id P.Done)
   | P.Lookup { group; rank } -> (
@@ -153,14 +208,136 @@ let handle t ~src ~req_id req =
     send t ~dest:src ~req_id (P.Groups gids)
   | P.Subscribe group ->
     let g = group_state t group in
-    if not (List.mem src g.g_subs) then
+    if not (List.mem src g.g_subs) then begin
       g.g_subs <- List.sort compare (src :: g.g_subs);
+      replicate t ~group g (P.Ch_sub src)
+    end;
     send t ~dest:src ~req_id (P.Subscribed { group; version = g.g_version })
   | P.Unsubscribe group ->
     (match Hashtbl.find_opt t.groups group with
-     | Some g -> g.g_subs <- List.filter (fun a -> a <> src) g.g_subs
+     | Some g ->
+       if List.mem src g.g_subs then begin
+         g.g_subs <- List.filter (fun a -> a <> src) g.g_subs;
+         replicate t ~group g (P.Ch_unsub src)
+       end
      | None -> ());
     send t ~dest:src ~req_id P.Done
+  | P.Repl_delta _ | P.Repl_heartbeat _ | P.Repl_sync _ | P.Repl_snapshot _ ->
+    (* replication traffic is routed to [handle_repl] before [handle] *)
+    ()
+
+(* -- Replication ----------------------------------------------------- *)
+
+let snapshot_groups t =
+  let now = Engine.now t.engine in
+  Hashtbl.fold (fun gid g acc -> (gid, g) :: acc) t.groups []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map (fun (gid, g) ->
+         { P.sg_group = gid;
+           sg_version = g.g_version;
+           sg_entries =
+             List.map
+               (fun (r, e) -> (r, e.en_addr, e.en_expires -. now))
+               (sorted_entries g);
+           sg_subs = g.g_subs })
+
+let heartbeat t =
+  List.iter
+    (fun dest -> send_req t ~dest (P.Repl_heartbeat { epoch = t.epoch; seq = t.repl_seq }))
+    t.others
+
+(* A message from a primary incarnation at least as fresh as anything
+   we have seen: refresh the silence clock and adopt the epoch. A
+   promoted replica that hears a strictly fresher incarnation steps
+   back down — the deterministic stagger makes this a safety net, not
+   a protocol round. *)
+let heard_primary t epoch =
+  t.last_primary <- Engine.now t.engine;
+  if epoch > t.epoch then begin
+    t.epoch <- epoch;
+    if t.role = Primary then t.role <- Backup
+  end
+
+let request_sync t ~dest =
+  if not t.syncing then begin
+    t.syncing <- true;
+    t.stats.s_syncs <- t.stats.s_syncs + 1;
+    send_req t ~dest (P.Repl_sync { from_seq = t.repl_seq })
+  end
+
+let apply_change t ~group ~version change =
+  let g = group_state t group in
+  (match change with
+   | P.Ch_bind { rank; addr; remaining } ->
+     Hashtbl.replace g.g_entries rank
+       { en_addr = addr; en_expires = Engine.now t.engine +. remaining }
+   | P.Ch_remove rank -> Hashtbl.remove g.g_entries rank
+   | P.Ch_sub a ->
+     if not (List.mem a g.g_subs) then g.g_subs <- List.sort compare (a :: g.g_subs)
+   | P.Ch_unsub a -> g.g_subs <- List.filter (fun x -> x <> a) g.g_subs);
+  (* mirror the primary's version exactly: a promoted backup resumes
+     the change counter where the primary left it *)
+  g.g_version <- version
+
+let handle_repl t ~src req =
+  match req with
+  | P.Repl_delta { epoch; seq; group; version; change } ->
+    if epoch >= t.epoch then begin
+      heard_primary t epoch;
+      if t.role = Backup then begin
+        if seq <= t.repl_seq then ()  (* duplicate of an applied delta *)
+        else if seq = t.repl_seq + 1 && not t.syncing then begin
+          t.repl_seq <- seq;
+          t.stats.s_deltas_in <- t.stats.s_deltas_in + 1;
+          apply_change t ~group ~version change
+        end
+        else request_sync t ~dest:src
+      end
+    end
+  | P.Repl_heartbeat { epoch; seq } ->
+    if epoch >= t.epoch then begin
+      heard_primary t epoch;
+      if t.role = Backup && seq > t.repl_seq then request_sync t ~dest:src
+    end
+  | P.Repl_sync _ ->
+    if t.role = Primary then begin
+      t.stats.s_syncs <- t.stats.s_syncs + 1;
+      send_req t ~dest:src
+        (P.Repl_snapshot
+           { epoch = t.epoch; seq = t.repl_seq; groups = snapshot_groups t })
+    end
+  | P.Repl_snapshot { epoch; seq; groups } ->
+    if epoch >= t.epoch then begin
+      heard_primary t epoch;
+      if t.role = Backup then begin
+        Hashtbl.reset t.groups;
+        List.iter
+          (fun sg ->
+             let g = group_state t sg.P.sg_group in
+             g.g_version <- sg.P.sg_version;
+             g.g_subs <- sg.P.sg_subs;
+             List.iter
+               (fun (rank, addr, remaining) ->
+                  Hashtbl.replace g.g_entries rank
+                    { en_addr = addr;
+                      en_expires = Engine.now t.engine +. remaining })
+               sg.P.sg_entries)
+          groups;
+        t.repl_seq <- seq;
+        t.syncing <- false
+      end
+    end
+  | _ -> ()
+
+let promote t =
+  t.role <- Primary;
+  t.epoch <- t.epoch + 1;
+  t.stats.s_promotions <- t.stats.s_promotions + 1;
+  t.syncing <- false;
+  (* announce the fresh incarnation at once, so replicas further down
+     the promotion order stand down before their own silence threshold *)
+  heartbeat t
+
 
 let rx t ~src frame =
   if not t.stopped then
@@ -180,9 +357,25 @@ let rx t ~src frame =
              learn they sent nonsense. *)
           send t ~dest:src ~req_id:0
             (P.Error { code = P.Bad_request; detail = "undecodable request" })
-        | Ok (req_id, req) ->
-          t.stats.s_requests <- t.stats.s_requests + 1;
-          handle t ~src ~req_id req)
+        | Ok (req_id, req) -> (
+          match req with
+          | P.Repl_delta _ | P.Repl_heartbeat _ | P.Repl_sync _ | P.Repl_snapshot _ ->
+            handle_repl t ~src req
+          | _ when t.role = Backup ->
+            (* Backups never answer client traffic with state — a reply
+               from a stale replica would fork the version stream. The
+               typed redirect tells the client to try the next replica
+               immediately, instead of burning its retry budget. *)
+            t.stats.s_redirects <- t.stats.s_redirects + 1;
+            send t ~dest:src ~req_id
+              (P.Error
+                 { code = P.Not_primary;
+                   detail =
+                     Printf.sprintf "replica %d (backup, epoch %d)"
+                       t.replica_index t.epoch })
+          | _ ->
+            t.stats.s_requests <- t.stats.s_requests + 1;
+            handle t ~src ~req_id req))
 
 (* The lease sweep: evict expired bindings, deterministically —
    groups in gid order, ranks in rank order. *)
@@ -201,12 +394,21 @@ let sweep_now t =
        List.iter
          (fun rank ->
             Hashtbl.remove g.g_entries rank;
+            if Sys.getenv_opt "HORUS_DIR_DEBUG" <> None then
+              Printf.eprintf "[dir %d] t=%.3f evict gid=%d rank=%d\n%!"
+                t.replica_index now gid rank;
             t.stats.s_evictions <- t.stats.s_evictions + 1;
-            notify t gid g ~rank ~addr:None)
+            notify t gid g ~rank ~addr:None;
+            replicate t ~group:gid g (P.Ch_remove rank))
          expired)
     gids
 
-let create ?(sweep_period = 0.5) ?(max_lease = 30.0) ~engine backend =
+let create ?(sweep_period = 0.5) ?(max_lease = 30.0) ?(replicas = [])
+    ?(replica_index = 0) ?(promote_after = 1.5) ~engine backend =
+  if replicas <> [] && (replica_index < 0 || replica_index >= List.length replicas)
+  then invalid_arg "Dir_service: replica_index out of range";
+  if promote_after <= 0.0 then invalid_arg "Dir_service: promote_after must be positive";
+  let others = List.filteri (fun i _ -> i <> replica_index) replicas in
   let t =
     { engine;
       backend;
@@ -214,14 +416,37 @@ let create ?(sweep_period = 0.5) ?(max_lease = 30.0) ~engine backend =
       groups = Hashtbl.create 8;
       stats =
         { s_requests = 0; s_replies = 0; s_notifies = 0; s_evictions = 0; s_errors = 0;
-          s_bad = 0 };
+          s_bad = 0; s_deltas_out = 0; s_deltas_in = 0; s_promotions = 0;
+          s_redirects = 0; s_syncs = 0 };
       sweep = None;
-      stopped = false }
+      stopped = false;
+      replicas;
+      replica_index;
+      others;
+      promote_after;
+      role = (if replica_index = 0 then Primary else Backup);
+      epoch = 0;
+      repl_seq = 0;
+      last_primary = Engine.now engine;
+      syncing = false }
   in
   backend.T.Backend.set_rx (fun ~src frame -> rx t ~src frame);
+  (* One periodic tick per replica: the primary sweeps leases and
+     heartbeats its backups; a backup watches the silence clock and
+     promotes itself once the primary has been quiet for its slot in
+     the promotion order — replica [i] waits [i * promote_after], so
+     at most one replica crosses its threshold per silence window and
+     the failover order is deterministic without any election round. *)
   let rec tick () =
     if not t.stopped then begin
-      sweep_now t;
+      (match t.role with
+       | Primary ->
+         sweep_now t;
+         heartbeat t
+       | Backup ->
+         let silence = Engine.now engine -. t.last_primary in
+         if silence > t.promote_after *. float_of_int t.replica_index then
+           promote t);
       t.sweep <- Some (Engine.schedule engine ~delay:sweep_period tick)
     end
   in
@@ -236,6 +461,14 @@ let stop t =
 let addr t = t.backend.T.Backend.local_addr
 
 let stats t = t.stats
+
+let role t = t.role
+
+let role_string t = match t.role with Primary -> "primary" | Backup -> "backup"
+
+let epoch t = t.epoch
+
+let replica_index t = t.replica_index
 
 let groups t =
   Hashtbl.fold (fun gid _ acc -> gid :: acc) t.groups [] |> List.sort compare
@@ -256,6 +489,15 @@ let export_metrics ?(prefix = "dir") t m =
   c "evictions" t.stats.s_evictions;
   c "errors" t.stats.s_errors;
   c "bad" t.stats.s_bad;
+  c "repl.deltas_out" t.stats.s_deltas_out;
+  c "repl.deltas_in" t.stats.s_deltas_in;
+  c "promotions" t.stats.s_promotions;
+  c "redirects" t.stats.s_redirects;
+  c "syncs" t.stats.s_syncs;
+  let g name v = Horus_obs.Metrics.(set (gauge m (prefix ^ "." ^ name)) v) in
+  g "role" (match t.role with Primary -> 1.0 | Backup -> 0.0);
+  g "epoch" (float_of_int t.epoch);
+  g "replica" (float_of_int t.replica_index);
   let bindings =
     Hashtbl.fold (fun _ g acc -> acc + Hashtbl.length g.g_entries) t.groups 0
   in

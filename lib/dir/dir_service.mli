@@ -10,15 +10,33 @@
 
 type t
 
+type role = Primary | Backup
+
 val create :
   ?sweep_period:float ->
   ?max_lease:float ->
+  ?replicas:string list ->
+  ?replica_index:int ->
+  ?promote_after:float ->
   engine:Horus_sim.Engine.t ->
   Horus_transport.Backend.t ->
   t
 (** Takes ownership of the backend's rx callback and schedules the
     lease sweep (default every 0.5 s) on [engine]. Requested leases
-    are clamped to [(0, max_lease]] (default 30 s). *)
+    are clamped to [(0, max_lease]] (default 30 s).
+
+    Replication: [replicas] is the full ordered replica address list
+    (index 0 = the initial primary, the remainder the promotion
+    order) and [replica_index] this instance's slot in it (default 0).
+    The primary streams every mutation as a versioned delta to its
+    backups and heartbeats them each sweep tick; a backup mirrors the
+    stream (asking for a full snapshot on a sequence gap), answers
+    client traffic with a [Not_primary] redirect, and promotes itself
+    after the primary has been silent for
+    [replica_index * promote_after] seconds (default slot width
+    1.5 s) — a deterministic stagger, so replicas fail over in list
+    order without an election. Promotion bumps the service {!epoch};
+    frames of the new incarnation carry a fresh src eid. *)
 
 val stop : t -> unit
 (** Cancel the sweep and ignore further traffic (the backend is the
@@ -39,6 +57,17 @@ val entries : t -> group:int -> (int * string * float) list
 val version : t -> group:int -> int
 (** The group's change counter (0 if never touched). *)
 
+val role : t -> role
+
+val role_string : t -> string
+(** ["primary"] or ["backup"]. *)
+
+val epoch : t -> int
+(** The primary incarnation this replica is serving or following;
+    bumped by every promotion. *)
+
+val replica_index : t -> int
+
 type stats = {
   mutable s_requests : int;
   mutable s_replies : int;
@@ -46,6 +75,11 @@ type stats = {
   mutable s_evictions : int;
   mutable s_errors : int;
   mutable s_bad : int;
+  mutable s_deltas_out : int;   (** replication deltas streamed (per backup) *)
+  mutable s_deltas_in : int;    (** replication deltas applied *)
+  mutable s_promotions : int;   (** backup -> primary transitions *)
+  mutable s_redirects : int;    (** [Not_primary] replies sent *)
+  mutable s_syncs : int;        (** snapshots served / requested *)
 }
 
 val stats : t -> stats

@@ -33,7 +33,9 @@ type state = {
   mutable rep : Addr.endpoint option;   (* current representative *)
   mutable announced : bool;             (* we hold a rendezvous entry *)
   mutable rep_changes : int;
+  mutable rep_lost_at : float option;   (* flush began with the rep failed *)
   m_rep_changes : Horus_obs.Metrics.counter option;
+  m_rebridge : Horus_obs.Metrics.histogram option;
 }
 
 let is_rep t =
@@ -62,6 +64,17 @@ let on_view t v =
     match t.rep with Some r -> not (Addr.equal_endpoint r rep) | None -> true
   in
   if changed then begin
+    (* Re-bridge latency: the clock started when a flush announced the
+       representative among its failed endpoints; it stops at the view
+       that installs the successor. *)
+    (match t.rep_lost_at with
+     | Some t0 ->
+       Option.iter
+         (fun h ->
+            Horus_obs.Metrics.observe h
+              (Horus_sim.Engine.now t.env.Layer.engine -. t0))
+         t.m_rebridge
+     | None -> ());
     t.rep <- Some rep;
     t.rep_changes <- t.rep_changes + 1;
     Option.iter Horus_obs.Metrics.incr t.m_rep_changes;
@@ -69,7 +82,19 @@ let on_view t v =
       (Format.asprintf "sub=%d representative %a%s" t.sub Addr.pp_endpoint rep
          (if is_rep t then " (me)" else ""))
   end;
+  t.rep_lost_at <- None;
   if is_rep t then announce t else withdraw t
+
+(* A flush names its failed endpoints before the successor view is
+   agreed; if the current representative is among them, the sub-group
+   is un-bridged from this instant until the next view installs a new
+   coordinator. *)
+let on_flush t failed =
+  match t.rep with
+  | Some r when List.exists (Addr.equal_endpoint r) failed ->
+    if t.rep_lost_at = None then
+      t.rep_lost_at <- Some (Horus_sim.Engine.now t.env.Layer.engine)
+  | _ -> ()
 
 let create params env =
   let t =
@@ -85,14 +110,20 @@ let create params env =
       rep = None;
       announced = false;
       rep_changes = 0;
+      rep_lost_at = None;
       m_rep_changes =
         Option.map
           (fun m -> Horus_obs.Metrics.counter m "hier.rep_changes")
+          env.Layer.metrics;
+      m_rebridge =
+        Option.map
+          (fun m -> Horus_obs.Metrics.histogram m "hier.rebridge_time")
           env.Layer.metrics }
   in
   let handle_up (ev : Event.up) =
     (match ev with
      | Event.U_view v -> on_view t v
+     | Event.U_flush failed -> on_flush t failed
      | Event.U_exit -> withdraw t
      | _ -> ());
     env.Layer.emit_up ev

@@ -12,9 +12,11 @@
 type t = {
   by_rank : (int, string) Hashtbl.t;
   by_addr : (string, int) Hashtbl.t;
+  blocked : (int, unit) Hashtbl.t;
 }
 
-let create () = { by_rank = Hashtbl.create 8; by_addr = Hashtbl.create 8 }
+let create () =
+  { by_rank = Hashtbl.create 8; by_addr = Hashtbl.create 8; blocked = Hashtbl.create 8 }
 
 let add t ~rank ~addr =
   if rank < 0 then invalid_arg "Peers.add: negative rank";
@@ -31,7 +33,21 @@ let remove t ~rank =
     Hashtbl.remove t.by_addr addr
   | None -> ()
 
-let find t ~rank = Hashtbl.find_opt t.by_rank rank
+(* A crash is modelled as a PERMANENT rank block at the waist: the
+   book keeps the entry (the address is still part of the deployment
+   record) but resolution fails, so every sender's a_xmit drops the
+   frame on the spot and counts it — dead peers cost a send-side drop,
+   not an in-flight mystery at the far socket. Blocks are never lifted
+   implicitly: a crashed incarnation's eid is never reused, so a
+   comeback always resolves under a fresh rank. *)
+let block t ~rank = Hashtbl.replace t.blocked rank ()
+
+let unblock t ~rank = Hashtbl.remove t.blocked rank
+
+let is_blocked t ~rank = Hashtbl.mem t.blocked rank
+
+let find t ~rank =
+  if Hashtbl.mem t.blocked rank then None else Hashtbl.find_opt t.by_rank rank
 
 let rank_of t ~addr = Hashtbl.find_opt t.by_addr addr
 

@@ -13,6 +13,16 @@ val add : t -> rank:int -> addr:string -> unit
 val remove : t -> rank:int -> unit
 
 val find : t -> rank:int -> string option
+(** [None] for unknown or {!block}ed ranks. *)
+
+val block : t -> rank:int -> unit
+(** Permanently fail resolution for [rank] while keeping its entry —
+    the crash model: senders drop frames for a dead peer at the waist
+    instead of delivering them to a socket that no longer hosts it. *)
+
+val unblock : t -> rank:int -> unit
+
+val is_blocked : t -> rank:int -> bool
 
 val rank_of : t -> addr:string -> int option
 

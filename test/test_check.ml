@@ -254,6 +254,58 @@ let test_shrink_seeded_failure () =
     (List.length shrunk.Scenario.faults <= 2);
   Alcotest.(check bool) "shrunk scenario still fails" true (fails shrunk)
 
+(* Churn-campaign repros arrive with crash *waves* — many members
+   killed at one instant. The shrinker must offer whole-window drops
+   and a halved kill set as single edits, so a multi-wave repro that
+   only needs one wave minimizes in a handful of runs. *)
+let test_shrink_kill_windows () =
+  let crash at m = { Scenario.f_at = at; f_fault = Scenario.Crash m } in
+  let sc =
+    { (full_scenario ()) with
+      Scenario.n = 8;
+      links = [];
+      faults =
+        [ crash 1.0 1; crash 1.0 2; crash 1.0 3;
+          crash 2.0 4; crash 2.0 5;
+          { Scenario.f_at = 2.5; f_fault = Scenario.Leave 6 } ] }
+  in
+  let cands = Shrink.candidates sc in
+  let crashes_of c =
+    List.filter_map
+      (fun f ->
+         match f.Scenario.f_fault with
+         | Scenario.Crash m -> Some (f.Scenario.f_at, m)
+         | _ -> None)
+      c.Scenario.faults
+  in
+  let keeps_leave c =
+    List.exists
+      (fun f -> match f.Scenario.f_fault with Scenario.Leave _ -> true | _ -> false)
+      c.Scenario.faults
+  in
+  (* One edit drops the whole first wave, leaving the second (and the
+     unrelated leave) intact. *)
+  Alcotest.(check bool) "first wave droppable as one edit" true
+    (List.exists
+       (fun c -> crashes_of c = [ (2.0, 4); (2.0, 5) ] && keeps_leave c)
+       cands);
+  (* And symmetrically the second. *)
+  Alcotest.(check bool) "second wave droppable as one edit" true
+    (List.exists
+       (fun c -> crashes_of c = [ (1.0, 1); (1.0, 2); (1.0, 3) ] && keeps_leave c)
+       cands);
+  (* One edit halves the killed-member set across windows. *)
+  Alcotest.(check bool) "kill set halvable as one edit" true
+    (List.exists (fun c -> crashes_of c = [ (1.0, 1); (1.0, 2) ] && keeps_leave c) cands);
+  (* The aggressive edits actually shrink: a predicate that only needs
+     one second-wave crash minimizes without visiting every subset. *)
+  let fails c = List.exists (fun (at, m) -> at = 2.0 && m = 4) (crashes_of c) in
+  let shrunk, stats = Shrink.shrink ~fails sc in
+  Alcotest.(check bool) "still fails" true (fails shrunk);
+  Alcotest.(check int) "single crash left" 1 (List.length (crashes_of shrunk));
+  Alcotest.(check bool) "few attempts"
+    true (stats.Shrink.attempts < 200)
+
 let test_shrink_drop_member_reindexes () =
   let sc = full_scenario () in
   let smaller =
@@ -329,6 +381,8 @@ let () =
       ( "shrinker",
         [ Alcotest.test_case "seeded fuzz failure minimized" `Slow
             test_shrink_seeded_failure;
+          Alcotest.test_case "crash waves shed as whole windows" `Quick
+            test_shrink_kill_windows;
           Alcotest.test_case "drop-member reindexes cleanly" `Quick
             test_shrink_drop_member_reindexes ] );
       ("repro", Alcotest.test_case "save/load round trip" `Quick test_repro_save_load

@@ -63,6 +63,62 @@ let representatives_bridge () =
     (Group.casts rep1);
   Alcotest.(check int) "no unknown-gid drops" 0 (Transport_link.unknown_gid link)
 
+(* Behead one sub-group: the coordinator (the HIER representative)
+   crashes without a goodbye, the survivors flush it out and install
+   the next-oldest member as representative, and the layer clocks the
+   un-bridged window into [hier.rebridge_time] — the histogram the M5
+   campaign holds to a bound. *)
+let rebridge_after_crash () =
+  let world = World.create ~seed:23 () in
+  let hub = T.Loopback.hub ~latency:0.0005 (World.engine world) in
+  let link = Transport_link.create world in
+  let peers = T.Peers.create () in
+  let sockets =
+    Array.init 3 (fun s -> T.Loopback.create ~addr:(Printf.sprintf "mem:%d" s) hub)
+  in
+  let muxes = Array.map (fun b -> Transport_link.mux link ~backend:b ~peers) sockets in
+  let sub = World.fresh_group_addr world in
+  let parent = World.fresh_group_addr world in
+  let pgid = Addr.group_id parent in
+  let endpoints =
+    Array.init 3 (fun i ->
+        T.Peers.add peers ~rank:i ~addr:sockets.(i).T.Backend.local_addr;
+        Transport_link.mux_endpoint link muxes.(i) ~rank:i
+          ~spec:(Printf.sprintf "HIER(parent=%d,sub=0):MBRSHIP:NAK:COM" pgid))
+  in
+  let founder = Group.join endpoints.(0) sub in
+  let rest =
+    Array.init 2 (fun i ->
+        Group.join ~contact:(Group.addr founder) endpoints.(i + 1) sub)
+  in
+  World.run_for world ~duration:2.0;
+  (match Group.view rest.(0) with
+   | Some v -> Alcotest.(check int) "sub-group formed" 3 (View.size v)
+   | None -> Alcotest.fail "sub-group: no view");
+  let h =
+    Horus_obs.Metrics.histogram (World.metrics world) "hier.rebridge_time"
+  in
+  Alcotest.(check int) "no re-bridge before the crash" 0
+    (Horus_obs.Metrics.observations h);
+  (* The representative dies with no leave: crash the endpoint, block
+     its socket rank at the waist, and let a survivor voice the
+     suspicion after a detection delay. *)
+  Endpoint.crash endpoints.(0);
+  T.Peers.block peers ~rank:0;
+  World.run_for world ~duration:0.1;
+  Group.suspect rest.(0) [ Addr.endpoint 0 ];
+  World.run_for world ~duration:2.0;
+  Array.iter
+    (fun gr ->
+       match Group.view gr with
+       | Some v -> Alcotest.(check int) "survivors converged" 2 (View.size v)
+       | None -> Alcotest.fail "survivor: no view")
+    rest;
+  Alcotest.(check bool) "re-bridge window clocked" true
+    (Horus_obs.Metrics.observations h >= 1);
+  Alcotest.(check bool) "window strictly positive" true
+    (Horus_obs.Metrics.sum h > 0.0)
+
 (* The churn harness at toy scale: every wave converges, the directory
    matches the installed views, and a double run fingerprints
    identically — the CI gate's logic, in-tree. *)
@@ -88,6 +144,43 @@ let churn_small () =
          Alcotest.failf "wave %d %s never converged" w.C.Churn.w_index w.C.Churn.w_kind)
     r.C.Churn.r_waves
 
+(* The crash-fault campaign at toy scale: ungraceful waves kill a
+   coordinator each, the directory primary dies mid-wave, and the run
+   must still exit clean — backup promoted, every beheaded sub-group
+   re-bridged within bound, evictions exactly the abandoned
+   bindings. *)
+let churn_ungraceful_small () =
+  let c =
+    { churn_config with
+      C.Churn.h_name = "churn-test-ungraceful";
+      h_ungraceful = true;
+      h_kill_coordinators = 1;
+      h_dir_replicas = 1;
+      h_kill_dir_wave = 1;
+      (* The lease must clear a worst-case renewal issued into the
+         primary outage: half-lease cadence plus a full per-replica
+         retry budget at the RTO ceiling, or a survivor's binding is
+         evicted mid-retry and the zero-lost-registrations invariant
+         trips on an artifact of the toy timescale. *)
+      h_lease = 20.0;
+      h_nak_ceiling = 2000 }
+  in
+  let r = C.Churn.run c in
+  List.iter (fun v -> Printf.printf "violation: %s\n" v) r.C.Churn.r_violations;
+  Alcotest.(check bool) "no violations" true (C.Churn.ok r);
+  Alcotest.(check string) "ungraceful mode" "ungraceful" r.C.Churn.r_mode;
+  Alcotest.(check bool) "members were killed" true (r.C.Churn.r_killed > 0);
+  Alcotest.(check int) "coordinators were killed" 2 r.C.Churn.r_killed_coordinators;
+  Alcotest.(check int) "backup promoted" 1 r.C.Churn.r_dir_promotions;
+  Alcotest.(check int) "every beheading clocked" 2
+    (List.length r.C.Churn.r_rebridge);
+  List.iter
+    (fun (j, dt) ->
+       if dt > r.C.Churn.r_rebridge_bound then
+         Alcotest.failf "sub-group %d re-bridged in %.3f (bound %.1f)" j dt
+           r.C.Churn.r_rebridge_bound)
+    r.C.Churn.r_rebridge
+
 let churn_deterministic () =
   let a = C.Churn.run churn_config in
   let b = C.Churn.run churn_config in
@@ -100,8 +193,12 @@ let () =
   Alcotest.run "hier"
     [ ( "hier",
         [ Alcotest.test_case "representatives bridge sub-groups" `Quick
-            representatives_bridge ] );
+            representatives_bridge;
+          Alcotest.test_case "crashed representative is re-bridged and clocked"
+            `Quick rebridge_after_crash ] );
       ( "churn",
         [ Alcotest.test_case "small churn soak passes" `Slow churn_small;
+          Alcotest.test_case "small ungraceful campaign passes" `Slow
+            churn_ungraceful_small;
           Alcotest.test_case "double run fingerprints agree" `Slow churn_deterministic ] )
     ]
